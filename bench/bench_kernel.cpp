@@ -1,0 +1,117 @@
+// E12 — engineering micro-benchmarks (google-benchmark): simulator event
+// throughput, trigger evaluation, legality checking, and whole-scenario
+// simulation rates. These calibrate how large the reproduction experiments
+// can be pushed on a given machine.
+#include <benchmark/benchmark.h>
+
+#include "core/triggers.h"
+#include "metrics/legality.h"
+#include "metrics/skew.h"
+#include "runner/scenario.h"
+
+namespace gcs {
+namespace {
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_at(static_cast<Time>(i % 37), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorScheduleFire);
+
+void BM_TriggerEvaluation(benchmark::State& state) {
+  const auto peers = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<LevelPeer> level_peers;
+  for (int i = 0; i < peers; ++i) {
+    LevelPeer p;
+    p.level_limit = kAllLevels;
+    p.kappa = 0.75;
+    p.delta = 0.1;
+    p.eps = 0.05;
+    p.tau = 0.25;
+    p.has_estimate = true;
+    p.est_minus_own = rng.uniform(-8.0, 8.0);
+    level_peers.push_back(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_triggers(level_peers, 0.1, 1e-3, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * peers);
+}
+BENCHMARK(BM_TriggerEvaluation)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+ScenarioConfig kernel_config(int n) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.initial_edges = topo_line(n);
+  cfg.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
+  cfg.aopt.rho = 1e-3;
+  cfg.aopt.mu = 0.1;
+  cfg.aopt.gtilde_static =
+      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = DriftKind::kLinearSpread;
+  cfg.estimates = EstimateKind::kOracleUniform;
+  return cfg;
+}
+
+void BM_LegalityCheck(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Scenario s(kernel_config(n));
+  s.start();
+  s.run_until(50.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_legality(s.engine(), s.config().aopt.gtilde_static));
+  }
+}
+BENCHMARK(BM_LegalityCheck)->Arg(16)->Arg(64);
+
+void BM_GradientMeasurement(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Scenario s(kernel_config(n));
+  s.start();
+  s.run_until(50.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_gradient(s.engine(), 1.0));
+  }
+}
+BENCHMARK(BM_GradientMeasurement)->Arg(16)->Arg(64);
+
+void BM_ScenarioSimulation(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scenario s(kernel_config(n));
+    s.start();
+    s.run_until(50.0);
+    benchmark::DoNotOptimize(s.sim().fired_count());
+  }
+  // Report simulated node-time-units per wall second.
+  state.SetItemsProcessed(state.iterations() * n * 50);
+}
+BENCHMARK(BM_ScenarioSimulation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BeaconScenarioSimulation(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto cfg = kernel_config(n);
+    cfg.estimates = EstimateKind::kBeacon;
+    Scenario s(cfg);
+    s.start();
+    s.run_until(50.0);
+    benchmark::DoNotOptimize(s.sim().fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 50);
+}
+BENCHMARK(BM_BeaconScenarioSimulation)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace gcs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+#include "exp_common.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace gcs::bench {
+
+std::vector<int> parse_int_list(const std::string& csv, std::vector<int> def) {
+  if (csv.empty()) return def;
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token = csv.substr(pos, comma - pos);
+    if (!token.empty()) out.push_back(std::atoi(token.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out.empty() ? def : out;
+}
+
+void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n################################################################\n"
+            << "# " << id << "\n"
+            << "# " << claim << "\n"
+            << "################################################################\n";
+}
+
+ScenarioConfig fast_line_config(int n) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.initial_edges = topo_line(n);
+  cfg.edge_params = default_edge_params(/*eps=*/0.05, /*tau=*/0.25,
+                                        /*delay_max=*/0.5, /*delay_min=*/0.1);
+  cfg.aopt.rho = 1e-3;
+  cfg.aopt.mu = 0.1;  // eq. (7) maximum: fastest convergence
+  cfg.aopt.gtilde_static =
+      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = DriftKind::kLinearSpread;
+  cfg.estimates = EstimateKind::kOracleUniform;
+  cfg.engine.tick_period = 0.25;
+  cfg.engine.beacon_period = 0.25;
+  return cfg;
+}
+
+void apply_adversarial_delays(ScenarioConfig& cfg, double delay_max,
+                              double beacon_period) {
+  cfg.edge_params = default_edge_params(0.1, 0.5, delay_max, /*delay_min=*/0.0);
+  cfg.delays = DelayMode::kMax;
+  cfg.engine.beacon_period = beacon_period;
+  cfg.engine.tick_period = beacon_period / 2.0;
+}
+
+double worst_skew_over(Engine& engine, const std::vector<EdgeKey>& edges) {
+  double worst = 0.0;
+  for (const auto& e : edges) {
+    worst = std::max(worst,
+                     std::fabs(engine.logical(e.a) - engine.logical(e.b)));
+  }
+  return worst;
+}
+
+}  // namespace gcs::bench

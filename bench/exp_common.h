@@ -1,0 +1,42 @@
+// Shared helpers for the experiment binaries (bench/exp_*.cpp).
+//
+// Every experiment binary runs standalone with defaults chosen so the whole
+// bench directory completes in a couple of minutes, prints paper-style
+// tables to stdout, and accepts --key=value overrides (see util/flags.h).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/diameter.h"
+#include "metrics/legality.h"
+#include "metrics/recorder.h"
+#include "metrics/skew.h"
+#include "runner/scenario.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace gcs::bench {
+
+/// Parse a comma-separated list of integers (e.g. "8,16,32").
+std::vector<int> parse_int_list(const std::string& csv, std::vector<int> def);
+
+/// Standard experiment header block.
+void print_header(const std::string& id, const std::string& claim);
+
+/// Line-topology config tuned for bench runtimes: mu at the eq. (7) maximum,
+/// smaller edge uncertainties than the test defaults.
+ScenarioConfig fast_line_config(int n);
+
+/// The §8-flavored adversarial communication regime: every message takes the
+/// maximum delay and no transit compensation is possible, so max-estimate
+/// staleness (and hence hidden skew) is Θ(D).
+void apply_adversarial_delays(ScenarioConfig& cfg, double delay_max = 2.0,
+                              double beacon_period = 1.0);
+
+/// Max |L_a - L_b| over a fixed set of edges at the current instant.
+double worst_skew_over(Engine& engine, const std::vector<EdgeKey>& edges);
+
+}  // namespace gcs::bench

@@ -1,0 +1,97 @@
+// E15 — the estimate layer is the currency of the whole construction: κ_e
+//   must exceed 4(ε_e + µτ_e) (eq. 9), so every gradient guarantee is
+//   proportional to the estimate quality ε. This experiment sweeps the
+//   beacon period and the delay jitter of the *message-based* estimate
+//   provider, reports the derived ε (beacon_eps), the resulting κ and local
+//   bound, and the measured worst estimate error and local skew — verifying
+//   eq. (1) empirically and showing the bound degrade gracefully.
+#include "exp_common.h"
+
+#include "estimate/estimate_source.h"
+
+using namespace gcs;
+using namespace gcs::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int n = flags.get("n", 12);
+  const double measure = flags.get("measure", 400.0);
+
+  print_header("E15 exp_estimate_quality",
+               "eq. (1)/(9): the gradient guarantee scales with the estimate "
+               "layer's eps; beacon-based estimates verified against their "
+               "derived error bound");
+
+  Table table("E15 — beacon estimate sweep (line n=" + std::to_string(n) + ")");
+  table.headers({"beacon period", "delay jitter", "derived eps", "kappa",
+                 "local bound", "worst est err", "err <= eps", "worst local"});
+
+  struct Sweep {
+    double beacon;
+    double delay_min;
+    double delay_max;
+  };
+  for (const Sweep& sw : {Sweep{0.1, 0.08, 0.12}, Sweep{0.25, 0.05, 0.25},
+                          Sweep{0.5, 0.1, 0.5}, Sweep{1.0, 0.0, 1.0}}) {
+    ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.initial_edges = topo_line(n);
+    cfg.edge_params = default_edge_params(0.05, 0.25, sw.delay_max, sw.delay_min);
+    cfg.aopt.rho = 1e-3;
+    cfg.aopt.mu = 0.1;
+    cfg.estimates = EstimateKind::kBeacon;
+    cfg.engine.beacon_period = sw.beacon;
+    cfg.engine.tick_period = sw.beacon;
+    cfg.drift = DriftKind::kLinearSpread;
+    cfg.aopt.gtilde_static =
+        suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
+    // κ grows with eps; the suggested G̃ already accounts for it because
+    // suggest_gtilde uses the configured edge eps, so bump it by the ratio.
+    const double eps =
+        beacon_eps(cfg.edge_params, sw.beacon, cfg.aopt.rho, cfg.aopt.mu);
+    {
+      EdgeParams effective = cfg.edge_params;
+      effective.eps = eps;
+      cfg.aopt.gtilde_static =
+          std::max(cfg.aopt.gtilde_static,
+                   suggest_gtilde(n, cfg.initial_edges, effective, cfg.aopt));
+    }
+    Scenario s(cfg);
+    s.start();
+    const double kappa = metric_kappa(s.engine(), EdgeKey(0, 1));
+    const double bound =
+        gradient_bound(kappa, cfg.aopt.gtilde_static, cfg.aopt.sigma());
+
+    s.run_until(50.0);  // warm up the estimate caches
+    double worst_err = 0.0;
+    double worst_local = 0.0;
+    const Time start = s.sim().now();
+    while (s.sim().now() < start + measure) {
+      s.run_for(1.7);
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v : s.graph().view_neighbors(u)) {
+          const auto est = s.estimate_of(u, v);
+          if (!est.has_value()) continue;
+          worst_err =
+              std::max(worst_err, std::fabs(*est - s.engine().logical(v)));
+        }
+      }
+      worst_local = std::max(worst_local, measure_skew(s.engine()).worst_local);
+    }
+
+    table.row()
+        .cell(sw.beacon)
+        .cell(sw.delay_max - sw.delay_min)
+        .cell(eps)
+        .cell(kappa)
+        .cell(bound)
+        .cell(worst_err)
+        .cell(worst_err <= eps + 1e-9)
+        .cell(worst_local);
+  }
+  table.print();
+  std::cout << "paper: eq. (1) holds for every configuration (err <= eps), and\n"
+               "the guarantee degrades linearly with the estimate quality —\n"
+               "eq. (9)'s kappa > 4(eps + mu*tau) made concrete.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E3 — local skew scales like Theta(log_sigma D), not Theta(D).
+//   The paper's headline: while the *global* skew necessarily grows linearly
+//   with the network extent (Theorem 5.6 is tight), the *local* skew bound
+//   kappa*(log_sigma(Ghat/kappa)+O(1)) grows only logarithmically. We sweep
+//   the line length and report measured steady global skew (linear in n),
+//   measured worst local skew, and the theoretical local bound (log in n).
+#include "exp_common.h"
+
+#include <cmath>
+
+using namespace gcs;
+using namespace gcs::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto sizes =
+      parse_int_list(flags.get("sizes", std::string()), {8, 16, 32, 64});
+  const double measure_time = flags.get("measure", 600.0);
+
+  print_header("E3 exp_local_skew_scaling",
+               "local skew = O(kappa log_sigma(D/kappa)) while global skew = Theta(D)");
+
+  Table table("E3 — skew scaling with network size (line, worst-case constant drift)");
+  table.headers({"n", "G steady (~D)", "local worst", "local bound",
+                 "local/bound", "global/local"});
+
+  std::vector<double> xs;
+  std::vector<double> global_series;
+  std::vector<double> local_series;
+  for (int n : sizes) {
+    auto cfg = fast_line_config(n);
+    cfg.name = "local-skew-n" + std::to_string(n);
+    Scenario s(cfg);
+    s.start();
+    const double ghat = cfg.aopt.gtilde_static;
+    const double sigma = cfg.aopt.sigma();
+    const double kappa = metric_kappa(s.engine(), EdgeKey(0, 1));
+
+    // Drive the system into the steady regime: scatter to the diameter
+    // bound, then let the gradient mechanism redistribute.
+    const double d_bound = estimate_dynamic_diameter(s.engine());
+    const double base = s.engine().logical(0);
+    for (NodeId u = 0; u < n; ++u) {
+      s.engine().corrupt_logical(
+          u, base + 2.0 * d_bound * static_cast<double>(u) / (n - 1));
+    }
+    s.run_for(2.0 * ghat / cfg.aopt.mu);
+
+    RunningStats global;
+    double worst_local = 0.0;
+    const Time measure_start = s.sim().now();
+    while (s.sim().now() < measure_start + measure_time) {
+      s.run_for(5.0);
+      const auto snap = measure_skew(s.engine());
+      global.add(snap.global);
+      worst_local = std::max(worst_local, snap.worst_local);
+    }
+
+    const double local_bound = gradient_bound(kappa, ghat, sigma);
+    table.row()
+        .cell(n)
+        .cell(global.mean())
+        .cell(worst_local)
+        .cell(local_bound)
+        .cell(worst_local / local_bound)
+        .cell(global.mean() / std::max(worst_local, 1e-9));
+    xs.push_back(n);
+    global_series.push_back(global.mean());
+    local_series.push_back(worst_local);
+  }
+  table.print();
+
+  const auto gfit = fit_linear(xs, global_series);
+  const auto lfit_linear = fit_linear(xs, local_series);
+  const auto lfit_log = fit_log(xs, local_series);
+  std::cout << "global skew vs n:  linear fit slope " << format_double(gfit.slope)
+            << " (r2=" << format_double(gfit.r2, 3) << ") — grows with D\n"
+            << "local skew vs n:   linear r2=" << format_double(lfit_linear.r2, 3)
+            << ", log r2=" << format_double(lfit_log.r2, 3)
+            << " — paper predicts the log model (and a slope near zero)\n"
+            << "key ratio: global/local widens with n -> gradient property pays "
+               "off more the larger the network\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E9 — Theorem 8.1: Ω(D) stabilization is unavoidable.
+//   §8 construction: on a line with adversarial (maximal, uncompensatable)
+//   message delays, Θ(D) skew accumulates between the endpoints while every
+//   gradient constraint holds — the skew is *hidden* from the algorithm.
+//   When the edge {v0, v_{n-1}} appears, any algorithm whose logical clocks
+//   respect the rate envelope [1−ρ, (1+ρ)(1+µ)] needs at least
+//   (S − bound) / ((1+ρ)(1+µ) − (1−ρ)) time to bring the edge's skew from S
+//   down to its stable gradient bound. We measure AOPT's actual closing time
+//   against that envelope lower bound (both are Θ(D); the ratio is the
+//   constant-factor gap the paper concedes), and show the only way to beat
+//   the bound (max-jump) destroys the gradient property on old edges.
+#include "exp_common.h"
+
+using namespace gcs;
+using namespace gcs::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto sizes = parse_int_list(flags.get("sizes", std::string()), {12, 16, 20});
+
+  print_header("E9 exp_lower_bound",
+               "Theorem 8.1: closing revealed skew S on a new edge takes >= "
+               "(S-bound)/(beta-alpha) time for every envelope-respecting algorithm");
+
+  Table table("E9 — §8 construction: hidden skew revealed by a new edge");
+  table.headers({"n", "hidden S", "stable bound", "envelope LB", "t(close) AOPT",
+                 "t/LB", "LB ok", "Gmax<=Ghat", "old-edge AOPT",
+                 "old-edge max-jump"});
+
+  std::vector<double> xs;
+  std::vector<double> lbs;
+  std::vector<double> measured;
+  for (int n : sizes) {
+    // The max-estimate staleness cap in this regime is ~2.1 per hop; the
+    // static estimate must dominate it for the whole run (eq. 6).
+    const double ghat = 2.1 * (n - 1) + 6.0;
+
+    auto make_cfg = [&](AlgoKind algo) {
+      ScenarioConfig cfg;
+      cfg.n = n;
+      cfg.initial_edges = topo_line(n);
+      cfg.algo = algo;
+      cfg.aopt.rho = 5e-3;
+      cfg.aopt.mu = 0.1;
+      cfg.aopt.gtilde_static = ghat;
+      cfg.drift = DriftKind::kLinearSpread;
+      cfg.estimates = EstimateKind::kOracleUniform;
+      apply_adversarial_delays(cfg, /*delay_max=*/2.0, /*beacon_period=*/1.0);
+      return cfg;
+    };
+
+    // ---- AOPT phase.
+    auto cfg = make_cfg(AlgoKind::kAopt);
+    Scenario s(cfg);
+    s.start();
+    s.run_until(4000.0);  // hidden skew saturates at the gradient equilibrium
+    const double hidden =
+        std::fabs(s.engine().logical(0) - s.engine().logical(n - 1));
+    const Time t0 = s.sim().now();
+    s.graph().create_edge(EdgeKey(0, n - 1), cfg.edge_params);
+    const double kappa = metric_kappa(s.engine(), EdgeKey(0, n - 1));
+    const double bound = gradient_bound(kappa, ghat, cfg.aopt.sigma());
+
+    const auto old_edges = topo_line(n);
+    double old_aopt = 0.0;
+    double gmax = 0.0;
+    Time close_at = kTimeInf;
+    const double horizon =
+        t0 + 2.5 * cfg.aopt.insertion_duration_static(ghat) + 500.0;
+    while (s.sim().now() < horizon) {
+      s.run_for(2.0);
+      gmax = std::max(gmax, s.engine().true_global_skew());
+      old_aopt = std::max(old_aopt, worst_skew_over(s.engine(), old_edges));
+      const double skew =
+          std::fabs(s.engine().logical(0) - s.engine().logical(n - 1));
+      if (skew <= bound) {
+        close_at = s.sim().now();
+        break;
+      }
+    }
+
+    // ---- max-jump phase (same world, jumping allowed).
+    auto mj_cfg = make_cfg(AlgoKind::kMaxJump);
+    Scenario mj(mj_cfg);
+    mj.start();
+    mj.run_until(4000.0);
+    mj.graph().create_edge(EdgeKey(0, n - 1), mj_cfg.edge_params);
+    double old_mj = 0.0;
+    for (int step = 0; step < 200; ++step) {
+      mj.run_for(1.0);
+      old_mj = std::max(old_mj, worst_skew_over(mj.engine(), old_edges));
+    }
+
+    const double envelope_rate = cfg.aopt.beta() - cfg.aopt.alpha();
+    const double lower_bound = (hidden - bound) / envelope_rate;
+    const double t_close = close_at - t0;
+    table.row()
+        .cell(n)
+        .cell(hidden)
+        .cell(bound)
+        .cell(lower_bound)
+        .cell(t_close)
+        .cell(t_close / lower_bound)
+        .cell(t_close >= lower_bound * (1.0 - 1e-6))
+        .cell(gmax <= ghat)
+        .cell(old_aopt)
+        .cell(old_mj);
+    xs.push_back(n);
+    lbs.push_back(lower_bound);
+    measured.push_back(t_close);
+  }
+  table.print();
+
+  const auto lb_fit = fit_linear(xs, lbs);
+  const auto m_fit = fit_linear(xs, measured);
+  std::cout << "envelope lower bound vs n: slope " << format_double(lb_fit.slope, 2)
+            << " (r2=" << format_double(lb_fit.r2, 3) << ")\n"
+            << "AOPT closing time vs n:    slope " << format_double(m_fit.slope, 2)
+            << " (r2=" << format_double(m_fit.r2, 3) << ")\n"
+            << "both scale linearly with D: AOPT's stabilization is within a\n"
+               "constant factor of the Theorem 8.1 floor (the paper's constants\n"
+               "are large; §5.5 concedes this). max-jump beats the floor only by\n"
+               "jumping — at the cost of Θ(D) skew on a long-standing edge.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E7 — eq. (8): sigma = (1−ρ)µ/(2ρ) is the base of the skew logarithm.
+//   Sweeping rho at fixed mu changes sigma; the local-skew *bound*
+//   kappa*(log_sigma(Ghat/kappa)+3) shrinks as 1/log(sigma), and measured
+//   worst local skew follows the same ordering.
+#include "exp_common.h"
+
+#include <cmath>
+
+using namespace gcs;
+using namespace gcs::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int n = flags.get("n", 16);
+  const double measure_time = flags.get("measure", 500.0);
+
+  print_header("E7 exp_sigma_sweep",
+               "eq. (8): larger sigma = (1-rho)mu/2rho => tighter gradient; "
+               "local bound scales like 1/log(sigma)");
+
+  Table table("E7 — local skew vs sigma (line n=" + std::to_string(n) +
+              ", mu=0.1, rho swept)");
+  table.headers({"rho", "sigma", "levels s(kappa)", "local bound",
+                 "measured local", "measured/bound"});
+
+  for (double rho : {8e-3, 2e-3, 5e-4, 1.25e-4}) {
+    auto cfg = fast_line_config(n);
+    cfg.name = "sigma-rho" + format_double(rho, 6);
+    cfg.aopt.rho = rho;
+    cfg.aopt.gtilde_static =
+        suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
+    Scenario s(cfg);
+    s.start();
+    const double ghat = cfg.aopt.gtilde_static;
+    const double sigma = cfg.aopt.sigma();
+    const double kappa = metric_kappa(s.engine(), EdgeKey(0, 1));
+
+    // Scatter to the diameter scale, stabilize, then measure.
+    const double d_bound = estimate_dynamic_diameter(s.engine());
+    const double base = s.engine().logical(0);
+    for (NodeId u = 0; u < n; ++u) {
+      s.engine().corrupt_logical(
+          u, base + 2.0 * d_bound * static_cast<double>(u) / (n - 1));
+    }
+    s.run_for(2.0 * ghat / cfg.aopt.mu);
+
+    double worst_local = 0.0;
+    const Time start = s.sim().now();
+    while (s.sim().now() < start + measure_time) {
+      s.run_for(5.0);
+      worst_local = std::max(worst_local, measure_skew(s.engine()).worst_local);
+    }
+
+    const double s_of_kappa =
+        std::max(1.0, 2.0 + std::ceil(std::log(ghat / kappa) / std::log(sigma)));
+    const double bound = gradient_bound(kappa, ghat, sigma);
+    table.row()
+        .cell(rho, 6)
+        .cell(sigma, 1)
+        .cell(s_of_kappa, 0)
+        .cell(bound)
+        .cell(worst_local)
+        .cell(worst_local / bound);
+  }
+  table.print();
+  std::cout << "paper: the bound column shrinks as sigma grows (fewer levels "
+               "needed to span Ghat); measured local skew respects every bound\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E14 — the gradient guarantee is topology-independent (Def. 3.3 speaks only
+//   of paths and weights). Sweep structurally different graphs with the same
+//   worst-case drift and verify: zero gradient-bound violations, and the
+//   worst *local* skew stays at the single-edge scale while the weighted
+//   diameter (and with it the permissible global skew) varies wildly.
+#include "exp_common.h"
+
+#include "graph/paths.h"
+
+using namespace gcs;
+using namespace gcs::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double measure = flags.get("measure", 400.0);
+
+  print_header("E14 exp_topology_sweep",
+               "gradient bound holds on every topology; local skew is set by "
+               "kappa, not by the network shape");
+
+  struct Entry {
+    std::string name;
+    int n;
+    std::vector<EdgeKey> edges;
+  };
+  Rng rng(11);
+  std::vector<Entry> entries;
+  entries.push_back({"line-32", 32, topo_line(32)});
+  entries.push_back({"ring-32", 32, topo_ring(32)});
+  entries.push_back({"grid-6x6", 36, topo_grid(6, 6)});
+  entries.push_back({"torus-6x6", 36, topo_torus(6, 6)});
+  entries.push_back({"hypercube-5", 32, topo_hypercube(5)});
+  entries.push_back({"star-32", 32, topo_star(32)});
+  entries.push_back({"tree-32", 32, topo_random_tree(32, rng)});
+  entries.push_back({"barbell-12+8", 32, topo_barbell(12, 8)});
+
+  Table table("E14 — topology sweep (worst-case constant drift, same params)");
+  table.headers({"topology", "hop diam", "Ghat", "worst local", "local bound",
+                 "worst pair skew", "pair bound at diam", "violations"});
+
+  for (const auto& entry : entries) {
+    ScenarioConfig cfg;
+    cfg.n = entry.n;
+    cfg.initial_edges = entry.edges;
+    cfg.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
+    cfg.aopt.rho = 1e-3;
+    cfg.aopt.mu = 0.1;
+    cfg.aopt.gtilde_static =
+        suggest_gtilde(entry.n, entry.edges, cfg.edge_params, cfg.aopt);
+    cfg.drift = DriftKind::kLinearSpread;
+    cfg.seed = 3;
+    Scenario s(cfg);
+    s.start();
+    const double ghat = cfg.aopt.gtilde_static;
+    const double sigma = cfg.aopt.sigma();
+    const double kappa = metric_kappa(s.engine(), entry.edges.front());
+
+    s.run_until(2.0 * ghat / cfg.aopt.mu);
+    double worst_local = 0.0;
+    double worst_pair = 0.0;
+    int violations = 0;
+    const Time start = s.sim().now();
+    while (s.sim().now() < start + measure) {
+      s.run_for(10.0);
+      worst_local = std::max(worst_local, measure_skew(s.engine()).worst_local);
+      for (const auto& p : measure_gradient(s.engine(), 1.0)) {
+        worst_pair = std::max(worst_pair, p.skew);
+        if (p.skew > gradient_bound(p.kappa_dist, ghat, sigma)) ++violations;
+      }
+    }
+
+    const int diam = hop_diameter(entry.n, entry.edges);
+    table.row()
+        .cell(entry.name)
+        .cell(diam)
+        .cell(ghat)
+        .cell(worst_local)
+        .cell(gradient_bound(kappa, ghat, sigma))
+        .cell(worst_pair)
+        .cell(gradient_bound(diam * kappa, ghat, sigma))
+        .cell(violations);
+  }
+  table.print();
+  std::cout << "paper: 0 violations on every topology; the local column is flat "
+               "across shapes while diameters differ by an order of magnitude\n";
+  return 0;
+}

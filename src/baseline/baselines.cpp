@@ -1,0 +1,28 @@
+#include "baseline/baselines.h"
+
+#include <algorithm>
+
+namespace gcs {
+
+void MaxJumpNode::reevaluate() {
+  if (api_->max_locked()) return;
+  const ClockValue l = api_->logical();
+  const ClockValue m = api_->max_estimate();
+  if (m > l) {
+    max_jump_ = std::max(max_jump_, m - l);
+    api_->set_logical_value(m);
+  }
+}
+
+void BoundedRateMaxNode::reevaluate() {
+  const ClockValue l = api_->logical();
+  const ClockValue m = api_->max_estimate();
+  if (api_->max_locked()) {
+    api_->set_rate_multiplier(1.0);
+  } else if (l <= m - iota_) {
+    api_->set_rate_multiplier(1.0 + mu_);
+  }
+  // In the ι-wide band below M: keep the current mode (hysteresis).
+}
+
+}  // namespace gcs

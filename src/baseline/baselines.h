@@ -1,0 +1,48 @@
+// Baseline synchronization algorithms for the comparison experiments (§2).
+#pragma once
+
+#include "core/engine.h"
+
+namespace gcs {
+
+/// No synchronization at all: the logical clock is the hardware clock.
+/// Establishes the unsynchronized drift floor in comparisons.
+class FreeRunningNode final : public Algorithm {
+ public:
+  [[nodiscard]] const char* name() const override { return "free-running"; }
+  void reevaluate() override {}  // mult stays 1
+};
+
+/// Srikanth–Toueg-style max flooding: whenever the max estimate exceeds the
+/// logical clock, jump to it. Asymptotically optimal O(D) *global* skew, but
+/// neighbors can observe Ω(D) instantaneous local skew (the shortcoming the
+/// gradient problem was introduced to fix — §1/§2).
+class MaxJumpNode final : public Algorithm {
+ public:
+  [[nodiscard]] const char* name() const override { return "max-jump"; }
+  void reevaluate() override;
+
+  /// Largest single clock jump performed (a proxy for worst local skew
+  /// experienced by an application consuming this clock).
+  [[nodiscard]] double max_jump() const { return max_jump_; }
+
+ private:
+  double max_jump_ = 0.0;
+};
+
+/// Rate-limited max chasing: AOPT's max-estimate rule (Def. 4.7) without the
+/// gradient trigger hierarchy. Clocks are smooth and the global skew is
+/// O(D), but nothing bounds the skew *gradient*: local skew degrades toward
+/// Θ(D) in adversarial executions.
+class BoundedRateMaxNode final : public Algorithm {
+ public:
+  explicit BoundedRateMaxNode(double mu, double iota) : mu_(mu), iota_(iota) {}
+  [[nodiscard]] const char* name() const override { return "bounded-rate-max"; }
+  void reevaluate() override;
+
+ private:
+  double mu_;
+  double iota_;
+};
+
+}  // namespace gcs

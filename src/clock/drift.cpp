@@ -1,0 +1,189 @@
+#include "clock/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcs {
+
+namespace {
+void check_rho(double rho) {
+  require(rho >= 0.0 && rho < 1.0, "drift: rho must be in [0,1)");
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Constant
+
+ConstantDrift::ConstantDrift(double rho, std::vector<double> offsets)
+    : rho_(rho), offsets_(std::move(offsets)) {
+  check_rho(rho);
+  for (double off : offsets_) {
+    require(std::fabs(off) <= rho_ + 1e-15, "ConstantDrift: |offset| > rho");
+  }
+}
+
+ConstantDrift::ConstantDrift(double rho, double offset, int n)
+    : ConstantDrift(rho, std::vector<double>(static_cast<std::size_t>(n), offset)) {}
+
+double ConstantDrift::rate_at(NodeId u, Time) {
+  return 1.0 + offsets_.at(static_cast<std::size_t>(u));
+}
+
+// ------------------------------------------------------------ LinearSpread
+
+LinearSpreadDrift::LinearSpreadDrift(double rho, int n) : rho_(rho), n_(n) {
+  check_rho(rho);
+  require(n >= 1, "LinearSpreadDrift: need n >= 1");
+}
+
+double LinearSpreadDrift::rate_at(NodeId u, Time) {
+  if (n_ == 1) return 1.0;
+  const double frac = static_cast<double>(u) / static_cast<double>(n_ - 1);
+  return 1.0 - rho_ + 2.0 * rho_ * frac;
+}
+
+// ------------------------------------------------------- AlternatingBlocks
+
+AlternatingBlocksDrift::AlternatingBlocksDrift(double rho, int n, int blocks,
+                                               Duration period)
+    : rho_(rho), n_(n), blocks_(blocks), period_(period) {
+  check_rho(rho);
+  require(n >= 1 && blocks >= 1 && period > 0.0,
+          "AlternatingBlocksDrift: bad arguments");
+}
+
+double AlternatingBlocksDrift::rate_at(NodeId u, Time t) {
+  const int block = static_cast<int>(
+      static_cast<long long>(u) * blocks_ / std::max(1, n_));
+  const auto phase = static_cast<long long>(std::floor(t / period_));
+  const int sign = ((block + static_cast<int>(phase & 1)) % 2 == 0) ? 1 : -1;
+  return 1.0 + rho_ * sign;
+}
+
+Time AlternatingBlocksDrift::next_change_after(NodeId, Time t) {
+  const auto phase = std::floor(t / period_);
+  Time next = (phase + 1.0) * period_;
+  if (next <= t) next = (phase + 2.0) * period_;
+  return next;
+}
+
+// ------------------------------------------------------------- RandomWalk
+
+RandomWalkDrift::RandomWalkDrift(double rho, int n, Duration step_period,
+                                 double step_std, std::uint64_t seed)
+    : rho_(rho), n_(n), step_period_(step_period), step_std_(step_std) {
+  check_rho(rho);
+  require(n >= 1 && step_period > 0.0 && step_std >= 0.0,
+          "RandomWalkDrift: bad arguments");
+  Rng root(seed);
+  node_rngs_.reserve(static_cast<std::size_t>(n));
+  walks_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) node_rngs_.push_back(root.fork(static_cast<std::uint64_t>(i)));
+}
+
+double RandomWalkDrift::offset(NodeId u, std::size_t k) {
+  auto& walk = walks_.at(static_cast<std::size_t>(u));
+  auto& rng = node_rngs_.at(static_cast<std::size_t>(u));
+  while (walk.size() <= k) {
+    const double prev = walk.empty() ? 0.0 : walk.back();
+    const double next = std::clamp(prev + rng.normal(0.0, step_std_), -rho_, rho_);
+    walk.push_back(next);
+  }
+  return walk[k];
+}
+
+double RandomWalkDrift::rate_at(NodeId u, Time t) {
+  const auto k = static_cast<std::size_t>(std::max(0.0, std::floor(t / step_period_)));
+  return 1.0 + offset(u, k);
+}
+
+Time RandomWalkDrift::next_change_after(NodeId, Time t) {
+  const auto k = std::floor(std::max(0.0, t) / step_period_);
+  Time next = (k + 1.0) * step_period_;
+  if (next <= t) next = (k + 2.0) * step_period_;
+  return next;
+}
+
+// ------------------------------------------------------------- Sinusoidal
+
+SinusoidalDrift::SinusoidalDrift(double rho, int n, Duration period, int steps)
+    : rho_(rho), n_(n), period_(period), steps_(steps) {
+  check_rho(rho);
+  require(n >= 1 && period > 0.0 && steps >= 4, "SinusoidalDrift: bad arguments");
+}
+
+double SinusoidalDrift::rate_at(NodeId u, Time t) {
+  // Evaluate at the midpoint of the current discretization segment so the
+  // piecewise-constant value is centered on the true sinusoid.
+  const double seg = period_ / static_cast<double>(steps_);
+  const double mid = (std::floor(t / seg) + 0.5) * seg;
+  const double phase = 2.0 * M_PI * static_cast<double>(u) / static_cast<double>(n_);
+  return 1.0 + rho_ * std::sin(2.0 * M_PI * mid / period_ + phase);
+}
+
+Time SinusoidalDrift::next_change_after(NodeId, Time t) {
+  const double seg = period_ / static_cast<double>(steps_);
+  Time next = (std::floor(t / seg) + 1.0) * seg;
+  if (next <= t) next += seg;
+  return next;
+}
+
+// ---------------------------------------------------------- ReferenceNode
+
+ReferenceNodeDrift::ReferenceNodeDrift(std::unique_ptr<DriftModel> inner,
+                                       NodeId reference)
+    : inner_(std::move(inner)), reference_(reference) {
+  require(inner_ != nullptr, "ReferenceNodeDrift: null inner model");
+  require(reference >= 0, "ReferenceNodeDrift: bad reference node");
+}
+
+double ReferenceNodeDrift::boost() const {
+  const double rho = inner_->rho();
+  return (1.0 + rho) / (1.0 - rho);
+}
+
+double ReferenceNodeDrift::rate_at(NodeId u, Time t) {
+  const double rate = inner_->rate_at(u, t);
+  return u == reference_ ? rate * boost() : rate;
+}
+
+Time ReferenceNodeDrift::next_change_after(NodeId u, Time t) {
+  return inner_->next_change_after(u, t);
+}
+
+double ReferenceNodeDrift::rho() const {
+  // rho~ <= (1+rho)^2/(1-rho) - 1, per the §3 remark.
+  const double rho = inner_->rho();
+  return (1.0 + rho) * (1.0 + rho) / (1.0 - rho) - 1.0;
+}
+
+// --------------------------------------------------------------- Scripted
+
+void ScriptedDrift::add(NodeId u, Time at, double rate) {
+  require(std::fabs(rate - 1.0) <= rho_ + 1e-15, "ScriptedDrift: |rate-1| > rho");
+  auto& vec = script_[u];
+  require(vec.empty() || vec.back().first < at,
+          "ScriptedDrift: breakpoints must be strictly increasing");
+  vec.emplace_back(at, rate);
+}
+
+double ScriptedDrift::rate_at(NodeId u, Time t) {
+  const auto it = script_.find(u);
+  if (it == script_.end()) return 1.0;
+  const auto& vec = it->second;
+  // Last breakpoint with time <= t.
+  auto pos = std::upper_bound(vec.begin(), vec.end(), t,
+                              [](Time value, const auto& bp) { return value < bp.first; });
+  if (pos == vec.begin()) return 1.0;
+  return std::prev(pos)->second;
+}
+
+Time ScriptedDrift::next_change_after(NodeId u, Time t) {
+  const auto it = script_.find(u);
+  if (it == script_.end()) return kTimeInf;
+  const auto& vec = it->second;
+  auto pos = std::upper_bound(vec.begin(), vec.end(), t,
+                              [](Time value, const auto& bp) { return value < bp.first; });
+  return pos == vec.end() ? kTimeInf : pos->first;
+}
+
+}  // namespace gcs

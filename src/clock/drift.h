@@ -1,0 +1,162 @@
+// Hardware-clock drift models (the adversary's choice of h_u(t)).
+//
+// All models produce piecewise-constant rates within [1-rho, 1+rho]; the
+// engine queries `rate_at` and schedules a re-query at `next_change_after`.
+// Queries may be non-monotone in t (metrics sample the past); models with
+// lazily generated schedules extend them as needed and memoize, so a given
+// (node, t) always returns the same value.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace gcs {
+
+class DriftModel {
+ public:
+  virtual ~DriftModel() = default;
+
+  /// Hardware rate of node u at time t; must lie in [1-rho, 1+rho].
+  virtual double rate_at(NodeId u, Time t) = 0;
+
+  /// Next time after t at which u's rate changes (kTimeInf if never).
+  virtual Time next_change_after(NodeId u, Time t) = 0;
+
+  /// Drift bound the model respects.
+  [[nodiscard]] virtual double rho() const = 0;
+};
+
+/// Every node runs at a fixed rate 1 + offset_u, |offset_u| <= rho.
+class ConstantDrift final : public DriftModel {
+ public:
+  ConstantDrift(double rho, std::vector<double> offsets);
+  /// All nodes at the same fixed offset.
+  ConstantDrift(double rho, double offset, int n);
+
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override { (void)u, (void)t; return kTimeInf; }
+  [[nodiscard]] double rho() const override { return rho_; }
+
+ private:
+  double rho_;
+  std::vector<double> offsets_;
+};
+
+/// Node i runs at rate 1 - rho + 2*rho*i/(n-1): the maximally divergent
+/// constant assignment (worst case for global skew growth).
+class LinearSpreadDrift final : public DriftModel {
+ public:
+  LinearSpreadDrift(double rho, int n);
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override { (void)u, (void)t; return kTimeInf; }
+  [[nodiscard]] double rho() const override { return rho_; }
+
+ private:
+  double rho_;
+  int n_;
+};
+
+/// The network is split into `blocks` contiguous index blocks; block parity
+/// decides the sign of the drift, and all signs flip every `period`.
+/// A classic stressor for the *gradient* property: adjacent blocks pull
+/// apart at rate 2*rho, then reverse.
+class AlternatingBlocksDrift final : public DriftModel {
+ public:
+  AlternatingBlocksDrift(double rho, int n, int blocks, Duration period);
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override;
+  [[nodiscard]] double rho() const override { return rho_; }
+
+ private:
+  double rho_;
+  int n_;
+  int blocks_;
+  Duration period_;
+};
+
+/// Bounded random walk: every `step_period`, each node's offset moves by a
+/// N(0, step_std) increment, clamped to [-rho, rho]. Deterministic given seed.
+class RandomWalkDrift final : public DriftModel {
+ public:
+  RandomWalkDrift(double rho, int n, Duration step_period, double step_std,
+                  std::uint64_t seed);
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override;
+  [[nodiscard]] double rho() const override { return rho_; }
+
+ private:
+  /// Offset of node u during step k (memoized; extends lazily).
+  double offset(NodeId u, std::size_t k);
+
+  double rho_;
+  int n_;
+  Duration step_period_;
+  double step_std_;
+  std::vector<Rng> node_rngs_;
+  std::vector<std::vector<double>> walks_;  // walks_[u][k]
+};
+
+/// Temperature-cycle-style drift: rate_u(t) = 1 + rho*sin(2π t/period + φ_u)
+/// with per-node phase φ_u = 2π u/n, discretized into `steps` piecewise-
+/// constant segments per period (the model requires piecewise-constant
+/// rates; the discretization error is folded into rho).
+class SinusoidalDrift final : public DriftModel {
+ public:
+  SinusoidalDrift(double rho, int n, Duration period, int steps = 32);
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override;
+  [[nodiscard]] double rho() const override { return rho_; }
+
+ private:
+  double rho_;
+  int n_;
+  Duration period_;
+  int steps_;
+};
+
+/// §3 remark: make one reference node u0 artificially faster by a factor
+/// (1+rho)/(1-rho), so it always carries the maximum clock. The effective
+/// drift bound becomes rho~ = (1+rho)^2/(1-rho) - 1 (≈ 3 rho) and every
+/// statement holds with D(t) replaced by the estimate *radius* R_u0(t) —
+/// beneficial when the network is much "wider" than it is "deep" from u0.
+class ReferenceNodeDrift final : public DriftModel {
+ public:
+  ReferenceNodeDrift(std::unique_ptr<DriftModel> inner, NodeId reference);
+
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override;
+  /// The *effective* bound rho~ (callers must configure the algorithm with
+  /// this, not the inner model's rho).
+  [[nodiscard]] double rho() const override;
+
+  [[nodiscard]] NodeId reference() const { return reference_; }
+  [[nodiscard]] double boost() const;
+
+ private:
+  std::unique_ptr<DriftModel> inner_;
+  NodeId reference_;
+};
+
+/// Fully scripted: per-node sorted (time, rate) breakpoints. Rate holds from
+/// its breakpoint until the next one; before the first breakpoint rate is 1.
+class ScriptedDrift final : public DriftModel {
+ public:
+  explicit ScriptedDrift(double rho) : rho_(rho) {}
+
+  /// Add a breakpoint; times per node must be strictly increasing.
+  void add(NodeId u, Time at, double rate);
+
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override;
+  [[nodiscard]] double rho() const override { return rho_; }
+
+ private:
+  double rho_;
+  std::map<NodeId, std::vector<std::pair<Time, double>>> script_;
+};
+
+}  // namespace gcs

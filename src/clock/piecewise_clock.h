@@ -1,0 +1,69 @@
+// Piecewise-linear clock: advances at a constant rate between discrete
+// updates. Used for hardware clocks H_u, logical clocks L_u and max
+// estimates M_u — all of which are piecewise linear in this model.
+#pragma once
+
+#include <stdexcept>
+
+#include "util/common.h"
+
+namespace gcs {
+
+class PiecewiseLinearClock {
+ public:
+  PiecewiseLinearClock() = default;
+  PiecewiseLinearClock(Time start, ClockValue value, double rate)
+      : value_(value), rate_(rate), last_(start) {}
+
+  /// Integrate up to time t (monotone; t < last update is an error beyond
+  /// float tolerance).
+  void advance(Time t) {
+    if (t < last_) {
+      if (last_ - t > 1e-9 * (last_ + 1.0)) {
+        throw std::invalid_argument("PiecewiseLinearClock: time went backwards");
+      }
+      return;
+    }
+    value_ += rate_ * (t - last_);
+    last_ = t;
+  }
+
+  /// Value the clock would have at time t >= last update (does not mutate).
+  [[nodiscard]] ClockValue value_at(Time t) const {
+    return value_ + rate_ * (t - last_);
+  }
+
+  /// Value at the last update instant.
+  [[nodiscard]] ClockValue value() const { return value_; }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] Time last_update() const { return last_; }
+
+  /// Advance to t, then change the rate.
+  void set_rate(Time t, double rate) {
+    advance(t);
+    rate_ = rate;
+  }
+
+  /// Advance to t, then override the value (corruption injection, M jumps).
+  void set_value(Time t, ClockValue v) {
+    advance(t);
+    value_ = v;
+  }
+
+  /// Time at which the clock reaches `target` (>= current value), assuming
+  /// the rate never changes. Requires rate > 0. Returns last_update if the
+  /// target is already passed.
+  [[nodiscard]] Time time_of_value(ClockValue target) const {
+    if (rate_ <= 0.0) throw std::logic_error("time_of_value: non-positive rate");
+    if (target <= value_) return last_;
+    return last_ + (target - value_) / rate_;
+  }
+
+ private:
+  ClockValue value_ = 0.0;
+  double rate_ = 1.0;
+  Time last_ = 0.0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,257 @@
+#include "core/aopt_node.h"
+
+#include <cmath>
+
+#include "util/log.h"
+
+namespace gcs {
+
+double AoptNode::PeerInfo::insertion_time(int s) const {
+  require(s >= 1, "PeerInfo::insertion_time: s >= 1");
+  return t0 + (1.0 - std::exp2(1.0 - static_cast<double>(s))) * insertion_duration;
+}
+
+void AoptNode::on_edge_discovered(NodeId peer) {
+  Peer& p = peers_[peer];
+  p.present = true;
+  ++p.gen;
+  p.discovered_at = api_->now();
+  p.discovered_logical = api_->logical();
+  p.t0 = kTimeInf;
+  p.insertion_duration = 0.0;
+
+  // Derive κ_e, δ_e from the edge parameters, with ε taken from the estimate
+  // layer (the binding accuracy guarantee, eq. 1).
+  EdgeParams ep = api_->edge_params(peer);
+  ep.eps = api_->edge_eps(peer);
+  const EdgeConstants ec = params_.edge_constants(ep);
+  p.kappa = ec.kappa;
+  p.delta = ec.delta;
+  p.eps = ep.eps;
+  p.tau = ep.tau;
+  p.tmsg = ep.msg_delay_max;
+
+  if (api_->now() == 0.0) {
+    // Paper §4.2: all neighbor sets are initialized to N_u(0) — edges that
+    // exist at time 0 are fully inserted with no handshake.
+    p.t0 = 0.0;
+    p.insertion_duration = 0.0;
+    p.gtilde = api_->global_skew_estimate();
+    return;
+  }
+
+  if (params_.insertion == InsertionPolicy::kImmediate) {
+    // Ablation: skip the handshake and join every level at once.
+    p.t0 = p.discovered_logical;
+    p.insertion_duration = 0.0;
+    p.gtilde = api_->global_skew_estimate();
+    return;
+  }
+
+  if (is_leader_of(peer)) {
+    // Listing 1 lines 4-10. "Wait for at least ∆ time": we wait until our
+    // logical clock has advanced by (1+ρ)(1+µ)∆, which both guarantees the
+    // real-time wait (rates are at most (1+ρ)(1+µ)) and makes the logical
+    // presence-window condition of line 6 checkable via discovered_logical.
+    const double delta_hs = params_.handshake_delta(ep);
+    const ClockValue wait_until = p.discovered_logical + params_.beta() * delta_hs;
+    const std::uint64_t gen = p.gen;
+    api_->schedule_at_logical(wait_until,
+                              [this, peer, gen] { leader_check(peer, gen); });
+  }
+}
+
+void AoptNode::leader_check(NodeId peer, std::uint64_t gen) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  Peer& p = it->second;
+  // gen mismatch <=> the edge was lost (or re-discovered) since the wait
+  // began, i.e. v was NOT in N⁰_u throughout the logical window (line 6).
+  if (!p.present || p.gen != gen) return;
+  const double gtilde = api_->global_skew_estimate();
+  const ClockValue l_ins = api_->logical() + gtilde + params_.beta() * p.tmsg;
+  if (!api_->send_insert_edge(peer, l_ins, gtilde)) return;
+  compute_insertion_times(p, l_ins, gtilde);
+}
+
+void AoptNode::on_insert_edge_msg(NodeId from, const InsertEdgeMsg& msg) {
+  const auto it = peers_.find(from);
+  if (it == peers_.end() || !it->second.present) return;
+  Peer& p = it->second;
+  // Listing 1 line 12: wait at least T+τ but at most ∆−τ. Waiting until the
+  // logical clock advances by (1+ρ)(1+µ)(T+τ) satisfies both: real wait is
+  // >= T+τ (rate <= (1+ρ)(1+µ)) and <= (1+ρ)(1+µ)(T+τ)/(1−ρ) = ∆−τ.
+  const ClockValue wait_until =
+      api_->logical() + params_.beta() * (p.tmsg + p.tau);
+  const std::uint64_t gen = p.gen;
+  api_->schedule_at_logical(
+      wait_until, [this, from, gen, msg] { follower_check(from, gen, msg); });
+}
+
+void AoptNode::follower_check(NodeId peer, std::uint64_t gen, InsertEdgeMsg msg) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  Peer& p = it->second;
+  if (!p.present || p.gen != gen) return;  // line 13 presence window violated
+  // Line 13 also requires the presence window to span (1+ρ)(1+µ)(T+τ) of
+  // logical time before now.
+  const ClockValue fuzz = 1e-9 * (std::fabs(api_->logical()) + 1.0);
+  if (api_->logical() - p.discovered_logical <
+      params_.beta() * (p.tmsg + p.tau) - fuzz) {
+    return;
+  }
+  compute_insertion_times(p, msg.l_ins, msg.gtilde);
+}
+
+void AoptNode::compute_insertion_times(Peer& p, ClockValue l_ins, double gtilde) {
+  p.gtilde = gtilde;
+  switch (params_.insertion) {
+    case InsertionPolicy::kStagedStatic:
+      p.insertion_duration = params_.insertion_duration_static(gtilde);
+      break;
+    case InsertionPolicy::kStagedDynamic:
+      p.insertion_duration =
+          params_.insertion_duration_dynamic(gtilde, p.tmsg, p.tau);
+      break;
+    case InsertionPolicy::kWeightDecay:
+      p.insertion_duration = params_.insertion_duration_static(gtilde);
+      p.kappa_init = 2.0 * gtilde + p.kappa;
+      break;
+    case InsertionPolicy::kImmediate:
+      require(false, "compute_insertion_times unreachable for kImmediate");
+  }
+  // Listing 2 line 3: T₀ = min { T >= L_ins : T / I in Z }.
+  p.t0 = std::ceil(l_ins / p.insertion_duration) * p.insertion_duration;
+
+  // Exact re-evaluation points at the first few level insertions and at full
+  // insertion (later T_s are closer together than a tick anyway).
+  for (int s = 1; s <= 8; ++s) {
+    const double ts = p.t0 + (1.0 - std::exp2(1.0 - static_cast<double>(s))) *
+                                 p.insertion_duration;
+    api_->schedule_at_logical(ts, [] {});
+  }
+  api_->schedule_at_logical(p.t0 + p.insertion_duration, [] {});
+}
+
+void AoptNode::on_edge_lost(NodeId peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  Peer& p = it->second;
+  // Listing 1 lines 15-18: leave all neighbor sets, T_s := ⊥.
+  p.present = false;
+  ++p.gen;
+  p.t0 = kTimeInf;
+  p.insertion_duration = 0.0;
+}
+
+int AoptNode::level_limit(const Peer& p, ClockValue own_logical) const {
+  if (!p.present) return -1;
+  if (p.t0 == kTimeInf) return 0;
+  if (own_logical < p.t0) return 0;
+  if (params_.insertion == InsertionPolicy::kWeightDecay ||
+      params_.insertion == InsertionPolicy::kImmediate) {
+    return kAllLevels;  // all levels at once (κ may still be decaying)
+  }
+  if (p.insertion_duration <= 0.0 ||
+      own_logical >= p.t0 + p.insertion_duration) {
+    return kAllLevels;
+  }
+  // Largest s >= 1 with T_s = T0 + (1 − 2^{1−s})·I <= L. The loop evaluates
+  // the same float expression used elsewhere, so membership is consistent.
+  int s = 1;
+  while (s < params_.level_cap) {
+    const double ts_next =
+        p.t0 + (1.0 - std::exp2(-static_cast<double>(s))) * p.insertion_duration;
+    if (own_logical < ts_next) break;
+    ++s;
+  }
+  return s;
+}
+
+double AoptNode::current_kappa(const Peer& p, ClockValue own_logical) const {
+  if (params_.insertion != InsertionPolicy::kWeightDecay ||
+      p.t0 == kTimeInf || p.kappa_init <= p.kappa || p.insertion_duration <= 0.0) {
+    return p.kappa;
+  }
+  if (own_logical <= p.t0) return p.kappa_init;
+  if (own_logical >= p.t0 + p.insertion_duration) return p.kappa;
+  // Exponential decay from κ_init at T0 to κ_e at T0 + I.
+  const double frac = (own_logical - p.t0) / p.insertion_duration;
+  return std::max(p.kappa, p.kappa_init * std::pow(p.kappa / p.kappa_init, frac));
+}
+
+bool AoptNode::edge_in_level(NodeId peer, int s) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return false;
+  return level_limit(it->second, api_->logical()) >= s;
+}
+
+double AoptNode::edge_kappa(NodeId peer) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return 0.0;
+  return current_kappa(it->second, api_->logical());
+}
+
+std::optional<AoptNode::PeerInfo> AoptNode::peer_info(NodeId peer) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return std::nullopt;
+  const Peer& p = it->second;
+  PeerInfo info;
+  info.present = p.present;
+  info.t0 = p.t0;
+  info.insertion_duration = p.insertion_duration;
+  info.gtilde = p.gtilde;
+  info.kappa = p.kappa;
+  info.delta = p.delta;
+  return info;
+}
+
+void AoptNode::reevaluate() {
+  const ClockValue own = api_->logical();
+
+  std::vector<LevelPeer> level_peers;
+  level_peers.reserve(peers_.size());
+  for (auto& [id, p] : peers_) {
+    if (!p.present) continue;
+    const int limit = level_limit(p, own);
+    if (limit < 1) continue;  // discovery-set-only edges play no trigger role
+    LevelPeer lp;
+    lp.level_limit = limit;
+    lp.kappa = current_kappa(p, own);
+    lp.delta = p.delta;
+    lp.eps = p.eps;
+    lp.tau = p.tau;
+    const auto est = api_->neighbor_estimate(id);
+    lp.has_estimate = est.has_value();
+    lp.est_minus_own = est.has_value() ? *est - own : 0.0;
+    level_peers.push_back(lp);
+  }
+
+  last_decision_ =
+      evaluate_triggers(level_peers, params_.mu, params_.rho, params_.level_cap);
+  if (last_decision_.fast && last_decision_.slow) {
+    saw_conflict_ = true;  // impossible per Lemma 5.3 when eq. (9) holds
+    GCS_ERROR << "node " << api_->id() << ": fast and slow triggers both hold";
+  }
+
+  // Listing 3.
+  const double fast_mult = 1.0 + params_.mu;
+  double target = api_->rate_multiplier();
+  if (last_decision_.slow) {
+    target = 1.0;
+  } else if (last_decision_.fast) {
+    target = fast_mult;
+  } else if (api_->max_locked()) {
+    target = 1.0;  // slow max-estimate trigger (L_u = M_u)
+  } else if (own <= api_->max_estimate() - params_.iota) {
+    target = fast_mult;  // fast max-estimate trigger
+  }
+  // Otherwise: neither trigger applies — keep the current mode (the paper
+  // allows a nondeterministic choice here).
+  if (target != api_->rate_multiplier()) {
+    ++mode_switches_;
+    api_->set_rate_multiplier(target);
+  }
+}
+
+}  // namespace gcs

@@ -1,0 +1,93 @@
+// AOPT — the paper's optimal dynamic gradient clock synchronization
+// algorithm (§4): neighbor-set hierarchy with staged edge insertion
+// (Listings 1 and 2), fast/slow mode triggers (Defs. 4.5/4.6), and the
+// max-estimate fallback (Def. 4.7 / Listing 3).
+//
+// Besides the paper's insertion strategy (static eq. 10 and dynamic
+// Lemma 7.1 durations), the class implements two ablation policies used by
+// the experiments in §5.5: immediate insertion and weight-decay insertion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/engine.h"
+#include "core/params.h"
+#include "core/triggers.h"
+
+namespace gcs {
+
+class AoptNode final : public Algorithm {
+ public:
+  explicit AoptNode(AlgoParams params) : params_(params) {}
+
+  [[nodiscard]] const char* name() const override { return "AOPT"; }
+
+  void on_edge_discovered(NodeId peer) override;
+  void on_edge_lost(NodeId peer) override;
+  void on_insert_edge_msg(NodeId from, const InsertEdgeMsg& msg) override;
+  void reevaluate() override;
+
+  [[nodiscard]] bool edge_in_level(NodeId peer, int s) const override;
+  [[nodiscard]] double edge_kappa(NodeId peer) const override;
+
+  // ------------------------------------------------------- introspection
+
+  struct PeerInfo {
+    bool present = false;
+    double t0 = kTimeInf;  ///< T₀ (logical); kTimeInf while not agreed
+    double insertion_duration = 0.0;  ///< I_e
+    double gtilde = 0.0;              ///< G̃ used for this insertion
+    double kappa = 0.0;
+    double delta = 0.0;
+    /// Level-s insertion time T_s = T₀ + (1 − 2^{1−s})·I (s >= 1).
+    [[nodiscard]] double insertion_time(int s) const;
+    /// Logical time by which the edge is inserted on all levels.
+    [[nodiscard]] double fully_inserted_at() const { return t0 + insertion_duration; }
+  };
+  [[nodiscard]] std::optional<PeerInfo> peer_info(NodeId peer) const;
+
+  [[nodiscard]] long long mode_switches() const { return mode_switches_; }
+  [[nodiscard]] bool last_fast_trigger() const { return last_decision_.fast; }
+  [[nodiscard]] bool last_slow_trigger() const { return last_decision_.slow; }
+  [[nodiscard]] const TriggerDecision& last_decision() const { return last_decision_; }
+
+  /// True iff a Lemma 5.3 violation (both triggers at once) was ever seen.
+  [[nodiscard]] bool saw_trigger_conflict() const { return saw_conflict_; }
+
+ private:
+  struct Peer {
+    bool present = false;
+    std::uint64_t gen = 0;  ///< bumped on every discovery/loss; guards callbacks
+    Time discovered_at = 0.0;
+    ClockValue discovered_logical = 0.0;
+    // Derived per-edge constants (κ_e, δ_e, ε_e, τ_e, T_e).
+    double kappa = 0.0;
+    double delta = 0.0;
+    double eps = 0.0;
+    double tau = 0.0;
+    double tmsg = 0.0;
+    // Insertion agreement (Listing 2). T0 == kTimeInf means "⊥".
+    double t0 = kTimeInf;
+    double insertion_duration = 0.0;
+    double gtilde = 0.0;
+    double kappa_init = 0.0;  ///< weight-decay start value
+  };
+
+  [[nodiscard]] bool is_leader_of(NodeId peer) const { return api_->id() < peer; }
+  void leader_check(NodeId peer, std::uint64_t gen);
+  void follower_check(NodeId peer, std::uint64_t gen, InsertEdgeMsg msg);
+  void compute_insertion_times(Peer& p, ClockValue l_ins, double gtilde);
+  /// Largest level the peer currently belongs to (0 = discovery set only).
+  [[nodiscard]] int level_limit(const Peer& p, ClockValue own_logical) const;
+  [[nodiscard]] double current_kappa(const Peer& p, ClockValue own_logical) const;
+
+  AlgoParams params_;
+  std::unordered_map<NodeId, Peer> peers_;
+  TriggerDecision last_decision_;
+  long long mode_switches_ = 0;
+  bool saw_conflict_ = false;
+};
+
+}  // namespace gcs

@@ -1,0 +1,403 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace gcs {
+
+// ----------------------------------------------------------------- NodeApi
+
+Time NodeApi::now() const { return engine_.sim_.now(); }
+const AlgoParams& NodeApi::algo_params() const { return engine_.params_; }
+ClockValue NodeApi::logical() { return engine_.logical(id_); }
+ClockValue NodeApi::hardware() { return engine_.hardware(id_); }
+ClockValue NodeApi::max_estimate() { return engine_.max_estimate(id_); }
+bool NodeApi::max_locked() const { return engine_.max_locked(id_); }
+double NodeApi::rate_multiplier() const { return engine_.rate_multiplier(id_); }
+void NodeApi::set_rate_multiplier(double mult) {
+  engine_.set_rate_multiplier(id_, mult);
+}
+void NodeApi::set_logical_value(ClockValue v) { engine_.set_logical_value(id_, v); }
+
+const std::unordered_set<NodeId>& NodeApi::neighbors() const {
+  return engine_.graph_.view_neighbors(id_);
+}
+Time NodeApi::neighbor_since(NodeId peer) const {
+  return engine_.graph_.view_since(id_, peer);
+}
+const EdgeParams& NodeApi::edge_params(NodeId peer) const {
+  return engine_.graph_.params(EdgeKey(id_, peer));
+}
+std::optional<ClockValue> NodeApi::neighbor_estimate(NodeId peer) {
+  return engine_.estimates_.estimate(id_, peer);
+}
+double NodeApi::edge_eps(NodeId peer) const {
+  return engine_.estimates_.eps(EdgeKey(id_, peer));
+}
+bool NodeApi::send_insert_edge(NodeId peer, ClockValue l_ins, double gtilde) {
+  return engine_.transport_.send(id_, peer, InsertEdgeMsg{l_ins, gtilde});
+}
+double NodeApi::global_skew_estimate() { return engine_.gskew_.estimate(id_); }
+
+void NodeApi::schedule_at_logical(ClockValue target, std::function<void()> fn) {
+  auto& n = engine_.node(id_);
+  n.logical_targets.emplace(target, std::move(fn));
+  engine_.reschedule_logical_event(id_);
+}
+
+void NodeApi::schedule_after(Duration dt, std::function<void()> fn) {
+  engine_.sim_.schedule_after(dt, std::move(fn));
+}
+
+// ------------------------------------------------------------------ Engine
+
+Engine::Engine(Simulator& sim, DynamicGraph& graph, Transport& transport,
+               DriftModel& drift, EstimateSource& estimates,
+               GlobalSkewEstimator& gskew, AlgoParams params, EngineConfig config,
+               const AlgorithmFactory& factory)
+    : sim_(sim),
+      graph_(graph),
+      transport_(transport),
+      drift_(drift),
+      estimates_(estimates),
+      gskew_(gskew),
+      params_(params),
+      config_(config) {
+  const auto validation = params_.validate();
+  require(validation.ok(), "Engine: invalid AlgoParams:\n" + validation.str());
+  require(config_.tick_period > 0.0 && config_.beacon_period > 0.0,
+          "Engine: periods must be positive");
+
+  const int n = graph_.size();
+  nodes_.reserve(static_cast<std::size_t>(n));
+  const Time t0 = sim_.now();
+  for (NodeId u = 0; u < n; ++u) {
+    auto state = std::make_unique<NodeState>();
+    const double h_rate = drift_.rate_at(u, t0);
+    state->hw = PiecewiseLinearClock(t0, 0.0, h_rate);
+    state->logical = PiecewiseLinearClock(t0, 0.0, h_rate);  // mult=1 initially
+    state->maxest = PiecewiseLinearClock(t0, 0.0, h_rate);
+    // The min estimate starts at the true minimum (0) and advances at the
+    // safe rate (1-rho)/(1+rho)*h, which cannot overtake any logical clock.
+    state->minest = PiecewiseLinearClock(
+        t0, 0.0, (1.0 - params_.rho) / (1.0 + params_.rho) * h_rate);
+    state->m_locked = true;
+    state->api = std::make_unique<NodeApi>(*this, u);
+    state->algo = factory(u);
+    require(state->algo != nullptr, "Engine: factory returned null algorithm");
+    state->algo->attach(state->api.get());
+    nodes_.push_back(std::move(state));
+  }
+  estimates_.bind(this);
+  graph_.set_listener(this);
+  transport_.set_handler([this](const Delivery& d) { on_delivery(d); });
+}
+
+void Engine::start() {
+  require(!started_, "Engine: start() called twice");
+  started_ = true;
+  const int n = size();
+  for (NodeId u = 0; u < n; ++u) {
+    node(u).algo->init();
+    schedule_drift(u);
+    // Stagger per-node periodic events so same-time bursts do not mask
+    // event-ordering bugs and beacons do not synchronize artificially.
+    const double phase = (static_cast<double>(u) + 1.0) / (static_cast<double>(n) + 1.0);
+    schedule_tick(u, config_.tick_period * phase);
+    if (config_.enable_beacons) schedule_beacon(u, config_.beacon_period * phase);
+    reevaluate(u);
+  }
+}
+
+void Engine::advance(NodeId u) {
+  NodeState& n = node(u);
+  const Time t = sim_.now();
+  n.hw.advance(t);
+  n.logical.advance(t);
+  n.minest.advance(t);
+  if (!n.m_locked) n.maxest.advance(t);
+}
+
+double Engine::unlocked_max_rate(const NodeState& n) const {
+  return (1.0 - params_.rho) / (1.0 + params_.rho) * n.hw.rate();
+}
+
+ClockValue Engine::logical(NodeId u) {
+  advance(u);
+  return node(u).logical.value();
+}
+
+ClockValue Engine::hardware(NodeId u) {
+  advance(u);
+  return node(u).hw.value();
+}
+
+ClockValue Engine::max_estimate(NodeId u) {
+  advance(u);
+  NodeState& n = node(u);
+  return n.m_locked ? n.logical.value() : n.maxest.value();
+}
+
+ClockValue Engine::min_estimate(NodeId u) {
+  advance(u);
+  return node(u).minest.value();
+}
+
+bool Engine::max_locked(NodeId u) const { return node(u).m_locked; }
+double Engine::rate_multiplier(NodeId u) const { return node(u).mult; }
+double Engine::hardware_rate(NodeId u) const { return node(u).hw.rate(); }
+Algorithm& Engine::algorithm(NodeId u) { return *node(u).algo; }
+
+double Engine::true_global_skew() {
+  double lo = kTimeInf;
+  double hi = -kTimeInf;
+  for (NodeId u = 0; u < size(); ++u) {
+    const ClockValue l = logical(u);
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+  }
+  return size() > 0 ? hi - lo : 0.0;
+}
+
+void Engine::corrupt_logical(NodeId u, ClockValue value) {
+  advance(u);
+  NodeState& n = node(u);
+  const ClockValue m_before = n.m_locked ? n.logical.value() : n.maxest.value();
+  n.logical.set_value(sim_.now(), value);
+  if (n.minest.value() > value) n.minest.set_value(sim_.now(), value);
+  if (value >= m_before) {
+    // The paper's invariant M_u >= L_u (eq. 4) must keep holding.
+    n.m_locked = true;
+    if (n.mlock_event.valid()) sim_.cancel(n.mlock_event);
+    n.mlock_event = EventId{};
+  } else if (n.m_locked) {
+    // L dropped below the old M: keep M at its former value, now unlocked.
+    n.m_locked = false;
+    n.maxest.set_value(sim_.now(), m_before);
+    n.maxest.set_rate(sim_.now(), unlocked_max_rate(n));
+    reschedule_mlock(u);
+  } else {
+    reschedule_mlock(u);
+  }
+  reschedule_logical_event(u);
+  reevaluate(u);
+}
+
+void Engine::corrupt_max_estimate(NodeId u, ClockValue value) {
+  advance(u);
+  NodeState& n = node(u);
+  const ClockValue l = n.logical.value();
+  if (value <= l) {
+    n.m_locked = true;
+    if (n.mlock_event.valid()) sim_.cancel(n.mlock_event);
+    n.mlock_event = EventId{};
+  } else {
+    n.m_locked = false;
+    n.maxest.set_value(sim_.now(), value);
+    n.maxest.set_rate(sim_.now(), unlocked_max_rate(n));
+    reschedule_mlock(u);
+  }
+  reevaluate(u);
+}
+
+void Engine::on_edge_discovered(NodeId u, NodeId peer) {
+  advance(u);
+  node(u).algo->on_edge_discovered(peer);
+  if (started_) reevaluate(u);
+}
+
+void Engine::on_edge_lost(NodeId u, NodeId peer) {
+  advance(u);
+  estimates_.on_edge_lost(u, peer);
+  node(u).algo->on_edge_lost(peer);
+  if (started_) reevaluate(u);
+}
+
+void Engine::apply_drift(NodeId u) {
+  advance(u);
+  NodeState& n = node(u);
+  const double h_rate = drift_.rate_at(u, sim_.now());
+  n.hw.set_rate(sim_.now(), h_rate);
+  n.logical.set_rate(sim_.now(), n.mult * h_rate);
+  n.minest.set_rate(sim_.now(), unlocked_max_rate(n));
+  if (!n.m_locked) n.maxest.set_rate(sim_.now(), unlocked_max_rate(n));
+  reschedule_logical_event(u);
+  reschedule_mlock(u);
+}
+
+void Engine::schedule_drift(NodeId u) {
+  const Time next = drift_.next_change_after(u, sim_.now());
+  if (next == kTimeInf) return;
+  sim_.schedule_at(next, [this, u] {
+    apply_drift(u);
+    schedule_drift(u);
+  });
+}
+
+void Engine::schedule_tick(NodeId u, Duration delay) {
+  sim_.schedule_after(delay, [this, u] {
+    reevaluate(u);
+    schedule_tick(u, config_.tick_period);
+  });
+}
+
+void Engine::schedule_beacon(NodeId u, Duration delay) {
+  sim_.schedule_after(delay, [this, u] {
+    advance(u);
+    NodeState& n = node(u);
+    const Beacon beacon{n.logical.value(),
+                        n.m_locked ? n.logical.value() : n.maxest.value(),
+                        n.minest.value()};
+    for (NodeId peer : graph_.view_neighbors(u)) {
+      transport_.send(u, peer, beacon);
+    }
+    schedule_beacon(u, config_.beacon_period);
+  });
+}
+
+void Engine::reschedule_logical_event(NodeId u) {
+  NodeState& n = node(u);
+  if (n.logical_event.valid()) {
+    sim_.cancel(n.logical_event);
+    n.logical_event = EventId{};
+  }
+  if (n.logical_targets.empty()) return;
+  n.logical.advance(sim_.now());
+  const Time fire_at = n.logical.time_of_value(n.logical_targets.begin()->first);
+  n.logical_event = sim_.schedule_at(fire_at, [this, u] { fire_logical_targets(u); });
+}
+
+void Engine::fire_logical_targets(NodeId u) {
+  advance(u);
+  NodeState& n = node(u);
+  n.logical_event = EventId{};
+  // Fire every target at or (within float fuzz) below the current L.
+  const ClockValue l = n.logical.value();
+  const ClockValue fuzz = 1e-9 * (std::fabs(l) + 1.0);
+  std::vector<std::function<void()>> due;
+  while (!n.logical_targets.empty() && n.logical_targets.begin()->first <= l + fuzz) {
+    due.push_back(std::move(n.logical_targets.begin()->second));
+    n.logical_targets.erase(n.logical_targets.begin());
+  }
+  for (auto& fn : due) fn();
+  reschedule_logical_event(u);
+  reevaluate(u);
+}
+
+void Engine::reschedule_mlock(NodeId u) {
+  NodeState& n = node(u);
+  if (n.mlock_event.valid()) {
+    sim_.cancel(n.mlock_event);
+    n.mlock_event = EventId{};
+  }
+  if (n.m_locked) return;
+  const double l_rate = n.logical.rate();
+  const double m_rate = n.maxest.rate();
+  const double gap = n.maxest.value_at(sim_.now()) - n.logical.value_at(sim_.now());
+  if (gap <= 0.0) {
+    // Degenerate (value corruption): lock immediately.
+    advance(u);
+    n.m_locked = true;
+    return;
+  }
+  require(l_rate > m_rate, "Engine: logical rate must exceed unlocked M rate");
+  const Duration dt = gap / (l_rate - m_rate);
+  n.mlock_event = sim_.schedule_after(dt, [this, u] {
+    advance(u);
+    NodeState& s = node(u);
+    s.mlock_event = EventId{};
+    s.m_locked = true;  // from now on M_u tracks L_u exactly
+    reevaluate(u);
+  });
+}
+
+void Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
+  advance(u);
+  NodeState& n = node(u);
+  const ClockValue l = n.logical.value();
+  if (n.m_locked) {
+    if (candidate > l) {
+      n.m_locked = false;
+      n.maxest.set_value(sim_.now(), candidate);
+      n.maxest.set_rate(sim_.now(), unlocked_max_rate(n));
+      reschedule_mlock(u);
+      if (observer_ != nullptr) {
+        observer_->on_max_estimate_raised(sim_.now(), u, candidate);
+      }
+    }
+    return;
+  }
+  if (candidate > n.maxest.value()) {
+    n.maxest.set_value(sim_.now(), candidate);
+    reschedule_mlock(u);
+    if (observer_ != nullptr) {
+      observer_->on_max_estimate_raised(sim_.now(), u, candidate);
+    }
+  }
+}
+
+void Engine::set_rate_multiplier(NodeId u, double mult) {
+  require(mult > 0.0, "Engine: rate multiplier must be positive");
+  NodeState& n = node(u);
+  if (n.mult == mult) return;
+  advance(u);
+  if (observer_ != nullptr) observer_->on_mode_change(sim_.now(), u, n.mult, mult);
+  n.mult = mult;
+  n.logical.set_rate(sim_.now(), mult * n.hw.rate());
+  reschedule_logical_event(u);
+  reschedule_mlock(u);
+}
+
+void Engine::set_logical_value(NodeId u, ClockValue v) {
+  advance(u);
+  NodeState& n = node(u);
+  const ClockValue m_before = n.m_locked ? n.logical.value() : n.maxest.value();
+  if (observer_ != nullptr) {
+    observer_->on_logical_jump(sim_.now(), u, n.logical.value(), v);
+  }
+  n.logical.set_value(sim_.now(), v);
+  if (v >= m_before) {
+    n.m_locked = true;
+    if (n.mlock_event.valid()) sim_.cancel(n.mlock_event);
+    n.mlock_event = EventId{};
+  } else {
+    reschedule_mlock(u);
+  }
+  reschedule_logical_event(u);
+}
+
+void Engine::reevaluate(NodeId u) {
+  NodeState& n = node(u);
+  if (n.in_reevaluate) return;
+  n.in_reevaluate = true;
+  advance(u);
+  n.algo->reevaluate();
+  n.in_reevaluate = false;
+}
+
+void Engine::on_delivery(const Delivery& d) {
+  advance(d.to);
+  if (const auto* beacon = std::get_if<Beacon>(&d.payload)) {
+    estimates_.on_beacon(d);
+    // Max-estimate flooding (Condition 4.3): the receiver may add the
+    // drift-discounted known transit lower bound.
+    const ClockValue candidate =
+        beacon->max_estimate + (1.0 - params_.rho) * d.known_min_delay;
+    apply_max_candidate(d.to, candidate);
+    // Min-estimate flooding: the sender's lower bound, advanced by the
+    // drift-discounted transit floor, is still a lower bound on min_v L_v.
+    NodeState& receiver = node(d.to);
+    const ClockValue min_candidate =
+        beacon->min_estimate + (1.0 - params_.rho) * d.known_min_delay;
+    if (min_candidate > receiver.minest.value()) {
+      receiver.minest.set_value(sim_.now(), min_candidate);
+    }
+  } else if (const auto* ins = std::get_if<InsertEdgeMsg>(&d.payload)) {
+    node(d.to).algo->on_insert_edge_msg(d.from, *ins);
+  }
+  reevaluate(d.to);
+}
+
+}  // namespace gcs

@@ -1,0 +1,248 @@
+// The execution engine: owns per-node clock state (hardware clock H_u,
+// logical clock L_u, max estimate M_u), drives drift changes, beacons,
+// re-evaluation ticks and exact logical-time target events, and dispatches
+// graph/transport events to per-node algorithm instances.
+//
+// All continuous dynamics in the model are piecewise linear, so the engine
+// simulates them *exactly*: clock values are lazily integrated and
+// crossings that matter to the protocol (neighbor-set insertion times T_s,
+// the moment M_u is caught by L_u) are computed analytically and scheduled
+// as events. Trigger threshold crossings that involve other nodes' estimates
+// are handled by guard-banded re-evaluation on every event plus a periodic
+// tick, exactly as the paper's footnote 6 prescribes for implementations.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "clock/drift.h"
+#include "clock/piecewise_clock.h"
+#include "core/params.h"
+#include "estimate/estimate_source.h"
+#include "graph/dynamic_graph.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace gcs {
+
+class Engine;
+
+/// Per-node facade through which an algorithm interacts with the world.
+class NodeApi {
+ public:
+  NodeApi(Engine& engine, NodeId id) : engine_(engine), id_(id) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Time now() const;
+  [[nodiscard]] const AlgoParams& algo_params() const;
+
+  /// Current clock values (lazily advanced to now).
+  ClockValue logical();
+  ClockValue hardware();
+  ClockValue max_estimate();
+  /// True iff M_u == L_u (maintained symbolically, no float equality).
+  [[nodiscard]] bool max_locked() const;
+
+  [[nodiscard]] double rate_multiplier() const;
+  void set_rate_multiplier(double mult);
+  /// Discontinuous clock jump (used by baselines and fault injection).
+  void set_logical_value(ClockValue v);
+
+  /// Neighbors in this node's current view (N_u(t)).
+  [[nodiscard]] const std::unordered_set<NodeId>& neighbors() const;
+  [[nodiscard]] Time neighbor_since(NodeId peer) const;
+  [[nodiscard]] const EdgeParams& edge_params(NodeId peer) const;
+
+  /// Estimate layer access (eq. 1).
+  std::optional<ClockValue> neighbor_estimate(NodeId peer);
+  [[nodiscard]] double edge_eps(NodeId peer) const;
+
+  /// Listing 1 line 9. Returns false if the edge is absent from our view.
+  bool send_insert_edge(NodeId peer, ClockValue l_ins, double gtilde);
+
+  /// G̃_u(t).
+  double global_skew_estimate();
+
+  /// Run `fn` when this node's logical clock reaches `target` (exact).
+  void schedule_at_logical(ClockValue target, std::function<void()> fn);
+  /// Run `fn` after `dt` real time.
+  void schedule_after(Duration dt, std::function<void()> fn);
+
+ private:
+  Engine& engine_;
+  NodeId id_;
+};
+
+/// A clock synchronization algorithm instance (one per node).
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  void attach(NodeApi* api) { api_ = api; }
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Called once when the engine starts (after the t=0 topology exists).
+  virtual void init() {}
+  virtual void on_edge_discovered(NodeId peer) { (void)peer; }
+  virtual void on_edge_lost(NodeId peer) { (void)peer; }
+  virtual void on_insert_edge_msg(NodeId from, const InsertEdgeMsg& msg) {
+    (void)from, (void)msg;
+  }
+
+  /// Re-decide the mode (rate multiplier). Called after every event
+  /// affecting this node and on every tick.
+  virtual void reevaluate() = 0;
+
+  // ---- introspection used by metrics (defaults suit non-gradient baselines)
+
+  /// Is `peer` in this node's level-s neighbor set N^s_u right now?
+  [[nodiscard]] virtual bool edge_in_level(NodeId peer, int s) const {
+    (void)peer, (void)s;
+    return false;
+  }
+  /// Current κ of the edge to `peer` (0 if not applicable).
+  [[nodiscard]] virtual double edge_kappa(NodeId peer) const {
+    (void)peer;
+    return 0.0;
+  }
+
+ protected:
+  NodeApi* api_ = nullptr;
+};
+
+struct EngineConfig {
+  Duration tick_period = 0.25;    ///< re-evaluation cadence (real time)
+  Duration beacon_period = 0.25;  ///< beacon cadence (real time)
+  bool enable_beacons = true;     ///< M flooding + beacon estimates
+};
+
+/// Passive instrumentation: notified of the engine's discrete transitions.
+/// Used by the execution tracer; all callbacks default to no-ops.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_mode_change(Time t, NodeId u, double old_mult, double new_mult) {
+    (void)t, (void)u, (void)old_mult, (void)new_mult;
+  }
+  virtual void on_logical_jump(Time t, NodeId u, ClockValue from, ClockValue to) {
+    (void)t, (void)u, (void)from, (void)to;
+  }
+  virtual void on_max_estimate_raised(Time t, NodeId u, ClockValue value) {
+    (void)t, (void)u, (void)value;
+  }
+};
+
+class Engine final : public DynamicGraph::Listener, public ClockAccess {
+ public:
+  using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>(NodeId)>;
+
+  Engine(Simulator& sim, DynamicGraph& graph, Transport& transport,
+         DriftModel& drift, EstimateSource& estimates,
+         GlobalSkewEstimator& gskew, AlgoParams params, EngineConfig config,
+         const AlgorithmFactory& factory);
+
+  /// Schedule ticks/beacons/drift events and run algorithm init().
+  /// The t=0 topology must already exist. Call exactly once, at time 0.
+  void start();
+
+  /// Attach a passive observer (nullptr to detach).
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  // ------------------------------------------------------------- queries
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] DynamicGraph& graph() { return graph_; }
+  [[nodiscard]] const AlgoParams& params() const { return params_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  ClockValue logical(NodeId u);
+  ClockValue hardware(NodeId u);
+  ClockValue max_estimate(NodeId u);
+  /// Flooded lower bound on the network-wide minimum logical clock
+  /// (symmetric to M_u; substrate for distributed G̃_u(t), §7).
+  ClockValue min_estimate(NodeId u);
+  /// ε_e the estimate layer guarantees for this edge (metrics access).
+  [[nodiscard]] double edge_eps(const EdgeKey& e) const { return estimates_.eps(e); }
+  [[nodiscard]] bool max_locked(NodeId u) const;
+  [[nodiscard]] double rate_multiplier(NodeId u) const;
+  [[nodiscard]] double hardware_rate(NodeId u) const;
+  Algorithm& algorithm(NodeId u);
+
+  /// max_u L_u - min_u L_u at the current instant.
+  double true_global_skew();
+
+  /// Fault injection: overwrite L_u (M_u is raised to keep M >= L, and the
+  /// node's own min estimate is lowered if needed). Note: a *downward*
+  /// corruption leaves the model — logical clocks are monotone in §3 — so
+  /// flooded bounds at *other* nodes (Condition 4.3's M <= max L and the min
+  /// mirror) may be transiently unsound afterwards.
+  void corrupt_logical(NodeId u, ClockValue value);
+  /// Fault injection: overwrite M_u (clamped to >= L_u).
+  void corrupt_max_estimate(NodeId u, ClockValue value);
+
+  // ---------------------------------------------------------- ClockAccess
+  ClockValue true_logical(NodeId u) override { return logical(u); }
+  ClockValue true_hardware(NodeId u) override { return hardware(u); }
+
+  // ------------------------------------------------- DynamicGraph::Listener
+  void on_edge_discovered(NodeId u, NodeId peer) override;
+  void on_edge_lost(NodeId u, NodeId peer) override;
+
+ private:
+  friend class NodeApi;
+
+  struct NodeState {
+    PiecewiseLinearClock hw;
+    PiecewiseLinearClock logical;
+    PiecewiseLinearClock maxest;  ///< only meaningful while !m_locked
+    PiecewiseLinearClock minest;  ///< flooded lower bound on min_v L_v
+    bool m_locked = true;         ///< M_u == L_u
+    double mult = 1.0;
+    std::unique_ptr<NodeApi> api;
+    std::unique_ptr<Algorithm> algo;
+    std::multimap<ClockValue, std::function<void()>> logical_targets;
+    EventId logical_event{};
+    EventId mlock_event{};
+    bool in_reevaluate = false;  ///< reentrancy guard
+  };
+
+  NodeState& node(NodeId u) { return *nodes_.at(static_cast<std::size_t>(u)); }
+  [[nodiscard]] const NodeState& node(NodeId u) const {
+    return *nodes_.at(static_cast<std::size_t>(u));
+  }
+
+  /// Integrate all three clocks of u up to now.
+  void advance(NodeId u);
+  /// M_u rate while unlocked: (1-rho)/(1+rho) * h_u (paper §4.2).
+  [[nodiscard]] double unlocked_max_rate(const NodeState& n) const;
+  void apply_drift(NodeId u);
+  void schedule_drift(NodeId u);
+  void schedule_tick(NodeId u, Duration delay);
+  void schedule_beacon(NodeId u, Duration delay);
+  void reschedule_logical_event(NodeId u);
+  void fire_logical_targets(NodeId u);
+  void reschedule_mlock(NodeId u);
+  void apply_max_candidate(NodeId u, ClockValue candidate);
+  void set_rate_multiplier(NodeId u, double mult);
+  void set_logical_value(NodeId u, ClockValue v);
+  void reevaluate(NodeId u);
+  void on_delivery(const Delivery& d);
+
+  Simulator& sim_;
+  DynamicGraph& graph_;
+  Transport& transport_;
+  DriftModel& drift_;
+  EstimateSource& estimates_;
+  GlobalSkewEstimator& gskew_;
+  AlgoParams params_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  EngineObserver* observer_ = nullptr;
+  bool started_ = false;
+};
+
+}  // namespace gcs

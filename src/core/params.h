@@ -1,0 +1,88 @@
+// Algorithm parameters and the paper's constraints on them (§4.3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_params.h"
+#include "util/common.h"
+
+namespace gcs {
+
+/// How a newly discovered edge is brought into the neighbor-set hierarchy.
+enum class InsertionPolicy {
+  kStagedStatic,   ///< the paper's AOPT: level-by-level, I from eq. (10) with static G̃
+  kStagedDynamic,  ///< §7: level-by-level, I from Lemma 7.1 (power-of-two grid) with G̃_u(t)
+  kImmediate,      ///< naive ablation: edge joins all levels at discovery (violates theory)
+  kWeightDecay,    ///< [16]-style ablation: all levels at once, κ decays exponentially to κ_e
+};
+
+[[nodiscard]] const char* to_string(InsertionPolicy policy);
+
+struct ValidationResult {
+  std::vector<std::string> errors;    ///< model violated; do not run
+  std::vector<std::string> warnings;  ///< outside the regime of the §5 constants
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Constants derived for one edge from its EdgeParams (eq. 9 and Def. 4.6).
+struct EdgeConstants {
+  double kappa = 0.0;  ///< κ_e > 4(ε_e + µτ_e)
+  double delta = 0.0;  ///< δ_e in (0, κ_e/2 − 2ε_e − 2µτ_e)
+};
+
+struct AlgoParams {
+  // ----- model constants -----
+  double rho = 1e-3;   ///< hardware drift bound ρ ∈ (0,1)
+  double mu = 0.05;    ///< fast-mode boost; requires 2ρ/(1−ρ) < µ ≤ 1/10 (eq. 7)
+  double iota = 1e-4;  ///< ι > 0 separating the max-estimate triggers (Def. 4.4)
+
+  // ----- κ/δ derivation (eq. 9) -----
+  double kappa_slack = 0.25;  ///< κ_e = 4(ε_e+µτ_e)(1+slack); slack > 0
+  double delta_frac = 0.5;    ///< δ_e = frac · (κ_e/2 − 2ε_e − 2µτ_e); frac ∈ (0,1)
+
+  // ----- global-skew estimates -----
+  double gtilde_static = 10.0;  ///< G̃ for the static-estimate analysis (§4–§5)
+
+  // ----- insertion -----
+  InsertionPolicy insertion = InsertionPolicy::kStagedStatic;
+  double B = 64.0;  ///< dynamic-I constant (eq. 12 demands B >= 320·2⁷/(1−ρ)²;
+                    ///< that makes experiments astronomically long, so the
+                    ///< default is a practical value — validate() warns)
+
+  /// Maximum trigger levels scanned when the data-driven bound is slack.
+  int level_cap = 64;
+
+  // ----- derived quantities -----
+
+  /// σ = (1−ρ)µ/(2ρ), the base of the skew logarithm (eq. 8).
+  [[nodiscard]] double sigma() const { return (1.0 - rho) * mu / (2.0 * rho); }
+
+  /// Slowest and fastest possible logical rates: α = 1−ρ, β = (1+ρ)(1+µ).
+  [[nodiscard]] double alpha() const { return 1.0 - rho; }
+  [[nodiscard]] double beta() const { return (1.0 + rho) * (1.0 + mu); }
+
+  /// Insertion duration for the static estimate, eq. (10).
+  [[nodiscard]] double insertion_duration_static(double gtilde) const;
+
+  /// Insertion duration for dynamic estimates, per the proof of Lemma 7.1:
+  /// I_e = B · 2^{3+⌈log₂(G̃/µ + T_e + τ_e)⌉}. (See DESIGN.md on the eq. (11)
+  /// vs Lemma 7.1 discrepancy.)
+  [[nodiscard]] double insertion_duration_dynamic(double gtilde, double msg_delay_max,
+                                                  double tau) const;
+
+  /// Handshake wait ∆ for an edge (Listing 1 line 1).
+  [[nodiscard]] double handshake_delta(const EdgeParams& e) const;
+
+  /// κ_e and δ_e for an edge (eq. 9; Def. 4.6 constraint).
+  [[nodiscard]] EdgeConstants edge_constants(const EdgeParams& e) const;
+
+  /// Check all parameter constraints from §4.3.1 (and eq. 12 for dynamic I).
+  [[nodiscard]] ValidationResult validate() const;
+
+  /// Validate the derived per-edge constants for a concrete edge.
+  [[nodiscard]] ValidationResult validate_edge(const EdgeParams& e) const;
+};
+
+}  // namespace gcs

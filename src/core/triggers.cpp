@@ -1,0 +1,77 @@
+#include "core/triggers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcs {
+
+TriggerDecision evaluate_triggers(const std::vector<LevelPeer>& peers, double mu,
+                                  double rho, int level_cap) {
+  TriggerDecision decision;
+
+  // Data-driven level bound (see header).
+  double max_abs = 0.0;
+  double max_eps = 0.0;
+  double max_delta = 0.0;
+  double kappa_min = kTimeInf;
+  bool any = false;
+  for (const auto& p : peers) {
+    if (p.level_limit < 1) continue;
+    any = true;
+    kappa_min = std::min(kappa_min, p.kappa);
+    max_eps = std::max(max_eps, p.eps);
+    max_delta = std::max(max_delta, p.delta);
+    if (p.has_estimate) max_abs = std::max(max_abs, std::fabs(p.est_minus_own));
+  }
+  if (!any || kappa_min <= 0.0) return decision;
+
+  const int s_stop = std::min<long long>(
+      level_cap,
+      static_cast<long long>(std::floor((max_abs + max_eps + max_delta) / kappa_min)) + 2);
+
+  for (int s = 1; s <= s_stop; ++s) {
+    bool member = false;
+    bool fast_exists = false;
+    bool fast_blocked = false;
+    bool slow_exists = false;
+    bool slow_blocked = false;
+    for (const auto& p : peers) {
+      if (p.level_limit < s) continue;
+      member = true;
+      if (!p.has_estimate) {
+        // No estimate: cannot certify the universal conditions.
+        fast_blocked = true;
+        slow_blocked = true;
+        continue;
+      }
+      const double ahead = p.est_minus_own;    // L̃ᵥᵤ − L_u
+      const double behind = -p.est_minus_own;  // L_u − L̃ᵥᵤ
+      // Def. 4.5 (fast trigger).
+      if (ahead >= static_cast<double>(s) * p.kappa - p.eps) fast_exists = true;
+      if (behind > static_cast<double>(s) * p.kappa + 2.0 * mu * p.tau + p.eps) {
+        fast_blocked = true;
+      }
+      // Def. 4.6 (slow trigger).
+      if (behind >= (static_cast<double>(s) + 0.5) * p.kappa - p.delta - p.eps) {
+        slow_exists = true;
+      }
+      if (ahead > (static_cast<double>(s) + 0.5) * p.kappa + p.delta + p.eps +
+                      mu * (1.0 + rho) * p.tau) {
+        slow_blocked = true;
+      }
+    }
+    if (!member) break;  // neighbor sets are nested: higher levels are empty too
+    if (fast_exists && !fast_blocked && !decision.fast) {
+      decision.fast = true;
+      decision.fast_level = s;
+    }
+    if (slow_exists && !slow_blocked && !decision.slow) {
+      decision.slow = true;
+      decision.slow_level = s;
+    }
+    if (decision.fast && decision.slow) break;  // Lemma 5.3 violation; caller asserts
+  }
+  return decision;
+}
+
+}  // namespace gcs

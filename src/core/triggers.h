@@ -1,0 +1,46 @@
+// Pure evaluation of the fast/slow mode triggers (Defs. 4.5 and 4.6).
+//
+// Extracted from AoptNode so the trigger semantics — including the mutual
+// exclusion guaranteed by Lemma 5.3 — can be unit- and property-tested in
+// isolation from the engine.
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace gcs {
+
+/// Sentinel for "member of N^s_u for every level s" (fully inserted edge).
+inline constexpr int kAllLevels = 1 << 28;
+
+/// One neighbor as seen by the trigger evaluation at a fixed instant.
+struct LevelPeer {
+  /// Largest s such that the peer is in N^s_u (0 = discovery set only;
+  /// kAllLevels = fully inserted). Membership is nested: peer in N^s iff
+  /// s <= level_limit.
+  int level_limit = 0;
+  double kappa = 0.0;  ///< κ_e (current value; time-varying for weight decay)
+  double delta = 0.0;  ///< δ_e
+  double eps = 0.0;    ///< ε_e
+  double tau = 0.0;    ///< τ_e
+  bool has_estimate = false;
+  /// L̃ᵥᵤ(t) − L_u(t); only meaningful if has_estimate.
+  double est_minus_own = 0.0;
+};
+
+struct TriggerDecision {
+  bool fast = false;
+  bool slow = false;
+  int fast_level = 0;  ///< a level s witnessing the fast trigger (if fast)
+  int slow_level = 0;  ///< a level s witnessing the slow trigger (if slow)
+};
+
+/// Evaluate both triggers over all levels s in {1, ..}. The scan terminates
+/// at a data-driven bound: beyond s with s*kappa_min exceeding the largest
+/// observed discrepancy, neither existential condition can hold. A peer in
+/// N^s without an estimate conservatively blocks both universal conditions.
+TriggerDecision evaluate_triggers(const std::vector<LevelPeer>& peers, double mu,
+                                  double rho, int level_cap);
+
+}  // namespace gcs

@@ -1,0 +1,87 @@
+#include "estimate/estimate_source.h"
+
+#include <cmath>
+
+namespace gcs {
+
+// ------------------------------------------------------------------ oracle
+
+OracleEstimateSource::OracleEstimateSource(DynamicGraph& graph,
+                                           OracleErrorPolicy policy,
+                                           std::uint64_t seed)
+    : graph_(graph), policy_(policy), rng_(seed) {}
+
+std::optional<ClockValue> OracleEstimateSource::estimate(NodeId u, NodeId v) {
+  require(clocks_ != nullptr, "OracleEstimateSource: bind() not called");
+  if (!graph_.view_present(u, v)) return std::nullopt;
+  const double e = graph_.params(EdgeKey(u, v)).eps;
+  const ClockValue truth = clocks_->true_logical(v);
+  switch (policy_) {
+    case OracleErrorPolicy::kZero:
+      return truth;
+    case OracleErrorPolicy::kUniform:
+      return truth + rng_.uniform(-e, e);
+    case OracleErrorPolicy::kAdversarial: {
+      // Shrink the perceived skew: report the neighbor ε closer to us than
+      // it is (never crossing), which maximally delays trigger reactions.
+      const ClockValue mine = clocks_->true_logical(u);
+      if (truth > mine) return std::max(mine, truth - e);
+      if (truth < mine) return std::min(mine, truth + e);
+      return truth;
+    }
+  }
+  return truth;
+}
+
+double OracleEstimateSource::eps(const EdgeKey& e) const {
+  return graph_.params(e).eps;
+}
+
+// ------------------------------------------------------------------ beacon
+
+double beacon_eps(const EdgeParams& e, double beacon_period, double rho, double mu) {
+  const double receipt = (1.0 + rho) * (1.0 + mu) * e.msg_delay_max -
+                         (1.0 - rho) * e.msg_delay_min;
+  const double gap = beacon_period + e.delay_uncertainty();
+  const double growth = (2.0 * rho + mu * (1.0 + rho)) * gap;
+  return receipt + growth;
+}
+
+BeaconEstimateSource::BeaconEstimateSource(DynamicGraph& graph,
+                                           double beacon_period, double rho,
+                                           double mu)
+    : graph_(graph), beacon_period_(beacon_period), rho_(rho), mu_(mu) {
+  require(beacon_period > 0.0, "BeaconEstimateSource: beacon_period must be > 0");
+}
+
+std::optional<ClockValue> BeaconEstimateSource::estimate(NodeId u, NodeId v) {
+  require(clocks_ != nullptr, "BeaconEstimateSource: bind() not called");
+  if (!graph_.view_present(u, v)) return std::nullopt;
+  const auto it = entries_.find(key(u, v));
+  if (it == entries_.end()) return std::nullopt;
+  // Advance the snapshot at the receiver's own hardware rate: the estimate
+  // error stays within beacon_eps() because the rate mismatch to the
+  // neighbor's logical clock is bounded by 2ρ + µ(1+ρ).
+  const ClockValue hw_elapsed = clocks_->true_hardware(u) - it->second.recv_hw;
+  return it->second.base + hw_elapsed;
+}
+
+double BeaconEstimateSource::eps(const EdgeKey& e) const {
+  return beacon_eps(graph_.params(e), beacon_period_, rho_, mu_);
+}
+
+void BeaconEstimateSource::on_beacon(const Delivery& d) {
+  require(clocks_ != nullptr, "BeaconEstimateSource: bind() not called");
+  const auto* beacon = std::get_if<Beacon>(&d.payload);
+  if (beacon == nullptr) return;
+  Entry entry;
+  entry.base = beacon->logical + (1.0 - rho_) * d.known_min_delay;
+  entry.recv_hw = clocks_->true_hardware(d.to);
+  entries_[key(d.to, d.from)] = entry;
+}
+
+void BeaconEstimateSource::on_edge_lost(NodeId u, NodeId peer) {
+  entries_.erase(key(u, peer));
+}
+
+}  // namespace gcs

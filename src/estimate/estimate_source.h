@@ -1,0 +1,176 @@
+// The estimate layer (paper §3.1): per-node estimates L̃ᵥᵤ of neighbors'
+// logical clocks with per-edge accuracy guarantee |L_v − L̃ᵥᵤ| <= ε_e (eq. 1).
+//
+// Two realizations:
+//  * OracleEstimateSource — samples the true clock and perturbs it with a
+//    configurable error policy (exact control of ε; validates theory).
+//  * BeaconEstimateSource — built from periodic beacon messages with bounded
+//    delay; ε is *derived* from (beacon period, delay bounds, ρ, µ) via
+//    beacon_eps() and the guarantee is asserted in tests, not assumed.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "net/message.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace gcs {
+
+/// Engine-provided access to true clock values (simulation-side knowledge).
+class ClockAccess {
+ public:
+  virtual ~ClockAccess() = default;
+  [[nodiscard]] virtual ClockValue true_logical(NodeId u) = 0;
+  [[nodiscard]] virtual ClockValue true_hardware(NodeId u) = 0;
+};
+
+class EstimateSource {
+ public:
+  virtual ~EstimateSource() = default;
+
+  /// Bind simulation-side clock access; must be called before use.
+  virtual void bind(ClockAccess* clocks) { clocks_ = clocks; }
+
+  /// L̃ᵛᵤ at the current time; nullopt if no estimate is available yet.
+  [[nodiscard]] virtual std::optional<ClockValue> estimate(NodeId u, NodeId v) = 0;
+
+  /// The ε_e this source guarantees for edge e.
+  [[nodiscard]] virtual double eps(const EdgeKey& e) const = 0;
+
+  /// Hooks driven by the engine.
+  virtual void on_beacon(const Delivery& d) { (void)d; }
+  virtual void on_edge_lost(NodeId u, NodeId peer) { (void)u, (void)peer; }
+
+ protected:
+  ClockAccess* clocks_ = nullptr;
+};
+
+/// Error policy for the oracle source.
+enum class OracleErrorPolicy {
+  kZero,        ///< perfect estimates (ε still reported as configured)
+  kUniform,     ///< uniform in [-ε, ε]
+  kAdversarial, ///< shrink the perceived skew by ε (slowest possible reaction)
+};
+
+class OracleEstimateSource final : public EstimateSource {
+ public:
+  OracleEstimateSource(DynamicGraph& graph, OracleErrorPolicy policy,
+                       std::uint64_t seed = 31);
+
+  std::optional<ClockValue> estimate(NodeId u, NodeId v) override;
+  [[nodiscard]] double eps(const EdgeKey& e) const override;
+
+ private:
+  DynamicGraph& graph_;
+  OracleErrorPolicy policy_;
+  Rng rng_;
+};
+
+/// Worst-case estimate error of the beacon provider for one edge:
+///   receipt error  <= (1+ρ)(1+µ)·T_max − (1−ρ)·T_min
+///   growth between receipts <= (2ρ + µ(1+ρ))·(P_b + (T_max−T_min))
+double beacon_eps(const EdgeParams& e, double beacon_period, double rho, double mu);
+
+class BeaconEstimateSource final : public EstimateSource {
+ public:
+  /// `rho`/`mu` are needed to (a) apply the conservative (1−ρ) transit
+  /// compensation and (b) report ε via beacon_eps.
+  BeaconEstimateSource(DynamicGraph& graph, double beacon_period, double rho,
+                       double mu);
+
+  std::optional<ClockValue> estimate(NodeId u, NodeId v) override;
+  [[nodiscard]] double eps(const EdgeKey& e) const override;
+  void on_beacon(const Delivery& d) override;
+  void on_edge_lost(NodeId u, NodeId peer) override;
+
+ private:
+  struct Entry {
+    ClockValue base = 0.0;       ///< L_msg + (1−ρ)·known_min_delay
+    ClockValue recv_hw = 0.0;    ///< receiver hardware clock at receipt
+  };
+  static std::uint64_t key(NodeId owner, NodeId peer) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner)) << 32) |
+           static_cast<std::uint32_t>(peer);
+  }
+
+  DynamicGraph& graph_;
+  double beacon_period_;
+  double rho_;
+  double mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+// --------------------------------------------------------------------------
+// Global-skew estimates G̃_u(t) (eq. 5/6).
+
+class GlobalSkewEstimator {
+ public:
+  virtual ~GlobalSkewEstimator() = default;
+  /// G̃_u at the current time; must upper-bound the true global skew.
+  [[nodiscard]] virtual double estimate(NodeId u) = 0;
+  [[nodiscard]] virtual bool is_static() const { return false; }
+};
+
+/// The static, a-priori bound G̃ of §4–§5.
+class StaticGskewEstimator final : public GlobalSkewEstimator {
+ public:
+  explicit StaticGskewEstimator(double gtilde) : gtilde_(gtilde) {
+    require(gtilde > 0.0, "StaticGskewEstimator: gtilde must be > 0");
+  }
+  double estimate(NodeId) override { return gtilde_; }
+  [[nodiscard]] bool is_static() const override { return true; }
+
+ private:
+  double gtilde_;
+};
+
+/// §7 oracle: G̃_u(t) = factor·G(t) + margin, where G(t) is the true global
+/// skew (the paper *assumes* such estimates are given; eq. 5).
+class OracleGskewEstimator final : public GlobalSkewEstimator {
+ public:
+  using TrueSkewFn = std::function<double()>;
+  OracleGskewEstimator(TrueSkewFn true_skew, double factor, double margin)
+      : true_skew_(std::move(true_skew)), factor_(factor), margin_(margin) {
+    require(factor >= 1.0 && margin >= 0.0, "OracleGskewEstimator: bad slack");
+  }
+  double estimate(NodeId) override { return factor_ * true_skew_() + margin_; }
+
+ private:
+  TrueSkewFn true_skew_;
+  double factor_;
+  double margin_;
+};
+
+/// Fully distributed G̃_u(t): built from information every node actually
+/// has. With M_u the flooded max estimate (Condition 4.3: M_u >= max L − D)
+/// and m_u the symmetric flooded *lower* bound on the minimum clock
+/// (m_u <= min L), the true global skew satisfies
+///   G(t) = max L − min L <= (M_u + D(t)) − m_u,
+/// so G̃_u := M_u − m_u + D̂ is a valid estimate for any a-priori bound
+/// D̂ >= D(t) (computable from n and the per-edge parameters the nodes
+/// know). This realizes the §7 assumption (eq. 5) without an oracle.
+class DistributedGskewEstimator final : public GlobalSkewEstimator {
+ public:
+  using NodeValueFn = std::function<ClockValue(NodeId)>;
+  DistributedGskewEstimator(NodeValueFn max_estimate, NodeValueFn min_estimate,
+                            double diameter_hint)
+      : max_estimate_(std::move(max_estimate)),
+        min_estimate_(std::move(min_estimate)),
+        diameter_hint_(diameter_hint) {
+    require(diameter_hint > 0.0, "DistributedGskewEstimator: bad diameter hint");
+  }
+  double estimate(NodeId u) override {
+    return max_estimate_(u) - min_estimate_(u) + diameter_hint_;
+  }
+
+ private:
+  NodeValueFn max_estimate_;
+  NodeValueFn min_estimate_;
+  double diameter_hint_;
+};
+
+}  // namespace gcs

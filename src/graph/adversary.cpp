@@ -1,0 +1,75 @@
+#include "graph/adversary.h"
+
+#include <algorithm>
+
+namespace gcs {
+
+void ScriptedAdversary::arm() {
+  require(!armed_, "ScriptedAdversary: arm() called twice");
+  armed_ = true;
+  for (const auto& ev : script_) {
+    sim_.schedule_at(ev.at, [this, ev] {
+      if (ev.create) {
+        graph_.create_edge(ev.edge, ev.params);
+      } else {
+        graph_.destroy_edge(ev.edge);
+      }
+    });
+  }
+}
+
+ChurnAdversary::ChurnAdversary(Simulator& sim, DynamicGraph& graph,
+                               std::vector<EdgeKey> candidates, EdgeParams params,
+                               Config config, std::uint64_t seed)
+    : sim_(sim),
+      graph_(graph),
+      candidates_(std::move(candidates)),
+      params_(params),
+      config_(config),
+      rng_(seed) {
+  require(config_.ops_per_time > 0.0, "ChurnAdversary: ops_per_time must be > 0");
+  require(!candidates_.empty(), "ChurnAdversary: empty candidate set");
+}
+
+void ChurnAdversary::arm() {
+  sim_.schedule_at(std::max(config_.start, sim_.now()), [this] { schedule_next(); });
+}
+
+void ChurnAdversary::schedule_next() {
+  const Duration gap = rng_.exponential(config_.ops_per_time);
+  const Time at = sim_.now() + gap;
+  if (at > config_.stop) return;
+  sim_.schedule_at(at, [this] {
+    step();
+    schedule_next();
+  });
+}
+
+void ChurnAdversary::step() {
+  const bool try_remove = rng_.chance(config_.p_remove);
+  // Partition candidates by current adversary-level presence.
+  std::vector<EdgeKey> present;
+  std::vector<EdgeKey> absent;
+  for (const auto& e : candidates_) {
+    (graph_.adversary_present(e) ? present : absent).push_back(e);
+  }
+  if (try_remove && !present.empty()) {
+    // Try a few random picks that keep the graph connected.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto& pick = present[rng_.below(present.size())];
+      if (!config_.keep_connected || graph_.connected_without(pick)) {
+        graph_.destroy_edge(pick);
+        ++removals_;
+        return;
+      }
+    }
+    return;  // everything tried is a bridge; skip this op
+  }
+  if (!absent.empty()) {
+    const auto& pick = absent[rng_.below(absent.size())];
+    graph_.create_edge(pick, params_);
+    ++additions_;
+  }
+}
+
+}  // namespace gcs

@@ -1,0 +1,79 @@
+// Topology adversaries: drive edge insertions/removals over time.
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace gcs {
+
+/// Replays a fixed script of edge events.
+class ScriptedAdversary {
+ public:
+  struct Event {
+    Time at = 0.0;
+    bool create = true;
+    EdgeKey edge;
+    EdgeParams params;  // used for create
+  };
+
+  ScriptedAdversary(Simulator& sim, DynamicGraph& graph) : sim_(sim), graph_(graph) {}
+
+  void add_create(Time at, const EdgeKey& e, const EdgeParams& p) {
+    script_.push_back({at, true, e, p});
+  }
+  void add_destroy(Time at, const EdgeKey& e) {
+    script_.push_back({at, false, e, EdgeParams{}});
+  }
+
+  /// Schedule all scripted events on the simulator. Call once.
+  void arm();
+
+ private:
+  Simulator& sim_;
+  DynamicGraph& graph_;
+  std::vector<Event> script_;
+  bool armed_ = false;
+};
+
+/// Random churn over a fixed candidate edge set: at exponential intervals,
+/// removes a random present edge (only if the adversary-level graph stays
+/// connected, preserving the paper's connectivity requirement) or re-adds a
+/// random absent candidate.
+class ChurnAdversary {
+ public:
+  struct Config {
+    double ops_per_time = 0.1;   ///< mean operations per time unit
+    double p_remove = 0.5;       ///< probability an op attempts a removal
+    Time start = 0.0;
+    Time stop = kTimeInf;
+    bool keep_connected = true;
+  };
+
+  ChurnAdversary(Simulator& sim, DynamicGraph& graph,
+                 std::vector<EdgeKey> candidates, EdgeParams params,
+                 Config config, std::uint64_t seed);
+
+  /// Begin scheduling churn operations.
+  void arm();
+
+  [[nodiscard]] int removals() const { return removals_; }
+  [[nodiscard]] int additions() const { return additions_; }
+
+ private:
+  void step();
+  void schedule_next();
+
+  Simulator& sim_;
+  DynamicGraph& graph_;
+  std::vector<EdgeKey> candidates_;
+  EdgeParams params_;
+  Config config_;
+  Rng rng_;
+  int removals_ = 0;
+  int additions_ = 0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,125 @@
+// The dynamic estimate graph (paper §3.1).
+//
+// The adversary creates/destroys undirected edges; each endpoint's *view* of
+// the edge flips after a detection delay in [0, tau_e], which realizes the
+// paper's asymmetric directed edge sets E(t): (u,v) in E(t) iff u's view of
+// the edge is "present". The model constraint — views of the same edge agree
+// up to tau_e — holds by construction.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/edge_params.h"
+#include "sim/simulator.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace gcs {
+
+/// How endpoint detection delays are drawn on each adversary transition.
+enum class DetectionDelayMode {
+  kZero,     ///< views flip instantly (symmetric model)
+  kUniform,  ///< uniform in [0, tau_e]
+  kMax,      ///< one endpoint instant, the other after tau_e (worst asymmetry)
+};
+
+class DynamicGraph {
+ public:
+  /// Notified on every change of a node's view (u's view of peer).
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void on_edge_discovered(NodeId u, NodeId peer) = 0;
+    virtual void on_edge_lost(NodeId u, NodeId peer) = 0;
+  };
+
+  DynamicGraph(Simulator& sim, int n, std::uint64_t seed = 17);
+
+  void set_listener(Listener* listener) { listener_ = listener; }
+  void set_detection_delay_mode(DetectionDelayMode mode) { delay_mode_ = mode; }
+
+  [[nodiscard]] int size() const { return n_; }
+
+  // ------------------------------------------------------- adversary API
+
+  /// Make the edge exist; endpoint views flip within their detection delay.
+  /// Re-creating a present edge is a no-op. Params are fixed at first
+  /// creation and must not change across reinsertions (checked).
+  void create_edge(const EdgeKey& e, const EdgeParams& params);
+
+  /// Make the edge exist with both views updated immediately (used for the
+  /// t=0 initial topology, which the paper assumes is mutually known).
+  void create_edge_instant(const EdgeKey& e, const EdgeParams& params);
+
+  /// Destroy the edge; endpoint views flip within their detection delay.
+  void destroy_edge(const EdgeKey& e);
+
+  // ------------------------------------------------------------- queries
+
+  /// Does u currently see peer as a neighbor (peer in N_u(t))?
+  [[nodiscard]] bool view_present(NodeId u, NodeId peer) const;
+
+  /// Time at which u's current view of peer became present (only meaningful
+  /// while view_present).
+  [[nodiscard]] Time view_since(NodeId u, NodeId peer) const;
+
+  /// Neighbors in u's current view.
+  [[nodiscard]] const std::unordered_set<NodeId>& view_neighbors(NodeId u) const;
+
+  /// True iff both endpoints currently see the edge ({u,v} in E(t)).
+  [[nodiscard]] bool both_views_present(const EdgeKey& e) const;
+
+  /// Time since which both views have been continuously present
+  /// (-inf if not both present).
+  [[nodiscard]] Time both_views_since(const EdgeKey& e) const;
+
+  /// Adversary-level (target) presence.
+  [[nodiscard]] bool adversary_present(const EdgeKey& e) const;
+
+  /// All edges the adversary currently keeps alive.
+  [[nodiscard]] std::vector<EdgeKey> adversary_edges() const;
+
+  /// All edges ever created (whose params are known).
+  [[nodiscard]] std::vector<EdgeKey> known_edges() const;
+
+  /// Params of an edge ever created; throws if unknown.
+  [[nodiscard]] const EdgeParams& params(const EdgeKey& e) const;
+
+  /// Is the adversary-present graph connected (trivially true for n<=1)?
+  [[nodiscard]] bool adversary_connected() const;
+
+  /// Would it stay connected after removing e?
+  [[nodiscard]] bool connected_without(const EdgeKey& e) const;
+
+ private:
+  struct DirView {
+    bool present = false;
+    Time since = -kTimeInf;
+  };
+  struct Record {
+    EdgeParams params;
+    bool target = false;        // adversary-level presence
+    std::uint64_t gen = 0;      // invalidates in-flight flips
+    DirView view_a;             // view of endpoint e.a
+    DirView view_b;             // view of endpoint e.b
+  };
+
+  [[nodiscard]] Duration sample_detection_delay(const EdgeParams& p);
+  void schedule_flip(const EdgeKey& e, NodeId endpoint, std::uint64_t gen,
+                     Duration delay);
+  void apply_view(const EdgeKey& e, NodeId endpoint, std::uint64_t gen);
+  void set_view(const EdgeKey& e, Record& rec, NodeId endpoint, bool present);
+  [[nodiscard]] bool connected_filtered(const EdgeKey* skip) const;
+
+  Simulator& sim_;
+  int n_;
+  Rng rng_;
+  DetectionDelayMode delay_mode_ = DetectionDelayMode::kUniform;
+  Listener* listener_ = nullptr;
+  std::unordered_map<EdgeKey, Record, EdgeKeyHash> edges_;
+  std::vector<std::unordered_set<NodeId>> adjacency_;  // view-level
+};
+
+}  // namespace gcs

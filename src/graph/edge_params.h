@@ -1,0 +1,27 @@
+// Per-edge parameters of the estimate graph (paper §3.1).
+#pragma once
+
+#include "util/common.h"
+
+namespace gcs {
+
+/// The three parameters the paper attaches to every (undirected) estimate
+/// edge, plus the transport's minimum delay (which determines the delay
+/// uncertainty U <= msg_delay_max - msg_delay_min).
+struct EdgeParams {
+  double eps = 0.1;             ///< estimate uncertainty ε_e (eq. 1)
+  double tau = 0.5;             ///< detection-delay bound τ_e
+  double msg_delay_max = 0.5;   ///< message delay bound T_e
+  double msg_delay_min = 0.1;   ///< transport lower bound (0 allowed)
+
+  [[nodiscard]] double delay_uncertainty() const { return msg_delay_max - msg_delay_min; }
+
+  void validate() const {
+    require(eps > 0.0, "EdgeParams: eps must be > 0");
+    require(tau >= 0.0, "EdgeParams: tau must be >= 0");
+    require(msg_delay_min >= 0.0 && msg_delay_min <= msg_delay_max,
+            "EdgeParams: need 0 <= msg_delay_min <= msg_delay_max");
+  }
+};
+
+}  // namespace gcs

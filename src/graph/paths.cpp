@@ -1,0 +1,72 @@
+#include "graph/paths.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace gcs {
+
+AdjacencyList build_adjacency(
+    int n, const std::vector<EdgeKey>& edges,
+    const std::function<double(const EdgeKey&)>& weight) {
+  AdjacencyList adj(static_cast<std::size_t>(n));
+  for (const auto& e : edges) {
+    const double w = weight(e);
+    require(w > 0.0, "build_adjacency: non-positive edge weight on " + e.str());
+    adj[static_cast<std::size_t>(e.a)].push_back({e.b, w});
+    adj[static_cast<std::size_t>(e.b)].push_back({e.a, w});
+  }
+  return adj;
+}
+
+std::vector<double> dijkstra(const AdjacencyList& adj, NodeId src) {
+  const auto n = adj.size();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist.at(static_cast<std::size_t>(src)) = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& edge : adj[static_cast<std::size_t>(u)]) {
+      const double nd = d + edge.weight;
+      if (nd < dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = nd;
+        heap.emplace(nd, edge.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> bfs_hops(const AdjacencyList& adj, NodeId src) {
+  std::vector<int> dist(adj.size(), -1);
+  std::deque<NodeId> frontier{src};
+  dist.at(static_cast<std::size_t>(src)) = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& edge : adj[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(edge.to)] < 0) {
+        dist[static_cast<std::size_t>(edge.to)] = dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push_back(edge.to);
+      }
+    }
+  }
+  return dist;
+}
+
+double weighted_diameter(const AdjacencyList& adj) {
+  if (adj.size() <= 1) return 0.0;
+  double diameter = 0.0;
+  for (NodeId u = 0; u < static_cast<NodeId>(adj.size()); ++u) {
+    const auto dist = dijkstra(adj, u);
+    for (double d : dist) diameter = std::max(diameter, d);
+  }
+  return diameter;
+}
+
+}  // namespace gcs

@@ -1,0 +1,218 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace gcs {
+
+std::vector<EdgeKey> topo_line(int n) {
+  require(n >= 1, "topo_line: n >= 1");
+  std::vector<EdgeKey> edges;
+  edges.reserve(static_cast<std::size_t>(std::max(0, n - 1)));
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return edges;
+}
+
+std::vector<EdgeKey> topo_ring(int n) {
+  require(n >= 3, "topo_ring: n >= 3");
+  auto edges = topo_line(n);
+  edges.emplace_back(0, n - 1);
+  return edges;
+}
+
+std::vector<EdgeKey> topo_grid(int rows, int cols) {
+  require(rows >= 1 && cols >= 1, "topo_grid: rows, cols >= 1");
+  std::vector<EdgeKey> edges;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return edges;
+}
+
+std::vector<EdgeKey> topo_torus(int rows, int cols) {
+  require(rows >= 3 && cols >= 3, "topo_torus: rows, cols >= 3");
+  auto edges = topo_grid(rows, cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) edges.emplace_back(id(r, 0), id(r, cols - 1));
+  for (int c = 0; c < cols; ++c) edges.emplace_back(id(0, c), id(rows - 1, c));
+  return edges;
+}
+
+std::vector<EdgeKey> topo_star(int n) {
+  require(n >= 2, "topo_star: n >= 2");
+  std::vector<EdgeKey> edges;
+  for (int i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return edges;
+}
+
+std::vector<EdgeKey> topo_complete(int n) {
+  require(n >= 2, "topo_complete: n >= 2");
+  std::vector<EdgeKey> edges;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return edges;
+}
+
+std::vector<EdgeKey> topo_hypercube(int dim) {
+  require(dim >= 1 && dim <= 20, "topo_hypercube: dim in [1,20]");
+  const int n = 1 << dim;
+  std::vector<EdgeKey> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int bit = 0; bit < dim; ++bit) {
+      const int v = u ^ (1 << bit);
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::vector<EdgeKey> topo_barbell(int k, int path_len) {
+  require(k >= 2 && path_len >= 0, "topo_barbell: k >= 2, path_len >= 0");
+  std::vector<EdgeKey> edges;
+  // Left clique: nodes [0, k).
+  for (int i = 0; i < k; ++i)
+    for (int j = i + 1; j < k; ++j) edges.emplace_back(i, j);
+  // Path: nodes [k, k+path_len).
+  NodeId prev = k - 1;
+  for (int i = 0; i < path_len; ++i) {
+    edges.emplace_back(prev, k + i);
+    prev = k + i;
+  }
+  // Right clique: nodes [k+path_len, 2k+path_len); attach to the path end.
+  const int right = k + path_len;
+  edges.emplace_back(prev, right);
+  for (int i = right; i < right + k; ++i)
+    for (int j = i + 1; j < right + k; ++j) edges.emplace_back(i, j);
+  return edges;
+}
+
+std::vector<EdgeKey> topo_random_tree(int n, Rng& rng) {
+  require(n >= 1, "topo_random_tree: n >= 1");
+  std::vector<EdgeKey> edges;
+  for (int i = 1; i < n; ++i) {
+    const auto parent = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(i)));
+    edges.emplace_back(parent, i);
+  }
+  return edges;
+}
+
+namespace {
+bool edge_list_connected(int n, const std::vector<EdgeKey>& edges) {
+  if (n <= 1) return true;
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  for (const auto& e : edges) {
+    adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+    adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::deque<NodeId> frontier{0};
+  seen[0] = 1;
+  int count = 1;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : adj[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++count;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return count == n;
+}
+}  // namespace
+
+std::vector<EdgeKey> topo_gnp_connected(int n, double p, Rng& rng, int max_attempts) {
+  require(n >= 2 && p >= 0.0 && p <= 1.0, "topo_gnp_connected: bad arguments");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<EdgeKey> edges;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (rng.chance(p)) edges.emplace_back(i, j);
+    if (edge_list_connected(n, edges)) return edges;
+  }
+  // Fallback: sampled graph plus a random spanning tree to force connectivity.
+  std::vector<EdgeKey> edges;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.chance(p)) edges.emplace_back(i, j);
+  auto tree = topo_random_tree(n, rng);
+  for (const auto& e : tree) {
+    if (std::find(edges.begin(), edges.end(), e) == edges.end()) edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<EdgeKey> edges_within_radius(const std::vector<Point2>& positions,
+                                         double radius) {
+  std::vector<EdgeKey> edges;
+  const int n = static_cast<int>(positions.size());
+  const double r2 = radius * radius;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dx = positions[static_cast<std::size_t>(i)].x -
+                        positions[static_cast<std::size_t>(j)].x;
+      const double dy = positions[static_cast<std::size_t>(i)].y -
+                        positions[static_cast<std::size_t>(j)].y;
+      if (dx * dx + dy * dy <= r2) edges.emplace_back(i, j);
+    }
+  }
+  return edges;
+}
+
+std::vector<EdgeKey> topo_random_geometric(int n, double radius, Rng& rng,
+                                           std::vector<Point2>* positions) {
+  require(n >= 2 && radius > 0.0, "topo_random_geometric: bad arguments");
+  std::vector<Point2> pos(static_cast<std::size_t>(n));
+  for (auto& p : pos) {
+    p.x = rng.uniform01();
+    p.y = rng.uniform01();
+  }
+  double r = radius;
+  std::vector<EdgeKey> edges = edges_within_radius(pos, r);
+  while (!edge_list_connected(n, edges) && r < 2.0) {
+    r *= 1.1;
+    edges = edges_within_radius(pos, r);
+  }
+  if (positions != nullptr) *positions = std::move(pos);
+  return edges;
+}
+
+int hop_diameter(int n, const std::vector<EdgeKey>& edges) {
+  if (n <= 1) return 0;
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  for (const auto& e : edges) {
+    adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+    adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  int diameter = 0;
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  for (int src = 0; src < n; ++src) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<NodeId> frontier{src};
+    dist[static_cast<std::size_t>(src)] = 0;
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      for (NodeId v : adj[static_cast<std::size_t>(u)]) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+    for (int d : dist) {
+      if (d < 0) return -1;  // disconnected
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace gcs

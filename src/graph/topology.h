@@ -1,0 +1,65 @@
+// Static topology generators. They return edge lists; callers decide params
+// and whether edges exist from t=0 (create_edge_instant) or appear later.
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace gcs {
+
+/// v0 - v1 - ... - v_{n-1}.
+std::vector<EdgeKey> topo_line(int n);
+
+/// Line plus the closing edge {0, n-1}.
+std::vector<EdgeKey> topo_ring(int n);
+
+/// rows x cols grid, 4-neighborhood.
+std::vector<EdgeKey> topo_grid(int rows, int cols);
+
+/// Grid with wrap-around links (torus).
+std::vector<EdgeKey> topo_torus(int rows, int cols);
+
+/// Node 0 connected to all others.
+std::vector<EdgeKey> topo_star(int n);
+
+/// All pairs.
+std::vector<EdgeKey> topo_complete(int n);
+
+/// d-dimensional hypercube on 2^dim nodes.
+std::vector<EdgeKey> topo_hypercube(int dim);
+
+/// Two k-cliques joined by a path of `path_len` extra nodes — the classic
+/// stress topology for gradient properties (dense ends, thin middle).
+/// Total nodes: 2k + path_len.
+std::vector<EdgeKey> topo_barbell(int k, int path_len);
+
+/// Uniform random spanning tree (random attachment order).
+std::vector<EdgeKey> topo_random_tree(int n, Rng& rng);
+
+/// Erdos-Renyi G(n,p) conditioned on connectivity: retries up to
+/// `max_attempts` then falls back to adding a random spanning tree.
+std::vector<EdgeKey> topo_gnp_connected(int n, double p, Rng& rng,
+                                        int max_attempts = 64);
+
+/// 2-D positions in the unit square.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Random geometric graph: nodes uniform in the unit square, edge iff
+/// distance <= radius. Radius is grown (by 10% steps) until connected.
+/// Positions are returned through `positions`.
+std::vector<EdgeKey> topo_random_geometric(int n, double radius, Rng& rng,
+                                           std::vector<Point2>* positions);
+
+/// Edges within `radius` for externally supplied positions.
+std::vector<EdgeKey> edges_within_radius(const std::vector<Point2>& positions,
+                                         double radius);
+
+/// Hop diameter of an undirected edge list (-1 if disconnected).
+int hop_diameter(int n, const std::vector<EdgeKey>& edges);
+
+}  // namespace gcs

@@ -1,0 +1,26 @@
+#include "metrics/diameter.h"
+
+#include "graph/paths.h"
+
+namespace gcs {
+
+double hop_uncertainty_cost(const EdgeParams& e, double beacon_period, double rho) {
+  return (1.0 - rho) * e.delay_uncertainty() + 2.0 * rho * e.msg_delay_max +
+         4.0 * rho / (1.0 + rho) * (beacon_period + e.msg_delay_max);
+}
+
+double estimate_dynamic_diameter(Engine& engine) {
+  std::vector<EdgeKey> edges;
+  for (const EdgeKey& e : engine.graph().known_edges()) {
+    if (engine.graph().both_views_present(e)) edges.push_back(e);
+  }
+  const double rho = engine.params().rho;
+  const double beacon = engine.config().beacon_period;
+  const AdjacencyList adj =
+      build_adjacency(engine.size(), edges, [&](const EdgeKey& e) {
+        return hop_uncertainty_cost(engine.graph().params(e), beacon, rho);
+      });
+  return weighted_diameter(adj);
+}
+
+}  // namespace gcs

@@ -1,0 +1,25 @@
+// Estimator for the dynamic estimate diameter D(t) (Definition 3.1).
+//
+// D(t) is defined via the uncertainty relation of §3: each message hop adds
+// (1−ρ)·U_e to the error plus 2ρ per unit of transit time, and waiting adds
+// 4ρ/(1+ρ) per unit of staleness. With beacons every P_b and delays in
+// [T_min, T_max], information over edge e is at most (P_b + T_max) old, so a
+// conservative per-hop cost is
+//   cost(e) = (1−ρ)·U_e + 2ρ·T_max + 4ρ/(1+ρ)·(P_b + T_max).
+// D(t) is then (at most) the max over ordered pairs of the min-cost path in
+// the currently both-views-present graph. This is the bound the global-skew
+// experiments compare G(t) against.
+#pragma once
+
+#include "core/engine.h"
+
+namespace gcs {
+
+/// Per-hop uncertainty cost of an edge given the beacon period.
+double hop_uncertainty_cost(const EdgeParams& e, double beacon_period, double rho);
+
+/// Upper-bound estimate of D(t) on the current both-views-present graph.
+/// Returns +inf if the graph is disconnected.
+double estimate_dynamic_diameter(Engine& engine);
+
+}  // namespace gcs

@@ -1,0 +1,41 @@
+#include "metrics/recorder.h"
+
+#include <algorithm>
+
+namespace gcs {
+
+double TimeSeries::max_in(Time from, Time to) const {
+  double best = -kTimeInf;
+  for (const auto& [t, v] : points_) {
+    if (t >= from && t <= to) best = std::max(best, v);
+  }
+  return best;
+}
+
+Time TimeSeries::first_below(double threshold, Time from) const {
+  for (const auto& [t, v] : points_) {
+    if (t >= from && v <= threshold) return t;
+  }
+  return kTimeInf;
+}
+
+void PeriodicSampler::start(Duration phase) {
+  require(!running_, "PeriodicSampler: already running");
+  running_ = true;
+  event_ = sim_.schedule_after(phase, [this] { tick(); });
+}
+
+void PeriodicSampler::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (event_.valid()) sim_.cancel(event_);
+  event_ = EventId{};
+}
+
+void PeriodicSampler::tick() {
+  probe_(sim_.now());
+  if (!running_) return;  // probe may have called stop()
+  event_ = sim_.schedule_after(period_, [this] { tick(); });
+}
+
+}  // namespace gcs

@@ -1,0 +1,70 @@
+// Time-series recording driven by the simulator.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/common.h"
+#include "util/stats.h"
+
+namespace gcs {
+
+/// A recorded (time, value) series with summary helpers.
+class TimeSeries {
+ public:
+  void add(Time t, double value) {
+    points_.emplace_back(t, value);
+    stats_.add(value);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<Time, double>>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] double max() const { return stats_.max(); }
+  [[nodiscard]] double min() const { return stats_.min(); }
+  [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double last() const {
+    require(!points_.empty(), "TimeSeries: empty");
+    return points_.back().second;
+  }
+
+  /// Max value over points with t in [from, to].
+  [[nodiscard]] double max_in(Time from, Time to) const;
+
+  /// First time at which the value is <= threshold, starting from `from`;
+  /// kTimeInf if never.
+  [[nodiscard]] Time first_below(double threshold, Time from = 0.0) const;
+
+ private:
+  std::vector<std::pair<Time, double>> points_;
+  RunningStats stats_;
+};
+
+/// Invokes a probe function every `period` of simulated time.
+class PeriodicSampler {
+ public:
+  using Probe = std::function<void(Time)>;
+
+  PeriodicSampler(Simulator& sim, Duration period, Probe probe)
+      : sim_(sim), period_(period), probe_(std::move(probe)) {
+    require(period > 0.0, "PeriodicSampler: period must be positive");
+  }
+
+  /// Start sampling (first sample after `phase`).
+  void start(Duration phase = 0.0);
+  void stop();
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  Duration period_;
+  Probe probe_;
+  EventId event_{};
+  bool running_ = false;
+};
+
+}  // namespace gcs

@@ -1,0 +1,87 @@
+#include "metrics/skew.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcs {
+
+double metric_kappa(Engine& engine, const EdgeKey& e) {
+  EdgeParams params = engine.graph().params(e);
+  params.eps = engine.edge_eps(e);
+  return engine.params().edge_constants(params).kappa;
+}
+
+double live_kappa(Engine& engine, const EdgeKey& e) {
+  const double k = std::max(engine.algorithm(e.a).edge_kappa(e.b),
+                            engine.algorithm(e.b).edge_kappa(e.a));
+  return k > 0.0 ? k : metric_kappa(engine, e);
+}
+
+SkewSnapshot measure_skew(Engine& engine) {
+  SkewSnapshot snap;
+  snap.global = engine.true_global_skew();
+  for (const EdgeKey& e : engine.graph().known_edges()) {
+    if (!engine.graph().both_views_present(e)) continue;
+    const double skew = std::fabs(engine.logical(e.a) - engine.logical(e.b));
+    if (skew > snap.worst_local) {
+      snap.worst_local = skew;
+      snap.worst_local_edge = e;
+    }
+    const double kappa = metric_kappa(engine, e);
+    if (kappa > 0.0) {
+      snap.worst_local_ratio = std::max(snap.worst_local_ratio, skew / kappa);
+    }
+  }
+  return snap;
+}
+
+double worst_pair_skew(Engine& engine, const std::vector<EdgeKey>& pairs) {
+  double worst = 0.0;
+  for (const auto& e : pairs) {
+    worst = std::max(worst, std::fabs(engine.logical(e.a) - engine.logical(e.b)));
+  }
+  return worst;
+}
+
+std::vector<GradientPoint> measure_gradient(Engine& engine, Duration stable_for) {
+  const Time now = engine.sim().now();
+  std::vector<EdgeKey> stable;
+  for (const EdgeKey& e : engine.graph().known_edges()) {
+    const Time since = engine.graph().both_views_since(e);
+    if (since == -kTimeInf) continue;
+    if (now - since >= stable_for) stable.push_back(e);
+  }
+  const int n = engine.size();
+  const AdjacencyList adj = build_adjacency(
+      n, stable, [&engine](const EdgeKey& e) { return metric_kappa(engine, e); });
+  const AdjacencyList hops_adj =
+      build_adjacency(n, stable, [](const EdgeKey&) { return 1.0; });
+
+  std::vector<GradientPoint> points;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto dist = dijkstra(adj, u);
+    const auto hops = bfs_hops(hops_adj, u);
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double d = dist[static_cast<std::size_t>(v)];
+      if (!std::isfinite(d)) continue;
+      GradientPoint p;
+      p.u = u;
+      p.v = v;
+      p.hops = hops[static_cast<std::size_t>(v)];
+      p.kappa_dist = d;
+      p.skew = std::fabs(engine.logical(u) - engine.logical(v));
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+double gradient_bound(double kappa_dist, double ghat, double sigma) {
+  require(kappa_dist > 0.0 && ghat > 0.0 && sigma > 1.0,
+          "gradient_bound: bad arguments");
+  const double s = std::max(
+      1.0, 2.0 + std::ceil(std::log(ghat / kappa_dist) / std::log(sigma)));
+  return (s + 1.0) * kappa_dist;
+}
+
+}  // namespace gcs

@@ -1,0 +1,53 @@
+// Skew measurements: global skew, local (edge) skew, and the gradient curve
+// (skew as a function of κ-distance over the stable subgraph).
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/paths.h"
+
+namespace gcs {
+
+/// κ_e used by metrics: what AOPT derives for the edge (eq. 9), computed
+/// from the engine's parameters and the estimate layer's ε — identical for
+/// every algorithm so comparisons are apples-to-apples.
+double metric_kappa(Engine& engine, const EdgeKey& e);
+
+/// The κ the running algorithm currently applies to the edge (time-varying
+/// under weight-decay insertion); falls back to metric_kappa for algorithms
+/// that do not track per-edge weights.
+double live_kappa(Engine& engine, const EdgeKey& e);
+
+struct SkewSnapshot {
+  double global = 0.0;        ///< max_u L_u − min_u L_u
+  double worst_local = 0.0;   ///< max |L_u − L_v| over edges with both views present
+  double worst_local_ratio = 0.0;  ///< max |L_u − L_v| / κ_e over those edges
+  EdgeKey worst_local_edge;
+};
+
+/// Measure global and local skew at the current instant.
+SkewSnapshot measure_skew(Engine& engine);
+
+/// Max |L_a − L_b| over the given node pairs at the current instant
+/// (the pairs need not be graph edges).
+double worst_pair_skew(Engine& engine, const std::vector<EdgeKey>& pairs);
+
+struct GradientPoint {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  int hops = 0;
+  double kappa_dist = 0.0;  ///< min-κ-weight path distance in the stable subgraph
+  double skew = 0.0;        ///< |L_u − L_v|
+};
+
+/// All-pairs skew vs. κ-distance over the subgraph of edges whose *both*
+/// views have been continuously present for at least `stable_for`.
+/// Pairs disconnected in that subgraph are omitted.
+std::vector<GradientPoint> measure_gradient(Engine& engine, Duration stable_for);
+
+/// The stable gradient bound of Corollary 5.26 / Lemma 5.14 for a path of
+/// κ-weight d: (s+1)·d with s = max(1, 2 + ceil(log_sigma(ghat/d))).
+double gradient_bound(double kappa_dist, double ghat, double sigma);
+
+}  // namespace gcs

@@ -1,0 +1,91 @@
+#include "metrics/trace.h"
+
+#include "util/csv.h"
+
+namespace gcs {
+
+namespace {
+const char* kind_name(ExecutionTrace::EventKind kind) {
+  switch (kind) {
+    case ExecutionTrace::EventKind::kModeChange: return "mode";
+    case ExecutionTrace::EventKind::kLogicalJump: return "jump";
+    case ExecutionTrace::EventKind::kMaxRaised: return "max";
+    case ExecutionTrace::EventKind::kSnapshot: return "snap";
+  }
+  return "?";
+}
+}  // namespace
+
+ExecutionTrace::ExecutionTrace(Engine& engine, Duration snapshot_period)
+    : engine_(engine) {
+  engine_.set_observer(this);
+  if (snapshot_period > 0.0) {
+    sampler_ = std::make_unique<PeriodicSampler>(engine_.sim(), snapshot_period,
+                                                 [this](Time) { snapshot(); });
+    sampler_->start(snapshot_period);
+  }
+}
+
+ExecutionTrace::~ExecutionTrace() {
+  engine_.set_observer(nullptr);
+  if (sampler_ != nullptr) sampler_->stop();
+}
+
+void ExecutionTrace::on_mode_change(Time t, NodeId u, double old_mult,
+                                    double new_mult) {
+  events_.push_back({t, EventKind::kModeChange, u, old_mult, new_mult});
+}
+
+void ExecutionTrace::on_logical_jump(Time t, NodeId u, ClockValue from,
+                                     ClockValue to) {
+  events_.push_back({t, EventKind::kLogicalJump, u, from, to});
+}
+
+void ExecutionTrace::on_max_estimate_raised(Time t, NodeId u, ClockValue value) {
+  events_.push_back({t, EventKind::kMaxRaised, u, value, 0.0});
+}
+
+void ExecutionTrace::snapshot() {
+  const Time t = engine_.sim().now();
+  for (NodeId u = 0; u < engine_.size(); ++u) {
+    events_.push_back({t, EventKind::kSnapshot, u, engine_.logical(u),
+                       engine_.max_estimate(u)});
+  }
+}
+
+std::size_t ExecutionTrace::count(EventKind kind) const {
+  std::size_t total = 0;
+  for (const auto& e : events_) total += (e.kind == kind) ? 1 : 0;
+  return total;
+}
+
+std::vector<int> ExecutionTrace::mode_switches_per_node() const {
+  std::vector<int> counts(static_cast<std::size_t>(engine_.size()), 0);
+  for (const auto& e : events_) {
+    if (e.kind == EventKind::kModeChange) {
+      ++counts.at(static_cast<std::size_t>(e.node));
+    }
+  }
+  return counts;
+}
+
+std::string ExecutionTrace::csv() const {
+  CsvWriter writer;
+  writer.row({"t", "kind", "node", "a", "b"});
+  for (const auto& e : events_) {
+    writer.field(e.t).field(std::string(kind_name(e.kind))).field(e.node);
+    writer.field(e.a).field(e.b).endrow();
+  }
+  return writer.str();
+}
+
+void ExecutionTrace::write_csv(const std::string& path) const {
+  CsvWriter writer(path);
+  writer.row({"t", "kind", "node", "a", "b"});
+  for (const auto& e : events_) {
+    writer.field(e.t).field(std::string(kind_name(e.kind))).field(e.node);
+    writer.field(e.a).field(e.b).endrow();
+  }
+}
+
+}  // namespace gcs

@@ -1,0 +1,57 @@
+// Execution tracing: records discrete protocol transitions (mode switches,
+// clock jumps, max-estimate updates) and periodic clock snapshots, and
+// exports them as CSV for external plotting or debugging.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "metrics/recorder.h"
+
+namespace gcs {
+
+class ExecutionTrace final : public EngineObserver {
+ public:
+  enum class EventKind { kModeChange, kLogicalJump, kMaxRaised, kSnapshot };
+
+  struct Event {
+    Time t = 0.0;
+    EventKind kind = EventKind::kSnapshot;
+    NodeId node = kNoNode;
+    double a = 0.0;  ///< kind-dependent (old mult / old L / M value / L)
+    double b = 0.0;  ///< kind-dependent (new mult / new L / 0 / M)
+  };
+
+  /// Attaches to the engine and (optionally) starts periodic snapshots of
+  /// every node's (L, M). Pass snapshot_period <= 0 to disable snapshots.
+  ExecutionTrace(Engine& engine, Duration snapshot_period);
+  ~ExecutionTrace() override;
+
+  ExecutionTrace(const ExecutionTrace&) = delete;
+  ExecutionTrace& operator=(const ExecutionTrace&) = delete;
+
+  // EngineObserver:
+  void on_mode_change(Time t, NodeId u, double old_mult, double new_mult) override;
+  void on_logical_jump(Time t, NodeId u, ClockValue from, ClockValue to) override;
+  void on_max_estimate_raised(Time t, NodeId u, ClockValue value) override;
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+  /// Total mode switches per node.
+  [[nodiscard]] std::vector<int> mode_switches_per_node() const;
+
+  /// Serialize all events to CSV (header: t,kind,node,a,b).
+  void write_csv(const std::string& path) const;
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  void snapshot();
+
+  Engine& engine_;
+  std::vector<Event> events_;
+  std::unique_ptr<PeriodicSampler> sampler_;
+};
+
+}  // namespace gcs

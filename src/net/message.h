@@ -1,0 +1,42 @@
+// Wire messages exchanged by the synchronization protocols.
+#pragma once
+
+#include <variant>
+
+#include "util/common.h"
+
+namespace gcs {
+
+/// Periodic beacon: carries the sender's logical clock and max estimate
+/// ("nodes piggy-back their current max estimate to each message sent").
+/// The min estimate is piggy-backed as well: it is the symmetric flooded
+/// lower bound on the minimum clock that the distributed global-skew
+/// estimator (§7 substrate) is built from.
+struct Beacon {
+  ClockValue logical = 0.0;
+  ClockValue max_estimate = 0.0;
+  ClockValue min_estimate = 0.0;
+};
+
+/// Listing 1 line 9: insertedge({u,v}, L_ins, G̃) from the edge leader.
+struct InsertEdgeMsg {
+  ClockValue l_ins = 0.0;
+  double gtilde = 0.0;
+};
+
+using Payload = std::variant<Beacon, InsertEdgeMsg>;
+
+/// A message delivered to a node.
+struct Delivery {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Time sent_at = 0.0;
+  Time delivered_at = 0.0;
+  /// Receiver-known lower bound on the transit time (edge msg_delay_min):
+  /// what the receiver may safely add, scaled by (1−ρ), to clock values in
+  /// the payload (paper §3.1, "causality" relation).
+  Duration known_min_delay = 0.0;
+  Payload payload;
+};
+
+}  // namespace gcs

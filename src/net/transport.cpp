@@ -1,0 +1,69 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+namespace gcs {
+
+namespace {
+std::uint64_t dir_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+}  // namespace
+
+Transport::Transport(Simulator& sim, DynamicGraph& graph, std::uint64_t seed)
+    : sim_(sim), graph_(graph), rng_(seed) {}
+
+void Transport::set_directional_delay(NodeId from, NodeId to, Duration delay) {
+  directional_override_[dir_key(from, to)] = delay;
+}
+
+void Transport::clear_directional_delay(NodeId from, NodeId to) {
+  directional_override_.erase(dir_key(from, to));
+}
+
+Duration Transport::pick_delay(NodeId from, NodeId to, const EdgeParams& params) {
+  const auto it = directional_override_.find(dir_key(from, to));
+  if (it != directional_override_.end()) {
+    return std::clamp(it->second, params.msg_delay_min, params.msg_delay_max);
+  }
+  switch (delay_mode_) {
+    case DelayMode::kUniform:
+      return rng_.uniform(params.msg_delay_min, params.msg_delay_max);
+    case DelayMode::kMin: return params.msg_delay_min;
+    case DelayMode::kMax: return params.msg_delay_max;
+  }
+  return params.msg_delay_max;
+}
+
+bool Transport::send(NodeId from, NodeId to, Payload payload) {
+  if (!graph_.view_present(from, to)) return false;
+  const EdgeParams& params = graph_.params(EdgeKey(from, to));
+  const Duration delay = pick_delay(from, to, params);
+  const Time sent_at = sim_.now();
+  ++sent_;
+  sim_.schedule_after(delay, [this, from, to, sent_at, params,
+                              payload = std::move(payload)] {
+    // §3.1 delivery rule: guaranteed iff the edge existed in the receiver's
+    // view throughout the transit interval; we drop otherwise.
+    const bool continuously_present =
+        graph_.view_present(to, from) && graph_.view_since(to, from) <= sent_at;
+    if (!continuously_present) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    if (!handler_) return;
+    Delivery d;
+    d.from = from;
+    d.to = to;
+    d.sent_at = sent_at;
+    d.delivered_at = sim_.now();
+    d.known_min_delay = params.msg_delay_min;
+    d.payload = std::move(payload);
+    handler_(d);
+  });
+  return true;
+}
+
+}  // namespace gcs

@@ -1,0 +1,61 @@
+// Message transport over the dynamic graph.
+//
+// Semantics follow §3.1: a message sent at time t over edge e arrives within
+// [t + msg_delay_min, t + msg_delay_max] provided the edge exists in the
+// receiver's view throughout transit; otherwise it is dropped (the paper
+// allows either). Delay values can be sampled or adversarially pinned per
+// direction, which the §8 lower-bound construction uses.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "graph/dynamic_graph.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace gcs {
+
+enum class DelayMode {
+  kUniform,  ///< uniform in [msg_delay_min, msg_delay_max]
+  kMin,      ///< always msg_delay_min
+  kMax,      ///< always msg_delay_max
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Delivery&)>;
+
+  Transport(Simulator& sim, DynamicGraph& graph, std::uint64_t seed = 23);
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  void set_delay_mode(DelayMode mode) { delay_mode_ = mode; }
+
+  /// Pin the delay of all future messages from `from` to `to` (clamped to
+  /// the edge's [min,max]). Used by adversarial executions.
+  void set_directional_delay(NodeId from, NodeId to, Duration delay);
+  void clear_directional_delay(NodeId from, NodeId to);
+
+  /// Send if the edge exists in the sender's view; returns false otherwise.
+  bool send(NodeId from, NodeId to, Payload payload);
+
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+
+ private:
+  [[nodiscard]] Duration pick_delay(NodeId from, NodeId to, const EdgeParams& params);
+
+  Simulator& sim_;
+  DynamicGraph& graph_;
+  Rng rng_;
+  Handler handler_;
+  DelayMode delay_mode_ = DelayMode::kUniform;
+  std::unordered_map<std::uint64_t, Duration> directional_override_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,178 @@
+#include "runner/scenario.h"
+
+#include <cmath>
+
+#include "graph/paths.h"
+
+namespace gcs {
+
+const char* to_string(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kAopt: return "AOPT";
+    case AlgoKind::kMaxJump: return "max-jump";
+    case AlgoKind::kBoundedRateMax: return "bounded-rate-max";
+    case AlgoKind::kFreeRunning: return "free-running";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<DriftModel> make_drift(const ScenarioConfig& c) {
+  const double rho = c.aopt.rho;
+  switch (c.drift) {
+    case DriftKind::kNone:
+      return std::make_unique<ConstantDrift>(rho, 0.0, c.n);
+    case DriftKind::kLinearSpread:
+      return std::make_unique<LinearSpreadDrift>(rho, c.n);
+    case DriftKind::kAlternatingBlocks:
+      return std::make_unique<AlternatingBlocksDrift>(rho, c.n, c.drift_blocks,
+                                                      c.drift_block_period);
+    case DriftKind::kRandomWalk: {
+      const double std_dev = c.drift_walk_std > 0.0 ? c.drift_walk_std : rho / 4.0;
+      return std::make_unique<RandomWalkDrift>(rho, c.n, c.drift_walk_period,
+                                               std_dev, c.seed ^ 0xd21fULL);
+    }
+    case DriftKind::kSinusoidal:
+      return std::make_unique<SinusoidalDrift>(rho, c.n, c.drift_sine_period);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<EstimateSource> make_estimates(const ScenarioConfig& c,
+                                               DynamicGraph& graph) {
+  switch (c.estimates) {
+    case EstimateKind::kOracleZero:
+      return std::make_unique<OracleEstimateSource>(graph, OracleErrorPolicy::kZero,
+                                                    c.seed ^ 0xe57ULL);
+    case EstimateKind::kOracleUniform:
+      return std::make_unique<OracleEstimateSource>(
+          graph, OracleErrorPolicy::kUniform, c.seed ^ 0xe57ULL);
+    case EstimateKind::kOracleAdversarial:
+      return std::make_unique<OracleEstimateSource>(
+          graph, OracleErrorPolicy::kAdversarial, c.seed ^ 0xe57ULL);
+    case EstimateKind::kBeacon:
+      return std::make_unique<BeaconEstimateSource>(graph, c.engine.beacon_period,
+                                                    c.aopt.rho, c.aopt.mu);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+  require(config_.n >= 1, "Scenario: n >= 1");
+  config_.edge_params.validate();
+  const auto validation = config_.aopt.validate();
+  require(validation.ok(), "Scenario: invalid AlgoParams:\n" + validation.str());
+
+  graph_ = std::make_unique<DynamicGraph>(sim_, config_.n, config_.seed ^ 0x9e1ULL);
+  graph_->set_detection_delay_mode(config_.detection);
+  transport_ = std::make_unique<Transport>(sim_, *graph_, config_.seed ^ 0x71fULL);
+  transport_->set_delay_mode(config_.delays);
+  drift_ = make_drift(config_);
+  if (config_.reference_node != kNoNode) {
+    // §3 remark: boost the reference node and widen the drift bound the
+    // algorithm reasons with to the effective ρ̃.
+    require(config_.reference_node < config_.n, "Scenario: reference node out of range");
+    auto wrapped = std::make_unique<ReferenceNodeDrift>(std::move(drift_),
+                                                        config_.reference_node);
+    config_.aopt.rho = wrapped->rho();
+    const auto revalidate = config_.aopt.validate();
+    require(revalidate.ok(),
+            "Scenario: params invalid under reference-node rho~:\n" + revalidate.str());
+    drift_ = std::move(wrapped);
+  }
+  estimates_ = make_estimates(config_, *graph_);
+
+  switch (config_.gskew) {
+    case GskewKind::kStatic:
+      gskew_ = std::make_unique<StaticGskewEstimator>(config_.aopt.gtilde_static);
+      break;
+    case GskewKind::kOracle:
+      // The §7 oracle needs the engine; capture through the member pointer,
+      // which is stable and set below before any estimate is requested.
+      gskew_ = std::make_unique<OracleGskewEstimator>(
+          [this] { return engine_->true_global_skew(); }, config_.gskew_factor,
+          config_.gskew_margin);
+      break;
+    case GskewKind::kDistributed: {
+      double hint = config_.gskew_diameter_hint;
+      if (hint <= 0.0) {
+        // Conservative a-priori D̂ from what the nodes know: every potential
+        // hop costs at most one beacon period plus the worst delay bound,
+        // amplified by the drift envelope.
+        hint = static_cast<double>(config_.n) *
+               (config_.engine.beacon_period + config_.edge_params.msg_delay_max) *
+               (2.0 * config_.aopt.rho + config_.aopt.mu * (1.0 + config_.aopt.rho) +
+                (1.0 - config_.aopt.rho) *
+                    config_.edge_params.delay_uncertainty() /
+                    (config_.engine.beacon_period +
+                     config_.edge_params.msg_delay_max)) +
+               1.0;
+      }
+      gskew_ = std::make_unique<DistributedGskewEstimator>(
+          [this](NodeId u) { return engine_->max_estimate(u); },
+          [this](NodeId u) { return engine_->min_estimate(u); }, hint);
+      break;
+    }
+  }
+
+  const AlgoParams aopt_params = config_.aopt;
+  const AlgoKind kind = config_.algo;
+  Engine::AlgorithmFactory factory = [aopt_params, kind](NodeId) -> std::unique_ptr<Algorithm> {
+    switch (kind) {
+      case AlgoKind::kAopt: return std::make_unique<AoptNode>(aopt_params);
+      case AlgoKind::kMaxJump: return std::make_unique<MaxJumpNode>();
+      case AlgoKind::kBoundedRateMax:
+        return std::make_unique<BoundedRateMaxNode>(aopt_params.mu, aopt_params.iota);
+      case AlgoKind::kFreeRunning: return std::make_unique<FreeRunningNode>();
+    }
+    return nullptr;
+  };
+
+  engine_ = std::make_unique<Engine>(sim_, *graph_, *transport_, *drift_,
+                                     *estimates_, *gskew_, config_.aopt,
+                                     config_.engine, factory);
+}
+
+void Scenario::start() {
+  require(!started_, "Scenario: start() called twice");
+  require(sim_.now() == 0.0, "Scenario: must start at time 0");
+  started_ = true;
+  for (const EdgeKey& e : config_.initial_edges) {
+    graph_->create_edge_instant(e, config_.edge_params);
+  }
+  engine_->start();
+}
+
+AoptNode& Scenario::aopt(NodeId u) {
+  auto* node = dynamic_cast<AoptNode*>(&engine_->algorithm(u));
+  require(node != nullptr, "Scenario: node does not run AOPT");
+  return *node;
+}
+
+EdgeParams default_edge_params(double eps, double tau, double delay_max,
+                               double delay_min) {
+  EdgeParams p;
+  p.eps = eps;
+  p.tau = tau;
+  p.msg_delay_max = delay_max;
+  p.msg_delay_min = delay_min;
+  p.validate();
+  return p;
+}
+
+double suggest_gtilde(int n, const std::vector<EdgeKey>& edges,
+                      const EdgeParams& edge_params, const AlgoParams& aopt) {
+  const double kappa = aopt.edge_constants(edge_params).kappa;
+  const AdjacencyList adj =
+      build_adjacency(n, edges, [kappa](const EdgeKey&) { return kappa; });
+  const double diameter = weighted_diameter(adj);
+  require(std::isfinite(diameter), "suggest_gtilde: initial topology disconnected");
+  // Global skew stabilizes around the uncertainty diameter (Theorem 5.6);
+  // κ-diameter upper-bounds it comfortably. Add slack for transients.
+  return std::max(1.0, 1.5 * diameter + 4.0 * kappa);
+}
+
+}  // namespace gcs

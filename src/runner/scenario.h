@@ -1,0 +1,131 @@
+// Scenario assembly: wires simulator, graph, transport, drift, estimate
+// layer, global-skew estimator, engine and algorithm factory together in the
+// right order, with sensible defaults. Experiments, tests and examples all
+// construct runs through this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/baselines.h"
+#include "clock/drift.h"
+#include "core/aopt_node.h"
+#include "core/engine.h"
+#include "core/params.h"
+#include "estimate/estimate_source.h"
+#include "graph/adversary.h"
+#include "graph/dynamic_graph.h"
+#include "graph/topology.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace gcs {
+
+enum class AlgoKind { kAopt, kMaxJump, kBoundedRateMax, kFreeRunning };
+[[nodiscard]] const char* to_string(AlgoKind kind);
+
+enum class DriftKind {
+  kNone,               ///< all rates exactly 1
+  kLinearSpread,       ///< maximally divergent constant rates
+  kAlternatingBlocks,  ///< block-sign drift flipping every period
+  kRandomWalk,
+  kSinusoidal,         ///< temperature-cycle style oscillation
+};
+
+enum class EstimateKind {
+  kOracleZero,
+  kOracleUniform,
+  kOracleAdversarial,
+  kBeacon,
+};
+
+enum class GskewKind {
+  kStatic,       ///< the a-priori constant G̃ of §4–§5 (eq. 6)
+  kOracle,       ///< §7 estimates assumed given: factor·G(t) + margin
+  kDistributed,  ///< §7 estimates computed from flooded max/min bounds
+};
+
+struct ScenarioConfig {
+  std::string name = "scenario";
+  int n = 8;
+  std::vector<EdgeKey> initial_edges;  ///< created instantly at t=0 (fully inserted)
+  EdgeParams edge_params;              ///< applied to every edge (initial + churn)
+
+  AlgoKind algo = AlgoKind::kAopt;
+  AlgoParams aopt;
+
+  DriftKind drift = DriftKind::kLinearSpread;
+  Duration drift_block_period = 200.0;  ///< kAlternatingBlocks
+  int drift_blocks = 2;                 ///< kAlternatingBlocks
+  Duration drift_walk_period = 10.0;    ///< kRandomWalk
+  double drift_walk_std = 0.0;          ///< kRandomWalk (0 => rho/4)
+
+  EstimateKind estimates = EstimateKind::kOracleUniform;
+  EngineConfig engine;
+
+  /// Source of G̃_u(t) (§7).
+  GskewKind gskew = GskewKind::kStatic;
+  double gskew_factor = 2.0;         ///< oracle: G̃_u = factor·G(t) + margin
+  double gskew_margin = 1.0;         ///< oracle margin
+  double gskew_diameter_hint = 0.0;  ///< distributed: D̂ (0 = derive from topology)
+
+  DetectionDelayMode detection = DetectionDelayMode::kUniform;
+  DelayMode delays = DelayMode::kUniform;
+
+  /// §3 remark: run this node (1+ρ)/(1−ρ) faster so it always carries the
+  /// maximum clock; aopt.rho is widened to the effective ρ̃ automatically.
+  NodeId reference_node = kNoNode;
+
+  Duration drift_sine_period = 400.0;  ///< kSinusoidal
+
+  std::uint64_t seed = 1;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  /// Build the t=0 topology and start the engine. Call once, then run.
+  void start();
+
+  void run_until(Time t) { sim_.run_until(t); }
+  void run_for(Duration dt) { sim_.run_until(sim_.now() + dt); }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] DynamicGraph& graph() { return *graph_; }
+  [[nodiscard]] Transport& transport() { return *transport_; }
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  /// The AOPT instance at node u (throws if another algorithm runs).
+  [[nodiscard]] AoptNode& aopt(NodeId u);
+
+  /// The engine-owned estimate layer's L̃ᵛᵤ (test/metric probe).
+  [[nodiscard]] std::optional<ClockValue> estimate_of(NodeId u, NodeId v) {
+    return estimates_->estimate(u, v);
+  }
+
+ private:
+  ScenarioConfig config_;
+  Simulator sim_;
+  std::unique_ptr<DynamicGraph> graph_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<DriftModel> drift_;
+  std::unique_ptr<EstimateSource> estimates_;
+  std::unique_ptr<GlobalSkewEstimator> gskew_;
+  std::unique_ptr<Engine> engine_;
+  bool started_ = false;
+};
+
+/// Uniform edge-parameter preset used across experiments: eps/tau/delays
+/// scaled around a base uncertainty.
+EdgeParams default_edge_params(double eps = 0.1, double tau = 0.5,
+                               double delay_max = 0.5, double delay_min = 0.1);
+
+/// A reasonable G̃ for a static topology: the κ-weighted diameter bound plus
+/// margin (a-priori knowledge the paper assumes the algorithm has).
+double suggest_gtilde(int n, const std::vector<EdgeKey>& edges,
+                      const EdgeParams& edge_params, const AlgoParams& aopt);
+
+}  // namespace gcs

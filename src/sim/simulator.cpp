@@ -1,0 +1,66 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gcs {
+
+EventId Simulator::schedule_at(Time at, Callback fn) {
+  if (std::isnan(at)) throw std::invalid_argument("Simulator: NaN event time");
+  if (at < now_) {
+    // Tolerate tiny negative offsets caused by float round-off in rate
+    // conversions; anything larger is a logic error in the caller.
+    if (now_ - at > 1e-6 * (std::fabs(now_) + 1.0)) {
+      throw std::invalid_argument("Simulator: scheduling in the past");
+    }
+    at = now_;
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QueueEntry{at, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+bool Simulator::cancel(EventId id) {
+  return callbacks_.erase(id.value) > 0;  // heap entry becomes a tombstone
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const QueueEntry top = queue_.top();
+    auto it = callbacks_.find(top.seq);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    queue_.pop();
+    now_ = top.time;
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty()) {
+    // Skip tombstones to see the true next event time.
+    const QueueEntry top = queue_.top();
+    if (callbacks_.count(top.seq) == 0) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace gcs

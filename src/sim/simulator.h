@@ -1,0 +1,81 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Events fire in non-decreasing time order; equal-time events fire in
+// scheduling (FIFO) order, which makes every execution reproducible.
+// Cancellation is O(1) (lazy tombstones cleaned on pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gcs {
+
+/// Opaque handle to a scheduled event; valid until it fires or is cancelled.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now, tolerating tiny negative
+  /// drift from floating-point arithmetic, which is clamped to now).
+  EventId schedule_at(Time at, Callback fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  EventId schedule_after(Duration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if already fired/cancelled.
+  bool cancel(EventId id);
+
+  /// True if the event is still pending.
+  [[nodiscard]] bool pending(EventId id) const { return callbacks_.count(id.value) > 0; }
+
+  /// Fire the next event; returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or `t` is passed.
+  /// Afterwards now() == max(now, t) (time advances to t even if idle).
+  void run_until(Time t);
+
+  /// Run until the queue is empty.
+  void run();
+
+  [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct QueueEntry {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break + identity
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace gcs

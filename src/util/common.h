@@ -1,0 +1,68 @@
+// Common scalar types and small helpers shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace gcs {
+
+/// Identifier of a node in the network. Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Invalid / absent node id.
+inline constexpr NodeId kNoNode = -1;
+
+/// Simulated real time (the adversary's wall clock), in abstract time units.
+using Time = double;
+
+/// A clock value (hardware or logical), in the same abstract units as Time.
+using ClockValue = double;
+
+/// A duration of simulated real time.
+using Duration = double;
+
+inline constexpr Time kTimeInf = std::numeric_limits<double>::infinity();
+
+/// Canonical undirected edge key: the pair (min(u,v), max(u,v)).
+struct EdgeKey {
+  NodeId a = kNoNode;  ///< smaller endpoint
+  NodeId b = kNoNode;  ///< larger endpoint
+
+  EdgeKey() = default;
+  EdgeKey(NodeId u, NodeId v) : a(u < v ? u : v), b(u < v ? v : u) {
+    if (u == v) throw std::invalid_argument("EdgeKey: self loop " + std::to_string(u));
+  }
+
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+  friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
+
+  /// The endpoint that is not `u`. Precondition: u is an endpoint.
+  [[nodiscard]] NodeId other(NodeId u) const { return u == a ? b : a; }
+  [[nodiscard]] bool has(NodeId u) const { return u == a || u == b; }
+  [[nodiscard]] std::string str() const {
+    return "{" + std::to_string(a) + "," + std::to_string(b) + "}";
+  }
+};
+
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& e) const noexcept {
+    // 64-bit mix of the two 32-bit ids.
+    std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.a)) << 32) |
+                      static_cast<std::uint32_t>(e.b);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Throwing check used for precondition validation in non-hot paths.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::runtime_error(msg);
+}
+
+}  // namespace gcs

@@ -1,0 +1,64 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace gcs {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::CsvWriter() = default;
+
+CsvWriter::~CsvWriter() {
+  if (to_file_) file_.flush();
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  bool needs_quote = false;
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::raw(const std::string& s) {
+  buffer_ += s;
+  if (to_file_) file_ << s;
+}
+
+CsvWriter& CsvWriter::field(const std::string& value) {
+  if (!at_row_start_) raw(",");
+  raw(escape(value));
+  at_row_start_ = false;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) { return field(format_double(value, 9)); }
+
+CsvWriter& CsvWriter::field(long long value) { return field(std::to_string(value)); }
+
+CsvWriter& CsvWriter::endrow() {
+  raw("\n");
+  at_row_start_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) field(c);
+  return endrow();
+}
+
+}  // namespace gcs

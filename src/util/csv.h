@@ -1,0 +1,48 @@
+// Minimal CSV writer for exporting experiment series (plottable externally).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gcs {
+
+/// Writes rows of mixed string/number cells with proper quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// In-memory mode (retrieve with str()).
+  CsvWriter();
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  CsvWriter& field(const std::string& value);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  CsvWriter& field(int value) { return field(static_cast<long long>(value)); }
+  CsvWriter& field(std::size_t value) { return field(static_cast<long long>(value)); }
+
+  /// Terminate the current row.
+  CsvWriter& endrow();
+
+  /// Write a full row of string cells.
+  CsvWriter& row(const std::vector<std::string>& cells);
+
+  /// Content written so far (in-memory mode, or a copy of what went to disk).
+  [[nodiscard]] const std::string& str() const { return buffer_; }
+
+ private:
+  void raw(const std::string& s);
+  static std::string escape(const std::string& s);
+
+  std::ofstream file_;
+  bool to_file_ = false;
+  bool at_row_start_ = true;
+  std::string buffer_;
+};
+
+}  // namespace gcs

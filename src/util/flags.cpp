@@ -1,0 +1,57 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gcs {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg] = "true";
+      } else {
+        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Flags::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+double Flags::get(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+long long Flags::get(const std::string& key, long long def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+int Flags::get(const std::string& key, int def) const {
+  return static_cast<int>(get(key, static_cast<long long>(def)));
+}
+
+bool Flags::get(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Flags: bad boolean for --" + key + ": " + v);
+}
+
+}  // namespace gcs

@@ -1,0 +1,31 @@
+// Minimal --key=value command-line parsing for bench/example binaries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gcs {
+
+/// Parses argv of the form: prog --alpha=1.5 --name=foo --flag positional...
+/// Unknown keys are kept (callers can validate); `--flag` without '=' maps to "true".
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def) const;
+  [[nodiscard]] double get(const std::string& key, double def) const;
+  [[nodiscard]] long long get(const std::string& key, long long def) const;
+  [[nodiscard]] int get(const std::string& key, int def) const;
+  [[nodiscard]] bool get(const std::string& key, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::map<std::string, std::string>& all() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gcs

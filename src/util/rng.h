@@ -1,0 +1,126 @@
+// Deterministic, seedable PRNG (xoshiro256**) with convenience distributions.
+//
+// We implement our own generator instead of std::mt19937_64 so that all
+// experiment outputs are reproducible across standard-library versions (the
+// std distributions are not pinned by the standard; ours are).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace gcs {
+
+/// splitmix64 — used for seeding xoshiro and as a standalone hash/stream.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — public-domain algorithm by Blackman & Vigna.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire-style rejection via modulo threshold; n is small in practice.
+    const std::uint64_t threshold = (0ULL - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u;
+    do {
+      u = uniform01();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  [[nodiscard]] Rng fork(std::uint64_t stream) {
+    std::uint64_t sm = next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    Rng child(0);
+    for (auto& word : child.s_) word = splitmix64(sm);
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,48 @@
+// ASCII table formatting for experiment reports (the "figures" of this repo).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gcs {
+
+/// Column-aligned ASCII table with a title, headers and string cells.
+/// Numeric convenience overloads format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& headers(std::vector<std::string> hs) {
+    headers_ = std::move(hs);
+    return *this;
+  }
+
+  /// Begin a new row.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value) { return cell(std::string(value)); }
+  Table& cell(double value, int precision = 4);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(long long value);
+  Table& cell(std::size_t value) { return cell(static_cast<long long>(value)); }
+  Table& cell(bool value) { return cell(std::string(value ? "yes" : "no")); }
+
+  /// Render to a string (with borders and alignment).
+  [[nodiscard]] std::string str() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double compactly (no trailing zero noise), e.g. for cells/logs.
+std::string format_double(double value, int precision = 4);
+
+}  // namespace gcs

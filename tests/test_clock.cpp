@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clock/drift.h"
+#include "clock/piecewise_clock.h"
+
+namespace gcs {
+namespace {
+
+TEST(PiecewiseClock, IntegratesLinearly) {
+  PiecewiseLinearClock c(0.0, 0.0, 2.0);
+  c.advance(3.0);
+  EXPECT_DOUBLE_EQ(c.value(), 6.0);
+  EXPECT_DOUBLE_EQ(c.value_at(4.0), 8.0);
+}
+
+TEST(PiecewiseClock, RateChangeIsPiecewise) {
+  PiecewiseLinearClock c(0.0, 0.0, 1.0);
+  c.set_rate(2.0, 3.0);  // value 2 at t=2, then rate 3
+  c.advance(4.0);
+  EXPECT_DOUBLE_EQ(c.value(), 2.0 + 3.0 * 2.0);
+}
+
+TEST(PiecewiseClock, SetValueOverrides) {
+  PiecewiseLinearClock c(0.0, 0.0, 1.0);
+  c.set_value(1.0, 100.0);
+  c.advance(2.0);
+  EXPECT_DOUBLE_EQ(c.value(), 101.0);
+}
+
+TEST(PiecewiseClock, TimeOfValueInvertsCorrectly) {
+  PiecewiseLinearClock c(5.0, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(c.time_of_value(16.0), 8.0);
+  EXPECT_DOUBLE_EQ(c.time_of_value(10.0), 5.0);  // already reached
+  EXPECT_DOUBLE_EQ(c.time_of_value(4.0), 5.0);   // already passed
+}
+
+TEST(PiecewiseClock, BackwardsTimeThrows) {
+  PiecewiseLinearClock c(10.0, 0.0, 1.0);
+  EXPECT_THROW(c.advance(5.0), std::invalid_argument);
+  EXPECT_NO_THROW(c.advance(10.0 - 1e-12));  // float fuzz tolerated
+}
+
+TEST(ConstantDrift, RespectsOffsets) {
+  ConstantDrift d(0.01, {0.01, -0.01, 0.0});
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 5.0), 1.01);
+  EXPECT_DOUBLE_EQ(d.rate_at(1, 5.0), 0.99);
+  EXPECT_DOUBLE_EQ(d.rate_at(2, 5.0), 1.0);
+  EXPECT_EQ(d.next_change_after(0, 1.0), kTimeInf);
+}
+
+TEST(ConstantDrift, RejectsOffsetBeyondRho) {
+  EXPECT_THROW(ConstantDrift(0.01, {0.02}), std::runtime_error);
+}
+
+TEST(LinearSpreadDrift, SpansFullRange) {
+  LinearSpreadDrift d(0.01, 5);
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 0.0), 0.99);
+  EXPECT_DOUBLE_EQ(d.rate_at(4, 0.0), 1.01);
+  EXPECT_DOUBLE_EQ(d.rate_at(2, 0.0), 1.0);
+}
+
+TEST(AlternatingBlocksDrift, FlipsEveryPeriod) {
+  AlternatingBlocksDrift d(0.01, 8, 2, 10.0);
+  const double early = d.rate_at(0, 1.0);
+  const double late = d.rate_at(0, 11.0);
+  EXPECT_DOUBLE_EQ(early + late, 2.0);  // +rho then -rho
+  // Adjacent blocks have opposite signs at the same time.
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 1.0) + d.rate_at(7, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(d.next_change_after(0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.next_change_after(0, 10.0), 20.0);
+}
+
+TEST(RandomWalkDrift, StaysWithinRhoAndIsDeterministic) {
+  RandomWalkDrift d1(0.01, 4, 5.0, 0.004, 99);
+  RandomWalkDrift d2(0.01, 4, 5.0, 0.004, 99);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (int k = 0; k < 200; ++k) {
+      const double t = k * 5.0 + 0.1;
+      const double r = d1.rate_at(u, t);
+      EXPECT_GE(r, 0.99);
+      EXPECT_LE(r, 1.01);
+      EXPECT_DOUBLE_EQ(r, d2.rate_at(u, t));
+    }
+  }
+}
+
+TEST(RandomWalkDrift, MemoizesNonMonotoneQueries) {
+  RandomWalkDrift d(0.01, 2, 5.0, 0.004, 7);
+  const double late = d.rate_at(0, 100.0);
+  const double early = d.rate_at(0, 2.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 100.0), late);
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 2.0), early);
+}
+
+TEST(ScriptedDrift, FollowsBreakpoints) {
+  ScriptedDrift d(0.05);
+  d.add(0, 10.0, 1.05);
+  d.add(0, 20.0, 0.95);
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 5.0), 1.0);    // before first breakpoint
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 10.0), 1.05);  // inclusive at breakpoint
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 15.0), 1.05);
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 25.0), 0.95);
+  EXPECT_DOUBLE_EQ(d.rate_at(1, 15.0), 1.0);  // unscripted node
+  EXPECT_DOUBLE_EQ(d.next_change_after(0, 5.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.next_change_after(0, 10.0), 20.0);
+  EXPECT_EQ(d.next_change_after(0, 20.0), kTimeInf);
+}
+
+TEST(ScriptedDrift, RejectsOutOfOrderAndOutOfRange) {
+  ScriptedDrift d(0.01);
+  d.add(0, 10.0, 1.01);
+  EXPECT_THROW(d.add(0, 5.0, 1.0), std::runtime_error);
+  EXPECT_THROW(d.add(1, 0.0, 1.5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/skew.h"
+#include "runner/scenario.h"
+
+namespace gcs {
+namespace {
+
+ScenarioConfig base_config(int n) {
+  ScenarioConfig c;
+  c.n = n;
+  c.initial_edges = topo_line(n);
+  c.edge_params = default_edge_params();
+  c.aopt.rho = 1e-3;
+  c.aopt.mu = 0.05;
+  c.aopt.gtilde_static =
+      suggest_gtilde(n, c.initial_edges, c.edge_params, c.aopt);
+  c.drift = DriftKind::kLinearSpread;
+  c.estimates = EstimateKind::kOracleUniform;
+  c.engine.tick_period = 0.2;
+  c.engine.beacon_period = 0.2;
+  return c;
+}
+
+TEST(Engine, ClocksStartAtZeroAndAdvance) {
+  Scenario s(base_config(4));
+  s.start();
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_DOUBLE_EQ(s.engine().logical(u), 0.0);
+    EXPECT_DOUBLE_EQ(s.engine().hardware(u), 0.0);
+  }
+  s.run_until(10.0);
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_GT(s.engine().logical(u), 9.0);
+    EXPECT_LT(s.engine().logical(u), 11.0);
+  }
+}
+
+TEST(Engine, HardwareClocksRespectDriftEnvelope) {
+  auto cfg = base_config(6);
+  cfg.drift = DriftKind::kRandomWalk;
+  Scenario s(cfg);
+  s.start();
+  const double rho = cfg.aopt.rho;
+  for (int step = 1; step <= 20; ++step) {
+    s.run_until(step * 5.0);
+    const Time t = s.sim().now();
+    for (NodeId u = 0; u < 6; ++u) {
+      const double h = s.engine().hardware(u);
+      EXPECT_GE(h, (1.0 - rho) * t - 1e-9);
+      EXPECT_LE(h, (1.0 + rho) * t + 1e-9);
+      const double rate = s.engine().hardware_rate(u);
+      EXPECT_GE(rate, 1.0 - rho - 1e-12);
+      EXPECT_LE(rate, 1.0 + rho + 1e-12);
+    }
+  }
+}
+
+TEST(Engine, LogicalRatesWithinAlphaBetaEnvelope) {
+  Scenario s(base_config(8));
+  s.start();
+  const double alpha = s.config().aopt.alpha();
+  const double beta = s.config().aopt.beta();
+  ClockValue prev[8] = {};
+  Time prev_t = 0.0;
+  for (int step = 1; step <= 40; ++step) {
+    s.run_until(step * 2.5);
+    const Time t = s.sim().now();
+    for (NodeId u = 0; u < 8; ++u) {
+      const ClockValue l = s.engine().logical(u);
+      const double avg_rate = (l - prev[u]) / (t - prev_t);
+      EXPECT_GE(avg_rate, alpha - 1e-9) << "node " << u << " step " << step;
+      EXPECT_LE(avg_rate, beta + 1e-9) << "node " << u << " step " << step;
+      prev[u] = l;
+    }
+    prev_t = t;
+  }
+}
+
+TEST(Engine, MaxEstimateInvariants) {
+  // Condition 4.3: L_u <= M_u <= max_v L_v at all sampled times.
+  Scenario s(base_config(8));
+  s.start();
+  for (int step = 1; step <= 60; ++step) {
+    s.run_until(step * 1.5);
+    double max_logical = -kTimeInf;
+    for (NodeId u = 0; u < 8; ++u) {
+      max_logical = std::max(max_logical, s.engine().logical(u));
+    }
+    for (NodeId u = 0; u < 8; ++u) {
+      const ClockValue l = s.engine().logical(u);
+      const ClockValue m = s.engine().max_estimate(u);
+      EXPECT_GE(m, l - 1e-9) << "eq. (4) violated at node " << u;
+      EXPECT_LE(m, max_logical + 1e-9) << "eq. (2) violated at node " << u;
+    }
+  }
+}
+
+TEST(Engine, NoTriggerConflictsInNormalRun) {
+  Scenario s(base_config(8));
+  s.start();
+  s.run_until(150.0);
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_FALSE(s.aopt(u).saw_trigger_conflict()) << "node " << u;
+  }
+}
+
+TEST(Engine, GlobalSkewStaysBoundedOnLine) {
+  // Theorem 5.6-flavored smoke test: with maximally divergent drift the
+  // global skew must stay far below unsynchronized divergence and below G̃.
+  auto cfg = base_config(8);
+  Scenario s(cfg);
+  s.start();
+  double worst = 0.0;
+  for (int step = 1; step <= 100; ++step) {
+    s.run_until(step * 5.0);
+    worst = std::max(worst, s.engine().true_global_skew());
+  }
+  // Unsynchronized divergence would be 2*rho*t = 0.002*500 = 1.0 per pair...
+  // the point: skew is bounded by a constant, not growing with t.
+  EXPECT_LT(worst, cfg.aopt.gtilde_static);
+  const double tail = s.engine().true_global_skew();
+  s.run_until(1000.0);
+  EXPECT_LT(s.engine().true_global_skew(), std::max(2.0 * tail, worst * 1.5))
+      << "global skew appears to grow without bound";
+}
+
+TEST(Engine, CorruptLogicalKeepsMaxInvariant) {
+  Scenario s(base_config(4));
+  s.start();
+  s.run_until(20.0);
+  s.engine().corrupt_logical(2, s.engine().logical(2) + 5.0);
+  EXPECT_GE(s.engine().max_estimate(2), s.engine().logical(2) - 1e-9);
+  s.engine().corrupt_logical(1, s.engine().logical(1) - 5.0);
+  EXPECT_GE(s.engine().max_estimate(1), s.engine().logical(1) - 1e-9);
+  s.run_until(40.0);  // must not crash; invariants hold again
+  EXPECT_GE(s.engine().max_estimate(1), s.engine().logical(1) - 1e-9);
+}
+
+TEST(Engine, FreeRunningDiverges) {
+  auto cfg = base_config(6);
+  cfg.algo = AlgoKind::kFreeRunning;
+  Scenario s(cfg);
+  s.start();
+  s.run_until(2000.0);
+  // LinearSpread: ends drift apart at 2*rho => skew ~ 2*0.001*2000 = 4.
+  EXPECT_GT(s.engine().true_global_skew(), 3.0);
+}
+
+TEST(Engine, StartTwiceThrows) {
+  Scenario s(base_config(3));
+  s.start();
+  EXPECT_THROW(s.engine().start(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,218 @@
+// Randomized scenario fuzzing with an invariant battery.
+//
+// Each case builds a random world (topology, drift, estimate layer,
+// insertion policy, delay regime), then interleaves random adversary actions
+// (edge churn preserving connectivity, small clock corruptions) with time
+// advances, checking after every step the invariants the paper's analysis
+// rests on:
+//   * logical rates within [1−ρ, (1+ρ)(1+µ)]                  (§3)
+//   * L_u <= M_u <= max_v L_v                                  (Cond. 4.3)
+//   * flooded min estimate <= min_v L_v
+//   * neighbor-set nesting N^{s+1} ⊆ N^s                       (Lemma 5.1)
+//   * fast/slow triggers never simultaneous                    (Lemma 5.3)
+//   * completed handshakes agree bitwise on (T0, I, G̃)        (Lemma 5.5 I)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runner/scenario.h"
+
+namespace gcs {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+ScenarioConfig random_config(Rng& rng) {
+  ScenarioConfig cfg;
+  cfg.seed = rng.next();
+
+  // Topology.
+  switch (rng.below(6)) {
+    case 0:
+      cfg.n = static_cast<int>(rng.between(4, 16));
+      cfg.initial_edges = topo_line(cfg.n);
+      break;
+    case 1:
+      cfg.n = static_cast<int>(rng.between(4, 16));
+      cfg.initial_edges = topo_ring(cfg.n);
+      break;
+    case 2: {
+      const int rows = static_cast<int>(rng.between(2, 4));
+      const int cols = static_cast<int>(rng.between(2, 4));
+      cfg.n = rows * cols;
+      cfg.initial_edges = topo_grid(rows, cols);
+      break;
+    }
+    case 3:
+      cfg.n = static_cast<int>(rng.between(4, 16));
+      cfg.initial_edges = topo_random_tree(cfg.n, rng);
+      break;
+    case 4:
+      cfg.n = static_cast<int>(rng.between(5, 14));
+      cfg.initial_edges = topo_gnp_connected(cfg.n, 0.35, rng);
+      break;
+    default:
+      cfg.n = 8;
+      cfg.initial_edges = topo_hypercube(3);
+      break;
+  }
+
+  cfg.edge_params = default_edge_params(rng.uniform(0.05, 0.2),
+                                        rng.uniform(0.1, 0.6),
+                                        rng.uniform(0.4, 1.0),
+                                        rng.uniform(0.0, 0.2));
+  cfg.aopt.rho = rng.uniform(5e-4, 4e-3);
+  cfg.aopt.mu = rng.uniform(0.05, 0.1);
+  cfg.aopt.gtilde_static =
+      suggest_gtilde(cfg.n, cfg.initial_edges, cfg.edge_params, cfg.aopt) +
+      rng.uniform(0.0, 5.0);
+  const InsertionPolicy policies[] = {
+      InsertionPolicy::kStagedStatic, InsertionPolicy::kStagedDynamic,
+      InsertionPolicy::kImmediate, InsertionPolicy::kWeightDecay};
+  cfg.aopt.insertion = policies[rng.below(4)];
+  cfg.aopt.B = 8.0;
+  const DriftKind drifts[] = {DriftKind::kNone, DriftKind::kLinearSpread,
+                              DriftKind::kAlternatingBlocks, DriftKind::kRandomWalk,
+                              DriftKind::kSinusoidal};
+  cfg.drift = drifts[rng.below(5)];
+  cfg.drift_block_period = rng.uniform(20.0, 120.0);
+  cfg.drift_blocks = static_cast<int>(rng.between(2, 4));
+  const EstimateKind estimates[] = {EstimateKind::kOracleZero,
+                                    EstimateKind::kOracleUniform,
+                                    EstimateKind::kOracleAdversarial,
+                                    EstimateKind::kBeacon};
+  cfg.estimates = estimates[rng.below(4)];
+  const GskewKind gskews[] = {GskewKind::kStatic, GskewKind::kOracle,
+                              GskewKind::kDistributed};
+  cfg.gskew = gskews[rng.below(3)];
+  const DelayMode delays[] = {DelayMode::kUniform, DelayMode::kMin, DelayMode::kMax};
+  cfg.delays = delays[rng.below(3)];
+  const DetectionDelayMode detections[] = {DetectionDelayMode::kZero,
+                                           DetectionDelayMode::kUniform,
+                                           DetectionDelayMode::kMax};
+  cfg.detection = detections[rng.below(3)];
+  return cfg;
+}
+
+// `model_conforming` is false once a *downward* clock corruption was
+// injected: the paper's model has monotone logical clocks, and the flooded
+// max/min bounds (Condition 4.3 and its mirror) are only sound for
+// model-conforming executions. The per-node invariant M_u >= L_u is
+// maintained unconditionally.
+void check_invariants(Scenario& s, std::vector<double>& prev_logical,
+                      Time& prev_time, bool allow_jumps, bool model_conforming) {
+  Engine& engine = s.engine();
+  const int n = engine.size();
+  const Time now = s.sim().now();
+  const double alpha = s.config().aopt.alpha();
+  const double beta = s.config().aopt.beta();
+
+  double min_logical = kTimeInf;
+  double max_logical = -kTimeInf;
+  for (NodeId u = 0; u < n; ++u) {
+    const double l = engine.logical(u);
+    min_logical = std::min(min_logical, l);
+    max_logical = std::max(max_logical, l);
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    const auto i = static_cast<std::size_t>(u);
+    const double l = engine.logical(u);
+    // Rate envelope between checks (unless jumps were injected).
+    if (!allow_jumps && now > prev_time) {
+      const double rate = (l - prev_logical[i]) / (now - prev_time);
+      ASSERT_GE(rate, alpha - 1e-9) << "node " << u << " t=" << now;
+      ASSERT_LE(rate, beta + 1e-9) << "node " << u << " t=" << now;
+    }
+    prev_logical[i] = l;
+    // Condition 4.3 (local part) holds unconditionally.
+    ASSERT_GE(engine.max_estimate(u), l - 1e-9);
+    if (model_conforming) {
+      // Global flooded bounds are sound only without downward jumps.
+      ASSERT_LE(engine.max_estimate(u), max_logical + 1e-9);
+      ASSERT_LE(engine.min_estimate(u), min_logical + 1e-9);
+    }
+  }
+  prev_time = now;
+
+  if (s.config().algo != AlgoKind::kAopt) return;
+  for (NodeId u = 0; u < n; ++u) {
+    ASSERT_FALSE(s.aopt(u).saw_trigger_conflict()) << "node " << u;
+    for (NodeId v : s.graph().view_neighbors(u)) {
+      // Lemma 5.1 nesting.
+      for (int level : {1, 2, 4, 8}) {
+        if (s.aopt(u).edge_in_level(v, level + 1)) {
+          ASSERT_TRUE(s.aopt(u).edge_in_level(v, level));
+        }
+      }
+      // Lemma 5.5 (I): agreement once both committed.
+      const auto a = s.aopt(u).peer_info(v);
+      const auto b = s.aopt(v).peer_info(u);
+      if (a.has_value() && b.has_value() && a->present && b->present &&
+          a->t0 < kTimeInf && b->t0 < kTimeInf) {
+        ASSERT_DOUBLE_EQ(a->t0, b->t0) << "edge {" << u << "," << v << "}";
+        ASSERT_DOUBLE_EQ(a->insertion_duration, b->insertion_duration);
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, InvariantsHoldUnderRandomAdversary) {
+  Rng rng(GetParam().seed * 0x9e3779b97f4a7c15ULL + 1);
+  auto cfg = random_config(rng);
+  Scenario s(cfg);
+  s.start();
+
+  std::vector<double> prev_logical(static_cast<std::size_t>(cfg.n), 0.0);
+  Time prev_time = 0.0;
+  const auto candidates = cfg.initial_edges;
+  bool model_conforming = true;
+
+  for (int step = 0; step < 60; ++step) {
+    bool jumped = false;
+    const auto action = rng.below(10);
+    if (action < 2 && !candidates.empty()) {
+      // Remove a random non-bridge edge.
+      const auto& e = candidates[rng.below(candidates.size())];
+      if (s.graph().adversary_present(e) && s.graph().connected_without(e)) {
+        s.graph().destroy_edge(e);
+      }
+    } else if (action < 4 && !candidates.empty()) {
+      // (Re-)add a random candidate edge.
+      const auto& e = candidates[rng.below(candidates.size())];
+      if (!s.graph().adversary_present(e)) {
+        s.graph().create_edge(e, cfg.edge_params);
+      }
+    } else if (action == 4) {
+      // Small clock corruption (both directions).
+      const auto u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(cfg.n)));
+      const double offset = rng.uniform(-1.0, 1.0);
+      if (offset < 0.0) model_conforming = false;  // outside the clock model
+      s.engine().corrupt_logical(u, s.engine().logical(u) + offset);
+      jumped = true;
+    }
+    s.run_for(rng.uniform(1.0, 8.0));
+    check_invariants(s, prev_logical, prev_time, jumped, model_conforming);
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "invariants broke with seed " << GetParam().seed
+                    << " at step " << step;
+      return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzTest,
+    ::testing::Values(FuzzCase{1}, FuzzCase{2}, FuzzCase{3}, FuzzCase{4},
+                      FuzzCase{5}, FuzzCase{6}, FuzzCase{7}, FuzzCase{8},
+                      FuzzCase{9}, FuzzCase{10}, FuzzCase{11}, FuzzCase{12}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace gcs

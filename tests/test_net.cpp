@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace gcs {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  DynamicGraph graph{sim, 4, 7};
+  Transport transport{sim, graph, 9};
+  std::vector<Delivery> deliveries;
+
+  explicit Fixture(double delay_min = 0.1, double delay_max = 0.5) {
+    graph.set_detection_delay_mode(DetectionDelayMode::kZero);
+    EdgeParams p;
+    p.eps = 0.1;
+    p.tau = 0.2;
+    p.msg_delay_min = delay_min;
+    p.msg_delay_max = delay_max;
+    graph.create_edge_instant(EdgeKey(0, 1), p);
+    graph.create_edge_instant(EdgeKey(1, 2), p);
+    transport.set_handler([this](const Delivery& d) { deliveries.push_back(d); });
+  }
+};
+
+TEST(Transport, DeliversWithinDelayBounds) {
+  Fixture f;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(f.transport.send(0, 1, Beacon{1.0 * i, 0.0}));
+  }
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 100u);
+  for (const auto& d : f.deliveries) {
+    const double transit = d.delivered_at - d.sent_at;
+    EXPECT_GE(transit, 0.1 - 1e-12);
+    EXPECT_LE(transit, 0.5 + 1e-12);
+    EXPECT_EQ(d.from, 0);
+    EXPECT_EQ(d.to, 1);
+    EXPECT_DOUBLE_EQ(d.known_min_delay, 0.1);
+  }
+}
+
+TEST(Transport, RefusesSendWithoutEdgeInSendersView) {
+  Fixture f;
+  EXPECT_FALSE(f.transport.send(0, 2, Beacon{}));
+  EXPECT_FALSE(f.transport.send(0, 3, Beacon{}));
+  EXPECT_EQ(f.transport.sent_count(), 0u);
+}
+
+TEST(Transport, DelayModeMinAndMax) {
+  Fixture f;
+  f.transport.set_delay_mode(DelayMode::kMin);
+  f.transport.send(0, 1, Beacon{});
+  f.transport.set_delay_mode(DelayMode::kMax);
+  f.transport.send(0, 1, Beacon{});
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.deliveries[0].delivered_at - f.deliveries[0].sent_at, 0.1);
+  EXPECT_DOUBLE_EQ(f.deliveries[1].delivered_at - f.deliveries[1].sent_at, 0.5);
+}
+
+TEST(Transport, DirectionalOverrideClampedToBounds) {
+  Fixture f;
+  f.transport.set_directional_delay(0, 1, 0.3);
+  f.transport.send(0, 1, Beacon{});
+  f.transport.set_directional_delay(0, 1, 99.0);  // clamped to max
+  f.transport.send(0, 1, Beacon{});
+  f.transport.clear_directional_delay(0, 1);
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.deliveries[0].delivered_at - f.deliveries[0].sent_at, 0.3);
+  EXPECT_DOUBLE_EQ(f.deliveries[1].delivered_at - f.deliveries[1].sent_at, 0.5);
+}
+
+TEST(Transport, DropsWhenEdgeVanishesMidFlight) {
+  Fixture f;
+  f.transport.set_delay_mode(DelayMode::kMax);  // 0.5 transit
+  EXPECT_TRUE(f.transport.send(0, 1, Beacon{}));
+  f.sim.run_until(0.1);
+  f.graph.destroy_edge(EdgeKey(0, 1));
+  f.sim.run();
+  EXPECT_EQ(f.deliveries.size(), 0u);
+  EXPECT_EQ(f.transport.dropped_count(), 1u);
+}
+
+TEST(Transport, DropsWhenEdgeAppearedAfterSend) {
+  Fixture f;
+  f.transport.set_delay_mode(DelayMode::kMax);
+  EXPECT_TRUE(f.transport.send(0, 1, Beacon{}));
+  f.sim.run_until(0.1);
+  // Re-create the edge: receiver's view_since moves past the send time.
+  f.graph.destroy_edge(EdgeKey(0, 1));
+  EdgeParams p;
+  p.eps = 0.1;
+  p.tau = 0.2;
+  p.msg_delay_min = 0.1;
+  p.msg_delay_max = 0.5;
+  f.graph.create_edge(EdgeKey(0, 1), p);
+  f.sim.run();
+  EXPECT_EQ(f.deliveries.size(), 0u);
+}
+
+TEST(Transport, PayloadVariantsRoundTrip) {
+  Fixture f;
+  f.transport.send(0, 1, Beacon{12.5, 13.5});
+  f.transport.send(1, 2, InsertEdgeMsg{77.0, 10.0});
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  int beacons = 0;
+  int inserts = 0;
+  for (const auto& d : f.deliveries) {
+    if (const auto* b = std::get_if<Beacon>(&d.payload)) {
+      ++beacons;
+      EXPECT_DOUBLE_EQ(b->logical, 12.5);
+      EXPECT_DOUBLE_EQ(b->max_estimate, 13.5);
+    } else if (const auto* ins = std::get_if<InsertEdgeMsg>(&d.payload)) {
+      ++inserts;
+      EXPECT_DOUBLE_EQ(ins->l_ins, 77.0);
+      EXPECT_DOUBLE_EQ(ins->gtilde, 10.0);
+    }
+  }
+  EXPECT_EQ(beacons, 1);
+  EXPECT_EQ(inserts, 1);
+}
+
+}  // namespace
+}  // namespace gcs

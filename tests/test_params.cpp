@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/params.h"
+
+namespace gcs {
+namespace {
+
+AlgoParams good_params() {
+  AlgoParams p;
+  p.rho = 1e-3;
+  p.mu = 0.05;
+  p.iota = 1e-4;
+  return p;
+}
+
+TEST(AlgoParams, GoodParamsValidate) {
+  const auto r = good_params().validate();
+  EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST(AlgoParams, SigmaFormula) {
+  AlgoParams p = good_params();
+  // eq. (8): sigma = (1-rho)*mu / (2*rho)
+  EXPECT_NEAR(p.sigma(), (1.0 - 1e-3) * 0.05 / 2e-3, 1e-12);
+  EXPECT_GT(p.sigma(), 1.0);
+}
+
+TEST(AlgoParams, AlphaBetaEnvelope) {
+  AlgoParams p = good_params();
+  EXPECT_DOUBLE_EQ(p.alpha(), 1.0 - p.rho);
+  EXPECT_DOUBLE_EQ(p.beta(), (1.0 + p.rho) * (1.0 + p.mu));
+  // Fast mode must outrun slow mode: (1+mu)(1-rho) > 1+rho.
+  EXPECT_GT((1.0 + p.mu) * (1.0 - p.rho), 1.0 + p.rho);
+}
+
+TEST(AlgoParams, RejectsMuBelowDriftFloor) {
+  AlgoParams p = good_params();
+  p.mu = 2.0 * p.rho / (1.0 - p.rho);  // boundary: sigma == 1
+  EXPECT_FALSE(p.validate().ok());
+  p.mu = p.rho;  // far below
+  EXPECT_FALSE(p.validate().ok());
+}
+
+TEST(AlgoParams, WarnsOnLargeMu) {
+  AlgoParams p = good_params();
+  p.mu = 0.2;  // violates eq. (7)
+  const auto r = p.validate();
+  EXPECT_TRUE(r.ok());  // soft
+  EXPECT_FALSE(r.warnings.empty());
+}
+
+TEST(AlgoParams, WarnsOnSmallSigma) {
+  AlgoParams p = good_params();
+  p.rho = 0.02;
+  p.mu = 0.1;  // sigma = 0.98*0.1/0.04 = 2.45 < 3
+  const auto r = p.validate();
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.warnings.empty());
+}
+
+TEST(AlgoParams, RejectsBadScalars) {
+  AlgoParams p = good_params();
+  p.iota = 0.0;
+  EXPECT_FALSE(p.validate().ok());
+  p = good_params();
+  p.rho = 0.0;
+  EXPECT_FALSE(p.validate().ok());
+  p = good_params();
+  p.delta_frac = 1.0;
+  EXPECT_FALSE(p.validate().ok());
+  p = good_params();
+  p.kappa_slack = 0.0;
+  EXPECT_FALSE(p.validate().ok());
+}
+
+TEST(AlgoParams, EdgeConstantsSatisfyEq9) {
+  AlgoParams p = good_params();
+  EdgeParams e;
+  e.eps = 0.1;
+  e.tau = 0.5;
+  const EdgeConstants c = p.edge_constants(e);
+  // eq. (9): kappa > 4(eps + mu*tau)
+  EXPECT_GT(c.kappa, 4.0 * (e.eps + p.mu * e.tau));
+  // Def 4.6: delta in (0, kappa/2 - 2eps - 2mu*tau)
+  EXPECT_GT(c.delta, 0.0);
+  EXPECT_LT(c.delta, c.kappa / 2.0 - 2.0 * e.eps - 2.0 * p.mu * e.tau);
+  EXPECT_TRUE(p.validate_edge(e).ok());
+}
+
+TEST(AlgoParams, InsertionDurationStaticMatchesEq10) {
+  AlgoParams p = good_params();
+  const double gt = 10.0;
+  const double expected =
+      (20.0 * (1.0 + p.mu) / (1.0 - p.rho) + 56.0 * p.mu +
+       (8.0 + 56.0 * p.mu) / p.sigma()) *
+      gt / p.mu;
+  EXPECT_NEAR(p.insertion_duration_static(gt), expected, 1e-9);
+  // Scales linearly with the estimate and inversely with mu.
+  EXPECT_NEAR(p.insertion_duration_static(2.0 * gt),
+              2.0 * p.insertion_duration_static(gt), 1e-9);
+}
+
+TEST(AlgoParams, InsertionDurationDynamicIsPowerOfTwoGrid) {
+  AlgoParams p = good_params();
+  p.B = 64.0;
+  const double i1 = p.insertion_duration_dynamic(10.0, 0.5, 0.5);
+  // I = B * 2^{3 + ceil(log2(G/mu + T + tau))}; must be B * power of two.
+  const double quotient = i1 / p.B;
+  const double log2q = std::log2(quotient);
+  EXPECT_NEAR(log2q, std::round(log2q), 1e-12);
+  // Monotone (weakly) in the estimate.
+  EXPECT_GE(p.insertion_duration_dynamic(100.0, 0.5, 0.5), i1);
+}
+
+TEST(AlgoParams, DynamicBOutsideEq12Warns) {
+  AlgoParams p = good_params();
+  p.insertion = InsertionPolicy::kStagedDynamic;
+  p.B = 64.0;  // far below 320*2^7/(1-rho)^2
+  const auto r = p.validate();
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.warnings.empty());
+}
+
+TEST(AlgoParams, HandshakeDeltaMatchesListing1) {
+  AlgoParams p = good_params();
+  EdgeParams e;
+  e.tau = 0.5;
+  e.msg_delay_max = 0.5;
+  const double expected =
+      (1.0 + p.rho) * (1.0 + p.mu) * (0.5 + 0.5) / (1.0 - p.rho) + 0.5;
+  EXPECT_NEAR(p.handshake_delta(e), expected, 1e-12);
+  // Delta - tau >= T + tau (needed for the follower wait window).
+  EXPECT_GE(p.handshake_delta(e) - e.tau, e.msg_delay_max + e.tau);
+}
+
+TEST(InsertionPolicyNames, AllDistinct) {
+  EXPECT_STREQ(to_string(InsertionPolicy::kStagedStatic), "staged-static");
+  EXPECT_STREQ(to_string(InsertionPolicy::kStagedDynamic), "staged-dynamic");
+  EXPECT_STREQ(to_string(InsertionPolicy::kImmediate), "immediate");
+  EXPECT_STREQ(to_string(InsertionPolicy::kWeightDecay), "weight-decay");
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace gcs {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel fails
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesTime) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule_at(5.0, [&] { fired.push_back(5.0); });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // idle time still advances
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(Simulator, EventsScheduledDuringEventsRun) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_after(0.5, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleAtSameTimeRunsAfterPeers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(1.0, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(std::nan(""), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ToleratesTinyNegativeDelay) {
+  Simulator sim;
+  sim.schedule_at(1.0, [&] {
+    // Float round-off in rate conversions can produce "now - 1e-12".
+    EXPECT_NO_THROW(sim.schedule_at(sim.now() - 1e-12, [] {}));
+  });
+  sim.run();
+}
+
+TEST(Simulator, CountsFiredAndPending) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.fired_count(), 2u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, ManyCancellationsStayConsistent) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule_at(1.0 + i * 0.001, [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+  sim.run();
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace gcs
