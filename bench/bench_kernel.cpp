@@ -47,35 +47,34 @@ void BM_TriggerEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_TriggerEvaluation)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
-ScenarioConfig kernel_config(int n) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.initial_edges = topo_line(n);
-  cfg.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
-  cfg.aopt.rho = 1e-3;
-  cfg.aopt.mu = 0.1;
-  cfg.aopt.gtilde_static =
-      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;
-  cfg.estimates = EstimateKind::kOracleUniform;
-  return cfg;
+ScenarioSpec kernel_spec(int n) {
+  ScenarioSpec spec;
+  spec.n = n;
+  spec.topology = ComponentSpec("line");
+  spec.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
+  spec.aopt.rho = 1e-3;
+  spec.aopt.mu = 0.1;
+  spec.gtilde_auto = true;
+  spec.drift = ComponentSpec("spread");
+  spec.estimates = ComponentSpec("uniform");
+  return spec;
 }
 
 void BM_LegalityCheck(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
-  Scenario s(kernel_config(n));
+  Scenario s(kernel_spec(n));
   s.start();
   s.run_until(50.0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        check_legality(s.engine(), s.config().aopt.gtilde_static));
+        check_legality(s.engine(), s.spec().aopt.gtilde_static));
   }
 }
 BENCHMARK(BM_LegalityCheck)->Arg(16)->Arg(64);
 
 void BM_GradientMeasurement(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
-  Scenario s(kernel_config(n));
+  Scenario s(kernel_spec(n));
   s.start();
   s.run_until(50.0);
   for (auto _ : state) {
@@ -87,7 +86,7 @@ BENCHMARK(BM_GradientMeasurement)->Arg(16)->Arg(64);
 void BM_ScenarioSimulation(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Scenario s(kernel_config(n));
+    Scenario s(kernel_spec(n));
     s.start();
     s.run_until(50.0);
     benchmark::DoNotOptimize(s.sim().fired_count());
@@ -100,9 +99,9 @@ BENCHMARK(BM_ScenarioSimulation)->Arg(16)->Arg(64)->Arg(256);
 void BM_BeaconScenarioSimulation(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    auto cfg = kernel_config(n);
-    cfg.estimates = EstimateKind::kBeacon;
-    Scenario s(cfg);
+    auto spec = kernel_spec(n);
+    spec.estimates = ComponentSpec("beacon");
+    Scenario s(spec);
     s.start();
     s.run_until(50.0);
     benchmark::DoNotOptimize(s.sim().fired_count());

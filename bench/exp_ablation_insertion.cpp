@@ -19,32 +19,28 @@ struct AblationOutcome {
 };
 
 AblationOutcome run(InsertionPolicy policy, int n) {
-  auto cfg = fast_line_config(n);
-  cfg.name = std::string("ablation-") + to_string(policy);
-  cfg.aopt.insertion = policy;
-  Scenario s(cfg);
+  auto spec = fast_line_spec(n);
+  spec.name = std::string("ablation-") + to_string(policy);
+  spec.aopt.insertion = policy;
+  Scenario s(spec);
   s.start();
-  const double ghat = cfg.aopt.gtilde_static;
+  const double ghat = s.spec().aopt.gtilde_static;
 
   s.run_until(100.0);
   // Scatter the line linearly across 0.4*Ghat — *legal* for every existing
   // path (per-edge scatter stays below the level-1 allowance), but far above
   // the stable bound of the shortcut about to appear. Insert immediately,
   // before the max-estimate chase collapses the scatter.
-  const double base0 = s.engine().logical(0);
-  for (NodeId u = 0; u < n; ++u) {
-    s.engine().corrupt_logical(
-        u, base0 + 0.4 * ghat * static_cast<double>(u) / (n - 1));
-  }
+  scatter_clocks_linearly(s, 0.4 * ghat);
   const Time t_insert = s.sim().now();
   const EdgeKey shortcut(0, n - 1);
-  s.graph().create_edge(shortcut, cfg.edge_params);
+  s.graph().create_edge(shortcut, s.spec().edge_params);
 
   AblationOutcome out;
   const auto old_edges = topo_line(n);
   const double final_kappa = metric_kappa(s.engine(), shortcut);
   const double horizon =
-      t_insert + 2.5 * cfg.aopt.insertion_duration_static(ghat) + 200.0;
+      t_insert + 2.5 * s.spec().aopt.insertion_duration_static(ghat) + 200.0;
   auto observe = [&] {
     const auto report = check_legality(s.engine(), ghat);
     out.worst_margin = std::max(out.worst_margin, report.worst_margin);

@@ -20,20 +20,20 @@ struct Outcome {
   double max_jump = 0.0;           ///< largest discontinuity (jumping algorithms)
 };
 
-Outcome run(AlgoKind algo, int n, std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.initial_edges = topo_line(n);
-  cfg.algo = algo;
-  cfg.aopt.rho = 5e-3;
-  cfg.aopt.mu = 0.1;
-  cfg.aopt.gtilde_static = 80.0;  // dominates the hidden Θ(D) skew
-  cfg.drift = DriftKind::kLinearSpread;
-  cfg.estimates = EstimateKind::kOracleUniform;
-  cfg.seed = seed;
-  apply_adversarial_delays(cfg);  // §8 regime: staleness Θ(D)
+Outcome run(const std::string& algo, int n, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.n = n;
+  spec.topology = ComponentSpec("line");
+  spec.algo = ComponentSpec(algo);
+  spec.aopt.rho = 5e-3;
+  spec.aopt.mu = 0.1;
+  spec.aopt.gtilde_static = 80.0;  // dominates the hidden Θ(D) skew
+  spec.drift = ComponentSpec("spread");
+  spec.estimates = ComponentSpec("uniform");
+  spec.seed = seed;
+  apply_adversarial_delays(spec);  // §8 regime: staleness Θ(D)
 
-  Scenario s(cfg);
+  Scenario s(spec);
   s.start();
   Outcome out;
 
@@ -51,7 +51,7 @@ Outcome run(AlgoKind algo, int n, std::uint64_t seed) {
 
   // Shortcut phase.
   const auto old_edges = topo_line(n);
-  s.graph().create_edge(EdgeKey(0, n - 1), cfg.edge_params);
+  s.graph().create_edge(EdgeKey(0, n - 1), spec.edge_params);
   for (int step = 0; step < 300; ++step) {
     s.run_for(0.5);
     out.shortcut_old_edge =
@@ -82,12 +82,12 @@ int main(int argc, char** argv) {
                  "old-edge skew after shortcut", "largest jump"});
 
   Outcome aopt;
-  for (AlgoKind algo : {AlgoKind::kAopt, AlgoKind::kMaxJump,
-                        AlgoKind::kBoundedRateMax, AlgoKind::kFreeRunning}) {
+  for (const std::string algo :
+       {"aopt", "max-jump", "bounded-rate-max", "free-running"}) {
     const Outcome out = run(algo, n, seed);
-    if (algo == AlgoKind::kAopt) aopt = out;
+    if (algo == "aopt") aopt = out;
     table.row()
-        .cell(to_string(algo))
+        .cell(algo)
         .cell(out.steady_global)
         .cell(out.steady_local)
         .cell(out.shortcut_old_edge)
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  const Outcome maxjump = run(AlgoKind::kMaxJump, n, seed);
+  const Outcome maxjump = run("max-jump", n, seed);
   std::cout << "paper's motivation check: max-jump concentrates "
             << format_double(maxjump.shortcut_old_edge, 2)
             << " skew on one long-standing edge after the shortcut appears; "

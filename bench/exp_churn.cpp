@@ -20,40 +20,34 @@ int main(int argc, char** argv) {
                "gradient legality maintained under continuous topology churn "
                "with dynamic global-skew estimates");
 
-  ScenarioConfig cfg;
-  cfg.n = n;
-  Rng topo_rng(seed);
-  std::vector<Point2> positions;
-  cfg.initial_edges = topo_random_geometric(n, 0.35, topo_rng, &positions);
-  cfg.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
-  cfg.aopt.rho = 1e-3;
-  cfg.aopt.mu = 0.1;
-  cfg.aopt.gtilde_static =
-      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.aopt.insertion = InsertionPolicy::kStagedDynamic;
-  cfg.aopt.B = 8.0;
-  cfg.gskew = GskewKind::kOracle;
-  cfg.drift = DriftKind::kRandomWalk;
-  cfg.estimates = EstimateKind::kOracleUniform;
-  cfg.seed = seed;
-  Scenario s(cfg);
-  s.start();
-
+  ScenarioSpec spec;
+  spec.n = n;
+  spec.topology = ComponentSpec("geometric", ParamMap{{"radius", "0.35"}});
+  spec.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
+  spec.aopt.rho = 1e-3;
+  spec.aopt.mu = 0.1;
+  spec.gtilde_auto = true;
+  spec.aopt.insertion = InsertionPolicy::kStagedDynamic;
+  spec.aopt.B = 8.0;
+  spec.gskew = ComponentSpec("oracle");
+  spec.drift = ComponentSpec("walk");
+  spec.estimates = ComponentSpec("uniform");
+  spec.seed = seed;
   // Churn over the geometric edge candidates (nodes stay put; links flap).
-  ChurnAdversary::Config churn_cfg;
-  churn_cfg.ops_per_time = churn_rate;
-  churn_cfg.start = 50.0;
-  ChurnAdversary churn(s.sim(), s.graph(), cfg.initial_edges, cfg.edge_params,
-                       churn_cfg, seed ^ 0xc4u);
-  churn.arm();
+  spec.adversary = ComponentSpec("churn");
+  spec.adversary.params.set("rate", churn_rate);
+  spec.adversary.params.set("start", 50.0);
+  Scenario s(spec);
+  s.start();
+  auto& churn = dynamic_cast<ChurnAdversary&>(*s.adversary());
 
-  const double ghat = cfg.aopt.gtilde_static;
+  const double ghat = s.spec().aopt.gtilde_static;
   int legality_checks = 0;
   int legality_violations = 0;
   double worst_margin = -kTimeInf;
   RunningStats global;
   std::vector<double> stable_edge_skews;
-  const double stable_for = 2.0 * ghat / cfg.aopt.mu;
+  const double stable_for = 2.0 * ghat / s.spec().aopt.mu;
 
   while (s.sim().now() < horizon) {
     s.run_for(25.0);

@@ -8,13 +8,8 @@ namespace gcs::bench {
 std::vector<int> parse_int_list(const std::string& csv, std::vector<int> def) {
   if (csv.empty()) return def;
   std::vector<int> out;
-  std::size_t pos = 0;
-  while (pos < csv.size()) {
-    const std::size_t comma = csv.find(',', pos);
-    const std::string token = csv.substr(pos, comma - pos);
+  for (const std::string& token : split(csv, ',')) {
     if (!token.empty()) out.push_back(std::atoi(token.c_str()));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
   }
   return out.empty() ? def : out;
 }
@@ -26,29 +21,28 @@ void print_header(const std::string& id, const std::string& claim) {
             << "################################################################\n";
 }
 
-ScenarioConfig fast_line_config(int n) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.initial_edges = topo_line(n);
-  cfg.edge_params = default_edge_params(/*eps=*/0.05, /*tau=*/0.25,
-                                        /*delay_max=*/0.5, /*delay_min=*/0.1);
-  cfg.aopt.rho = 1e-3;
-  cfg.aopt.mu = 0.1;  // eq. (7) maximum: fastest convergence
-  cfg.aopt.gtilde_static =
-      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;
-  cfg.estimates = EstimateKind::kOracleUniform;
-  cfg.engine.tick_period = 0.25;
-  cfg.engine.beacon_period = 0.25;
-  return cfg;
+ScenarioSpec fast_line_spec(int n) {
+  ScenarioSpec spec;
+  spec.n = n;
+  spec.topology = ComponentSpec("line");
+  spec.edge_params = default_edge_params(/*eps=*/0.05, /*tau=*/0.25,
+                                         /*delay_max=*/0.5, /*delay_min=*/0.1);
+  spec.aopt.rho = 1e-3;
+  spec.aopt.mu = 0.1;  // eq. (7) maximum: fastest convergence
+  spec.gtilde_auto = true;
+  spec.drift = ComponentSpec("spread");
+  spec.estimates = ComponentSpec("uniform");
+  spec.engine.tick_period = 0.25;
+  spec.engine.beacon_period = 0.25;
+  return spec;
 }
 
-void apply_adversarial_delays(ScenarioConfig& cfg, double delay_max,
+void apply_adversarial_delays(ScenarioSpec& spec, double delay_max,
                               double beacon_period) {
-  cfg.edge_params = default_edge_params(0.1, 0.5, delay_max, /*delay_min=*/0.0);
-  cfg.delays = DelayMode::kMax;
-  cfg.engine.beacon_period = beacon_period;
-  cfg.engine.tick_period = beacon_period / 2.0;
+  spec.edge_params = default_edge_params(0.1, 0.5, delay_max, /*delay_min=*/0.0);
+  spec.delays = DelayMode::kMax;
+  spec.engine.beacon_period = beacon_period;
+  spec.engine.tick_period = beacon_period / 2.0;
 }
 
 double worst_skew_over(Engine& engine, const std::vector<EdgeKey>& edges) {
@@ -58,6 +52,16 @@ double worst_skew_over(Engine& engine, const std::vector<EdgeKey>& edges) {
                      std::fabs(engine.logical(e.a) - engine.logical(e.b)));
   }
   return worst;
+}
+
+void scatter_clocks_linearly(Scenario& s, double span) {
+  const int n = s.spec().n;
+  if (n < 2) return;  // nothing to scatter (and avoid 0/0)
+  const double base = s.engine().logical(0);
+  for (NodeId u = 0; u < n; ++u) {
+    s.engine().corrupt_logical(u, base + span * static_cast<double>(u) /
+                                          static_cast<double>(n - 1));
+  }
 }
 
 }  // namespace gcs::bench

@@ -3,6 +3,9 @@
 // Every experiment binary runs standalone with defaults chosen so the whole
 // bench directory completes in a couple of minutes, prints paper-style
 // tables to stdout, and accepts --key=value overrides (see util/flags.h).
+// Experiments construct runs through ScenarioSpec (and SweepRunner for
+// grids); spec keys given on the command line override the experiment's
+// defaults via the same shared parsing path as simulate_cli.
 #pragma once
 
 #include <iostream>
@@ -14,6 +17,7 @@
 #include "metrics/recorder.h"
 #include "metrics/skew.h"
 #include "runner/scenario.h"
+#include "runner/sweep.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -26,17 +30,22 @@ std::vector<int> parse_int_list(const std::string& csv, std::vector<int> def);
 /// Standard experiment header block.
 void print_header(const std::string& id, const std::string& claim);
 
-/// Line-topology config tuned for bench runtimes: mu at the eq. (7) maximum,
-/// smaller edge uncertainties than the test defaults.
-ScenarioConfig fast_line_config(int n);
+/// Line-topology spec tuned for bench runtimes: mu at the eq. (7) maximum,
+/// smaller edge uncertainties than the test defaults, G̃ auto-derived from
+/// the topology at Scenario build time.
+ScenarioSpec fast_line_spec(int n);
 
 /// The §8-flavored adversarial communication regime: every message takes the
 /// maximum delay and no transit compensation is possible, so max-estimate
 /// staleness (and hence hidden skew) is Θ(D).
-void apply_adversarial_delays(ScenarioConfig& cfg, double delay_max = 2.0,
+void apply_adversarial_delays(ScenarioSpec& spec, double delay_max = 2.0,
                               double beacon_period = 1.0);
 
 /// Max |L_a - L_b| over a fixed set of edges at the current instant.
 double worst_skew_over(Engine& engine, const std::vector<EdgeKey>& edges);
+
+/// Scatter logical clocks linearly across node ids up to `span` end-to-end
+/// (the standard way the experiments leave the steady regime).
+void scatter_clocks_linearly(Scenario& s, double span);
 
 }  // namespace gcs::bench

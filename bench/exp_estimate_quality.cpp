@@ -33,34 +33,35 @@ int main(int argc, char** argv) {
   };
   for (const Sweep& sw : {Sweep{0.1, 0.08, 0.12}, Sweep{0.25, 0.05, 0.25},
                           Sweep{0.5, 0.1, 0.5}, Sweep{1.0, 0.0, 1.0}}) {
-    ScenarioConfig cfg;
-    cfg.n = n;
-    cfg.initial_edges = topo_line(n);
-    cfg.edge_params = default_edge_params(0.05, 0.25, sw.delay_max, sw.delay_min);
-    cfg.aopt.rho = 1e-3;
-    cfg.aopt.mu = 0.1;
-    cfg.estimates = EstimateKind::kBeacon;
-    cfg.engine.beacon_period = sw.beacon;
-    cfg.engine.tick_period = sw.beacon;
-    cfg.drift = DriftKind::kLinearSpread;
-    cfg.aopt.gtilde_static =
-        suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
+    ScenarioSpec spec;
+    spec.n = n;
+    spec.topology = ComponentSpec("line");
+    spec.explicit_edges = topo_line(n);  // for the suggest_gtilde calls below
+    spec.edge_params = default_edge_params(0.05, 0.25, sw.delay_max, sw.delay_min);
+    spec.aopt.rho = 1e-3;
+    spec.aopt.mu = 0.1;
+    spec.estimates = ComponentSpec("beacon");
+    spec.engine.beacon_period = sw.beacon;
+    spec.engine.tick_period = sw.beacon;
+    spec.drift = ComponentSpec("spread");
+    spec.aopt.gtilde_static =
+        suggest_gtilde(n, spec.explicit_edges, spec.edge_params, spec.aopt);
     // κ grows with eps; the suggested G̃ already accounts for it because
     // suggest_gtilde uses the configured edge eps, so bump it by the ratio.
     const double eps =
-        beacon_eps(cfg.edge_params, sw.beacon, cfg.aopt.rho, cfg.aopt.mu);
+        beacon_eps(spec.edge_params, sw.beacon, spec.aopt.rho, spec.aopt.mu);
     {
-      EdgeParams effective = cfg.edge_params;
+      EdgeParams effective = spec.edge_params;
       effective.eps = eps;
-      cfg.aopt.gtilde_static =
-          std::max(cfg.aopt.gtilde_static,
-                   suggest_gtilde(n, cfg.initial_edges, effective, cfg.aopt));
+      spec.aopt.gtilde_static =
+          std::max(spec.aopt.gtilde_static,
+                   suggest_gtilde(n, spec.explicit_edges, effective, spec.aopt));
     }
-    Scenario s(cfg);
+    Scenario s(spec);
     s.start();
     const double kappa = metric_kappa(s.engine(), EdgeKey(0, 1));
     const double bound =
-        gradient_bound(kappa, cfg.aopt.gtilde_static, cfg.aopt.sigma());
+        gradient_bound(kappa, spec.aopt.gtilde_static, spec.aopt.sigma());
 
     s.run_until(50.0);  // warm up the estimate caches
     double worst_err = 0.0;

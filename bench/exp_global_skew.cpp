@@ -6,6 +6,7 @@
 // Workload: line topology, maximally divergent constant drift. An initial
 // linear clock scatter of 2·D̂ across the line puts the system above the
 // steady regime, from which the decay rate and the O(D) floor are measured.
+// The size sweep runs as a SweepRunner grid (--threads).
 #include "exp_common.h"
 
 using namespace gcs;
@@ -15,24 +16,23 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto sizes = parse_int_list(flags.get("sizes", std::string()), {8, 16, 32, 64});
   const double settle = flags.get("settle", 900.0);
+  const int threads = flags.get("threads", 2);
 
   print_header("E1 exp_global_skew",
                "Theorem 5.6: growth rate <= 2*rho; recovery rate >= mu(1-rho)-2rho; "
                "steady-state G = O(D)");
 
-  Table table("Theorem 5.6 — global skew vs. network extent (line, worst-case drift)");
-  table.headers({"n", "D^ bound", "G steady", "G/D^", "growth<=2rho", "decay rate",
-                 "guarantee", "decay ok"});
+  Sweep sweep(fast_line_spec(8));
+  sweep.axis("n", sizes);
 
-  std::vector<double> xs;
-  std::vector<double> ys;
-  for (int n : sizes) {
-    auto cfg = fast_line_config(n);
-    cfg.name = "global-skew-n" + std::to_string(n);
-    Scenario s(cfg);
+  SweepOptions options;
+  options.threads = threads;
+  SweepRunner runner(options);
+  runner.set_run_fn([settle](Scenario& s, RunResult& r) {
     s.start();
+    const double rho = s.spec().aopt.rho;
+    const double mu = s.spec().aopt.mu;
     const double d_bound = estimate_dynamic_diameter(s.engine());
-    cfg.aopt.gtilde_static = std::max(cfg.aopt.gtilde_static, 4.0 * d_bound);
 
     // Phase 1 (growth): from the synchronized start, G may only grow at 2rho.
     double worst_growth = 0.0;
@@ -47,21 +47,13 @@ int main(int argc, char** argv) {
     }
 
     // Phase 2 (decay): scatter clocks linearly up to 2*D^ end-to-end.
-    const double scatter = 2.0 * d_bound;
-    const double base = s.engine().logical(0);
-    for (NodeId u = 0; u < n; ++u) {
-      s.engine().corrupt_logical(
-          u, base + scatter * static_cast<double>(u) / (n - 1));
-    }
+    scatter_clocks_linearly(s, 2.0 * d_bound);
     const double g0 = s.engine().true_global_skew();
     const Time t0 = s.sim().now();
-    const Duration window = 0.25 * (g0 - d_bound) /
-                            (cfg.aopt.mu * (1.0 - cfg.aopt.rho) - 2.0 * cfg.aopt.rho);
+    const Duration window =
+        0.25 * (g0 - d_bound) / (mu * (1.0 - rho) - 2.0 * rho);
     s.run_until(t0 + window);
     const double g1 = s.engine().true_global_skew();
-    const double decay_rate = (g0 - g1) / window;
-    const double guarantee =
-        cfg.aopt.mu * (1.0 - cfg.aopt.rho) - 2.0 * cfg.aopt.rho;
 
     // Phase 3 (steady): settle and measure the O(D) floor.
     s.run_until(t0 + window + settle);
@@ -71,17 +63,40 @@ int main(int argc, char** argv) {
       steady.add(s.engine().true_global_skew());
     }
 
+    r.values["d_bound"] = d_bound;
+    r.values["steady"] = steady.mean();
+    r.values["growth"] = worst_growth;
+    r.values["decay"] = (g0 - g1) / window;
+  });
+
+  const auto results = runner.run(sweep);
+
+  Table table("Theorem 5.6 — global skew vs. network extent (line, worst-case drift)");
+  table.headers({"n", "D^ bound", "G steady", "G/D^", "growth<=2rho", "decay rate",
+                 "guarantee", "decay ok"});
+  const auto base = sweep.base();
+  const double guarantee =
+      base.aopt.mu * (1.0 - base.aopt.rho) - 2.0 * base.aopt.rho;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::cerr << "run n=" << r.n << " failed: " << r.error << "\n";
+      continue;
+    }
+    const double d_bound = r.values.at("d_bound");
+    const double steady = r.values.at("steady");
     table.row()
-        .cell(n)
+        .cell(r.n)
         .cell(d_bound)
-        .cell(steady.mean())
-        .cell(steady.mean() / d_bound)
-        .cell(worst_growth <= 2.0 * cfg.aopt.rho + 1e-6)
-        .cell(decay_rate)
+        .cell(steady)
+        .cell(steady / d_bound)
+        .cell(r.values.at("growth") <= 2.0 * base.aopt.rho + 1e-6)
+        .cell(r.values.at("decay"))
         .cell(guarantee)
-        .cell(decay_rate >= 0.9 * guarantee);
-    xs.push_back(n);
-    ys.push_back(steady.mean());
+        .cell(r.values.at("decay") >= 0.9 * guarantee);
+    xs.push_back(r.n);
+    ys.push_back(steady);
   }
   table.print();
 

@@ -14,19 +14,20 @@ using namespace gcs::bench;
 
 namespace {
 
-void run_series(const std::string& label, ScenarioConfig cfg, Duration horizon,
+void run_series(const std::string& label, ScenarioSpec spec, Duration horizon,
                 Duration sample_every) {
-  Scenario s(cfg);
+  Scenario s(std::move(spec));
   s.start();
-  const double ghat = cfg.aopt.gtilde_static;
-  const double sigma = cfg.aopt.sigma();
+  const double ghat = s.spec().aopt.gtilde_static;
+  const double sigma = s.spec().aopt.sigma();
 
   // Warm up past the legality transient, then track the worst skew per
   // hop-distance over the rest of the run.
-  const double warmup = 2.0 * ghat / cfg.aopt.mu;
+  const double warmup = 2.0 * ghat / s.spec().aopt.mu;
   s.run_until(warmup);
 
-  std::vector<double> worst_by_hops(static_cast<std::size_t>(cfg.n), 0.0);
+  const int n = s.spec().n;
+  std::vector<double> worst_by_hops(static_cast<std::size_t>(n), 0.0);
   double kappa_unit = 0.0;
   int violations = 0;
   while (s.sim().now() < warmup + horizon) {
@@ -40,12 +41,12 @@ void run_series(const std::string& label, ScenarioConfig cfg, Duration horizon,
   }
 
   Table table("E2 [" + label + "]  worst skew vs. distance  (n=" +
-              std::to_string(cfg.n) + ", Ghat=" + format_double(ghat, 2) +
+              std::to_string(n) + ", Ghat=" + format_double(ghat, 2) +
               ", sigma=" + format_double(sigma, 1) + ")");
   table.headers({"hops", "kappa-dist d", "worst skew", "bound (s(d)+1)d",
                  "skew/d", "bound/d"});
-  for (int hops = 1; hops < cfg.n; ++hops) {
-    if (hops > 2 && hops % 2 != 0 && hops != cfg.n - 1) continue;  // thin rows
+  for (int hops = 1; hops < n; ++hops) {
+    if (hops > 2 && hops % 2 != 0 && hops != n - 1) continue;  // thin rows
     const double d = hops * kappa_unit;
     const double skew = worst_by_hops[static_cast<std::size_t>(hops)];
     const double bound = gradient_bound(d, ghat, sigma);
@@ -64,9 +65,9 @@ void run_series(const std::string& label, ScenarioConfig cfg, Duration horizon,
   // Shape check: per-unit skew at distance 1 vs. at the far end.
   const double near = worst_by_hops[1] / kappa_unit;
   const double far =
-      worst_by_hops[static_cast<std::size_t>(cfg.n - 1)] / ((cfg.n - 1) * kappa_unit);
+      worst_by_hops[static_cast<std::size_t>(n - 1)] / ((n - 1) * kappa_unit);
   std::cout << "per-unit worst skew: d=1 hop -> " << format_double(near, 4)
-            << ", d=" << cfg.n - 1 << " hops -> " << format_double(far, 4)
+            << ", d=" << n - 1 << " hops -> " << format_double(far, 4)
             << "  (gradient: long paths are *relatively* better synchronized)\n";
 }
 
@@ -82,17 +83,16 @@ int main(int argc, char** argv) {
                "stabilization");
 
   {
-    auto cfg = fast_line_config(n);
-    cfg.name = "gradient-linear-spread";
-    run_series("linear-spread drift", cfg, horizon, 20.0);
+    auto spec = fast_line_spec(n);
+    spec.name = "gradient-linear-spread";
+    run_series("linear-spread drift", spec, horizon, 20.0);
   }
   {
-    auto cfg = fast_line_config(n);
-    cfg.name = "gradient-half-split";
-    cfg.drift = DriftKind::kAlternatingBlocks;
-    cfg.drift_blocks = 2;
-    cfg.drift_block_period = 1e7;  // effectively constant: left slow, right fast
-    run_series("half-vs-half split drift", cfg, horizon, 20.0);
+    auto spec = fast_line_spec(n);
+    spec.name = "gradient-half-split";
+    // effectively constant: left slow, right fast
+    spec.drift = ComponentSpec("blocks", ParamMap{{"blocks", "2"}, {"period", "1e7"}});
+    run_series("half-vs-half split drift", spec, horizon, 20.0);
   }
   return 0;
 }

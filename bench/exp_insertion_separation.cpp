@@ -21,15 +21,13 @@ int main(int argc, char** argv) {
                "Lemma 7.1: |T^e_s - T^e'_s'| >= min(I_e,I_e')/(2^7 4^{min(s,s')-2}) "
                "or exact coincidence at equal levels");
 
-  ScenarioConfig cfg = fast_line_config(n);
-  cfg.name = "insertion-separation";
-  cfg.initial_edges = topo_ring(n);
-  cfg.aopt.insertion = InsertionPolicy::kStagedDynamic;
-  cfg.aopt.B = 8.0;  // practical B (eq. 12 wants an astronomically larger one)
-  cfg.gskew = GskewKind::kOracle;
-  cfg.gskew_factor = 2.0;
-  cfg.gskew_margin = 1.0;
-  Scenario s(cfg);
+  ScenarioSpec spec = fast_line_spec(n);
+  spec.name = "insertion-separation";
+  spec.topology = ComponentSpec("ring");
+  spec.aopt.insertion = InsertionPolicy::kStagedDynamic;
+  spec.aopt.B = 8.0;  // practical B (eq. 12 wants an astronomically larger one)
+  spec.gskew = ComponentSpec("oracle", ParamMap{{"factor", "2"}, {"margin", "1"}});
+  Scenario s(spec);
   s.start();
 
   // Insert chords at staggered times so each handshake samples a different

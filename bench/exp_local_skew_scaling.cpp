@@ -4,6 +4,10 @@
 //   kappa*(log_sigma(Ghat/kappa)+O(1)) grows only logarithmically. We sweep
 //   the line length and report measured steady global skew (linear in n),
 //   measured worst local skew, and the theoretical local bound (log in n).
+//
+// The sweep over n runs as a SweepRunner grid: one Scenario per size, the
+// cross-product executed on a thread pool (--threads), results identical to
+// the serial run because every Scenario owns its simulator and RNG streams.
 #include "exp_common.h"
 
 #include <cmath>
@@ -15,36 +19,33 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto sizes =
       parse_int_list(flags.get("sizes", std::string()), {8, 16, 32, 64});
+  const auto seeds = parse_int_list(flags.get("seeds", std::string()), {1});
   const double measure_time = flags.get("measure", 600.0);
+  const int threads = flags.get("threads", 2);
 
   print_header("E3 exp_local_skew_scaling",
                "local skew = O(kappa log_sigma(D/kappa)) while global skew = Theta(D)");
 
-  Table table("E3 — skew scaling with network size (line, worst-case constant drift)");
-  table.headers({"n", "G steady (~D)", "local worst", "local bound",
-                 "local/bound", "global/local"});
+  Sweep sweep(fast_line_spec(8));
+  sweep.axis("n", sizes);
+  sweep.axis("seed", seeds);
 
-  std::vector<double> xs;
-  std::vector<double> global_series;
-  std::vector<double> local_series;
-  for (int n : sizes) {
-    auto cfg = fast_line_config(n);
-    cfg.name = "local-skew-n" + std::to_string(n);
-    Scenario s(cfg);
+  SweepOptions options;
+  options.threads = threads;
+  SweepRunner runner(options);
+  runner.set_run_fn([measure_time](Scenario& s, RunResult& r) {
     s.start();
-    const double ghat = cfg.aopt.gtilde_static;
-    const double sigma = cfg.aopt.sigma();
+    const int n = s.spec().n;
+    const double ghat = s.spec().aopt.gtilde_static;
+    const double sigma = s.spec().aopt.sigma();
     const double kappa = metric_kappa(s.engine(), EdgeKey(0, 1));
+    const double mu = s.spec().aopt.mu;
 
     // Drive the system into the steady regime: scatter to the diameter
     // bound, then let the gradient mechanism redistribute.
     const double d_bound = estimate_dynamic_diameter(s.engine());
-    const double base = s.engine().logical(0);
-    for (NodeId u = 0; u < n; ++u) {
-      s.engine().corrupt_logical(
-          u, base + 2.0 * d_bound * static_cast<double>(u) / (n - 1));
-    }
-    s.run_for(2.0 * ghat / cfg.aopt.mu);
+    scatter_clocks_linearly(s, 2.0 * d_bound);
+    s.run_for(2.0 * ghat / mu);
 
     RunningStats global;
     double worst_local = 0.0;
@@ -56,16 +57,45 @@ int main(int argc, char** argv) {
       worst_local = std::max(worst_local, snap.worst_local);
     }
 
-    const double local_bound = gradient_bound(kappa, ghat, sigma);
-    table.row()
-        .cell(n)
-        .cell(global.mean())
+    r.final_global = global.mean();
+    r.max_local = worst_local;
+    r.values["G steady"] = global.mean();
+    r.values["local worst"] = worst_local;
+    r.values["local bound"] = gradient_bound(kappa, ghat, sigma);
+    (void)n;
+  });
+
+  const auto results = runner.run(sweep);
+
+  const bool multi_seed = seeds.size() > 1;
+  Table table("E3 — skew scaling with network size (line, worst-case constant drift)");
+  table.headers(multi_seed
+                    ? std::vector<std::string>{"n", "seed", "G steady (~D)",
+                                               "local worst", "local bound",
+                                               "local/bound", "global/local"}
+                    : std::vector<std::string>{"n", "G steady (~D)", "local worst",
+                                               "local bound", "local/bound",
+                                               "global/local"});
+  std::vector<double> xs;
+  std::vector<double> global_series;
+  std::vector<double> local_series;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::cerr << "run n=" << r.n << " failed: " << r.error << "\n";
+      continue;
+    }
+    const double global = r.values.at("G steady");
+    const double worst_local = r.values.at("local worst");
+    const double local_bound = r.values.at("local bound");
+    auto& row = table.row().cell(r.n);
+    if (multi_seed) row.cell(static_cast<long long>(r.seed));
+    row.cell(global)
         .cell(worst_local)
         .cell(local_bound)
         .cell(worst_local / local_bound)
-        .cell(global.mean() / std::max(worst_local, 1e-9));
-    xs.push_back(n);
-    global_series.push_back(global.mean());
+        .cell(global / std::max(worst_local, 1e-9));
+    xs.push_back(r.n);
+    global_series.push_back(global);
     local_series.push_back(worst_local);
   }
   table.print();

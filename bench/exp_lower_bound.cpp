@@ -35,22 +35,22 @@ int main(int argc, char** argv) {
     // static estimate must dominate it for the whole run (eq. 6).
     const double ghat = 2.1 * (n - 1) + 6.0;
 
-    auto make_cfg = [&](AlgoKind algo) {
-      ScenarioConfig cfg;
-      cfg.n = n;
-      cfg.initial_edges = topo_line(n);
-      cfg.algo = algo;
-      cfg.aopt.rho = 5e-3;
-      cfg.aopt.mu = 0.1;
-      cfg.aopt.gtilde_static = ghat;
-      cfg.drift = DriftKind::kLinearSpread;
-      cfg.estimates = EstimateKind::kOracleUniform;
-      apply_adversarial_delays(cfg, /*delay_max=*/2.0, /*beacon_period=*/1.0);
-      return cfg;
+    auto make_spec = [&](const std::string& algo) {
+      ScenarioSpec spec;
+      spec.n = n;
+      spec.topology = ComponentSpec("line");
+      spec.algo = ComponentSpec(algo);
+      spec.aopt.rho = 5e-3;
+      spec.aopt.mu = 0.1;
+      spec.aopt.gtilde_static = ghat;
+      spec.drift = ComponentSpec("spread");
+      spec.estimates = ComponentSpec("uniform");
+      apply_adversarial_delays(spec, /*delay_max=*/2.0, /*beacon_period=*/1.0);
+      return spec;
     };
 
     // ---- AOPT phase.
-    auto cfg = make_cfg(AlgoKind::kAopt);
+    auto cfg = make_spec("aopt");
     Scenario s(cfg);
     s.start();
     s.run_until(4000.0);  // hidden skew saturates at the gradient equilibrium
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     }
 
     // ---- max-jump phase (same world, jumping allowed).
-    auto mj_cfg = make_cfg(AlgoKind::kMaxJump);
+    auto mj_cfg = make_spec("max-jump");
     Scenario mj(mj_cfg);
     mj.start();
     mj.run_until(4000.0);

@@ -16,17 +16,17 @@ struct RefOutcome {
 };
 
 RefOutcome run(int n, NodeId reference, Duration horizon) {
-  auto cfg = fast_line_config(n);
-  cfg.name = "reference-node";
-  cfg.reference_node = reference;
+  auto spec = fast_line_spec(n);
+  spec.name = "reference-node";
+  spec.reference_node = reference;
   // Flat base rates and deterministic minimal delays: the only skew driver
   // left is the staleness of information about u0, which is proportional to
   // the hop distance from u0 — i.e. exactly the radius R_u0 effect.
-  cfg.drift = DriftKind::kNone;
-  cfg.delays = DelayMode::kMin;
-  cfg.engine.beacon_period = 0.5;
+  spec.drift = ComponentSpec("none");
+  spec.delays = DelayMode::kMin;
+  spec.engine.beacon_period = 0.5;
   // mu must clear 2*rho~/(1-rho~); rho=1e-3 -> rho~ ~ 3e-3, mu=0.1 is ample.
-  Scenario s(cfg);
+  Scenario s(spec);
   s.start();
   s.run_until(horizon / 2.0);  // reach the staleness-limited steady state
   RefOutcome out;

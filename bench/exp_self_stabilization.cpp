@@ -23,12 +23,12 @@ int main(int argc, char** argv) {
   std::vector<double> xs;
   std::vector<double> recovery;
   for (int n : sizes) {
-    auto cfg = fast_line_config(n);
-    cfg.name = "selfstab-n" + std::to_string(n);
-    cfg.seed = seed;
-    Scenario s(cfg);
+    auto spec = fast_line_spec(n);
+    spec.name = "selfstab-n" + std::to_string(n);
+    spec.seed = seed;
+    Scenario s(spec);
     s.start();
-    const double ghat = cfg.aopt.gtilde_static;
+    const double ghat = s.spec().aopt.gtilde_static;
     s.run_until(200.0);
 
     Rng rng(seed ^ (static_cast<std::uint64_t>(n) << 8));
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     const auto broken = check_legality(s.engine(), ghat);
 
     const Time t0 = s.sim().now();
-    const double unit = ghat / cfg.aopt.mu;
+    const double unit = ghat / s.spec().aopt.mu;
     Time legal_at = kTimeInf;
     while (s.sim().now() < t0 + 8.0 * unit) {
       s.run_for(unit / 40.0);

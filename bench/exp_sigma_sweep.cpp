@@ -2,6 +2,8 @@
 //   Sweeping rho at fixed mu changes sigma; the local-skew *bound*
 //   kappa*(log_sigma(Ghat/kappa)+3) shrinks as 1/log(sigma), and measured
 //   worst local skew follows the same ordering.
+//
+// Runs as a SweepRunner grid over the "rho" axis (thread pool, --threads).
 #include "exp_common.h"
 
 #include <cmath>
@@ -13,36 +15,28 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int n = flags.get("n", 16);
   const double measure_time = flags.get("measure", 500.0);
+  const int threads = flags.get("threads", 2);
 
   print_header("E7 exp_sigma_sweep",
                "eq. (8): larger sigma = (1-rho)mu/2rho => tighter gradient; "
                "local bound scales like 1/log(sigma)");
 
-  Table table("E7 — local skew vs sigma (line n=" + std::to_string(n) +
-              ", mu=0.1, rho swept)");
-  table.headers({"rho", "sigma", "levels s(kappa)", "local bound",
-                 "measured local", "measured/bound"});
+  Sweep sweep(fast_line_spec(n));
+  sweep.axis("rho", std::vector<double>{8e-3, 2e-3, 5e-4, 1.25e-4});
 
-  for (double rho : {8e-3, 2e-3, 5e-4, 1.25e-4}) {
-    auto cfg = fast_line_config(n);
-    cfg.name = "sigma-rho" + format_double(rho, 6);
-    cfg.aopt.rho = rho;
-    cfg.aopt.gtilde_static =
-        suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-    Scenario s(cfg);
+  SweepOptions options;
+  options.threads = threads;
+  SweepRunner runner(options);
+  runner.set_run_fn([measure_time](Scenario& s, RunResult& r) {
     s.start();
-    const double ghat = cfg.aopt.gtilde_static;
-    const double sigma = cfg.aopt.sigma();
+    const double ghat = s.spec().aopt.gtilde_static;
+    const double sigma = s.spec().aopt.sigma();
     const double kappa = metric_kappa(s.engine(), EdgeKey(0, 1));
 
     // Scatter to the diameter scale, stabilize, then measure.
     const double d_bound = estimate_dynamic_diameter(s.engine());
-    const double base = s.engine().logical(0);
-    for (NodeId u = 0; u < n; ++u) {
-      s.engine().corrupt_logical(
-          u, base + 2.0 * d_bound * static_cast<double>(u) / (n - 1));
-    }
-    s.run_for(2.0 * ghat / cfg.aopt.mu);
+    scatter_clocks_linearly(s, 2.0 * d_bound);
+    s.run_for(2.0 * ghat / s.spec().aopt.mu);
 
     double worst_local = 0.0;
     const Time start = s.sim().now();
@@ -51,16 +45,31 @@ int main(int argc, char** argv) {
       worst_local = std::max(worst_local, measure_skew(s.engine()).worst_local);
     }
 
-    const double s_of_kappa =
+    r.values["sigma"] = sigma;
+    r.values["levels"] =
         std::max(1.0, 2.0 + std::ceil(std::log(ghat / kappa) / std::log(sigma)));
-    const double bound = gradient_bound(kappa, ghat, sigma);
+    r.values["bound"] = gradient_bound(kappa, ghat, sigma);
+    r.values["local"] = worst_local;
+  });
+
+  const auto results = runner.run(sweep);
+
+  Table table("E7 — local skew vs sigma (line n=" + std::to_string(n) +
+              ", mu=0.1, rho swept)");
+  table.headers({"rho", "sigma", "levels s(kappa)", "local bound",
+                 "measured local", "measured/bound"});
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::cerr << "run rho=" << r.axes.at("rho") << " failed: " << r.error << "\n";
+      continue;
+    }
     table.row()
-        .cell(rho, 6)
-        .cell(sigma, 1)
-        .cell(s_of_kappa, 0)
-        .cell(bound)
-        .cell(worst_local)
-        .cell(worst_local / bound);
+        .cell(r.axes.at("rho"))
+        .cell(r.values.at("sigma"), 1)
+        .cell(r.values.at("levels"), 0)
+        .cell(r.values.at("bound"))
+        .cell(r.values.at("local"))
+        .cell(r.values.at("local") / r.values.at("bound"));
   }
   table.print();
   std::cout << "paper: the bound column shrinks as sigma grows (fewer levels "

@@ -26,27 +26,23 @@ int main(int argc, char** argv) {
   std::vector<double> xs;
   std::vector<double> insert_times;
   for (int n : sizes) {
-    auto cfg = fast_line_config(n);
-    cfg.name = "stabilization-n" + std::to_string(n);
-    Scenario s(cfg);
+    auto spec = fast_line_spec(n);
+    spec.name = "stabilization-n" + std::to_string(n);
+    Scenario s(spec);
     s.start();
-    const double ghat = cfg.aopt.gtilde_static;
-    const double sigma = cfg.aopt.sigma();
+    const double ghat = s.spec().aopt.gtilde_static;
+    const double sigma = s.spec().aopt.sigma();
 
     s.run_until(300.0);  // settle the line
     // Build macroscopic (but legal: within the long-path budget) end-to-end
     // skew so the new edge has real work to do.
-    const double base = s.engine().logical(0);
-    for (NodeId u = 0; u < n; ++u) {
-      s.engine().corrupt_logical(
-          u, base + 0.4 * ghat * static_cast<double>(u) / (n - 1));
-    }
+    scatter_clocks_linearly(s, 0.4 * ghat);
     s.run_for(20.0);
     const EdgeKey shortcut(0, n - 1);
     const Time t_insert = s.sim().now();
     const double skew_at_insert =
         std::fabs(s.engine().logical(0) - s.engine().logical(n - 1));
-    s.graph().create_edge(shortcut, cfg.edge_params);
+    s.graph().create_edge(shortcut, s.spec().edge_params);
 
     const double kappa = metric_kappa(s.engine(), shortcut);
     const double bound = gradient_bound(kappa, ghat, sigma);
@@ -57,7 +53,8 @@ int main(int argc, char** argv) {
     Time stable_at = kTimeInf;
     Time fully_inserted_at = kTimeInf;
     const double required_hold = 50.0;
-    const double horizon = t_insert + 3.0 * cfg.aopt.insertion_duration_static(ghat) + 500.0;
+    const double horizon =
+        t_insert + 3.0 * s.spec().aopt.insertion_duration_static(ghat) + 500.0;
     while (s.sim().now() < horizon) {
       s.run_for(2.0);
       const double skew =
@@ -78,7 +75,7 @@ int main(int argc, char** argv) {
       if (stable_at != kTimeInf && fully_inserted_at != kTimeInf) break;
     }
 
-    const double i_theory = cfg.aopt.insertion_duration_static(ghat);
+    const double i_theory = s.spec().aopt.insertion_duration_static(ghat);
     const double t_stable = stable_at - t_insert;
     const double t_full = fully_inserted_at - t_insert;
     table.row()

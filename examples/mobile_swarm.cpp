@@ -23,25 +23,25 @@ int main() {
   const double step_size = 0.03;
   const Time horizon = 1200.0;
 
-  ScenarioConfig cfg;
-  cfg.name = "mobile-swarm";
-  cfg.n = n;
-  Rng rng(7);
-  std::vector<Point2> positions;
-  cfg.initial_edges = topo_random_geometric(n, radius, rng, &positions);
-  cfg.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
-  cfg.aopt.rho = 1e-3;
-  cfg.aopt.mu = 0.1;
-  cfg.aopt.gtilde_static =
-      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.aopt.insertion = InsertionPolicy::kStagedDynamic;
-  cfg.aopt.B = 8.0;
-  cfg.gskew = GskewKind::kDistributed;  // §7: fully distributed estimates
-  cfg.drift = DriftKind::kRandomWalk;
-  cfg.seed = 99;
+  ScenarioSpec spec;
+  spec.name = "mobile-swarm";
+  spec.n = n;
+  spec.topology = ComponentSpec("geometric");
+  spec.topology.params.set("radius", radius);
+  spec.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
+  spec.aopt.rho = 1e-3;
+  spec.aopt.mu = 0.1;
+  spec.gtilde_auto = true;
+  spec.aopt.insertion = InsertionPolicy::kStagedDynamic;
+  spec.aopt.B = 8.0;
+  spec.gskew = ComponentSpec("distributed");  // §7: fully distributed estimates
+  spec.drift = ComponentSpec("walk");
+  spec.seed = 99;
 
-  Scenario s(cfg);
+  Scenario s(spec);
   s.start();
+  Rng rng(7);
+  std::vector<Point2> positions = s.positions();  // geometric layout
 
   // Mobility process: every `move_every`, each node takes a bounded random
   // step; links are recomputed from the new distances.
@@ -64,7 +64,7 @@ int main() {
     }
     for (const auto& e : in_range) {
       if (!s.graph().adversary_present(e)) {
-        s.graph().create_edge(e, cfg.edge_params);
+        s.graph().create_edge(e, spec.edge_params);
         ++links_made;
       }
     }
@@ -93,7 +93,7 @@ int main() {
           stable_skew, std::fabs(s.engine().logical(e.a) - s.engine().logical(e.b)));
     }
     worst_stable = std::max(worst_stable, stable_skew);
-    const auto legality = check_legality(s.engine(), cfg.aopt.gtilde_static);
+    const auto legality = check_legality(s.engine(), s.spec().aopt.gtilde_static);
     table.row()
         .cell(s.sim().now(), 0)
         .cell(live_links)

@@ -20,24 +20,24 @@ int main() {
   const int n = 2 * half;
   const EdgeKey bridge(half - 1, half);
 
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.name = "partition-heal";
   cfg.n = n;
-  // Two rings joined by one bridge edge.
-  cfg.initial_edges.clear();
-  for (int i = 0; i + 1 < half; ++i) cfg.initial_edges.emplace_back(i, i + 1);
-  cfg.initial_edges.emplace_back(0, half - 1);
-  for (int i = half; i + 1 < n; ++i) cfg.initial_edges.emplace_back(i, i + 1);
-  cfg.initial_edges.emplace_back(half, n - 1);
-  cfg.initial_edges.push_back(bridge);
+  // Two rings joined by one bridge edge ("explicit" topology: the edge
+  // list is built programmatically).
+  cfg.explicit_edges.clear();
+  for (int i = 0; i + 1 < half; ++i) cfg.explicit_edges.emplace_back(i, i + 1);
+  cfg.explicit_edges.emplace_back(0, half - 1);
+  for (int i = half; i + 1 < n; ++i) cfg.explicit_edges.emplace_back(i, i + 1);
+  cfg.explicit_edges.emplace_back(half, n - 1);
+  cfg.explicit_edges.push_back(bridge);
 
   cfg.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
   cfg.aopt.rho = 5e-3;  // pronounced drift so the partition visibly diverges
   cfg.aopt.mu = 0.1;
   cfg.aopt.gtilde_static = 12.0;
-  cfg.drift = DriftKind::kAlternatingBlocks;  // cluster A slow, cluster B fast
-  cfg.drift_blocks = 2;
-  cfg.drift_block_period = 1e9;  // constant split
+  // cluster A slow, cluster B fast: constant split
+  cfg.drift = ComponentSpec("blocks", ParamMap{{"blocks", "2"}, {"period", "1e9"}});
   cfg.seed = 5;
 
   Scenario s(cfg);

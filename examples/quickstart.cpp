@@ -13,32 +13,35 @@
 using namespace gcs;
 
 int main() {
-  // 1. Describe the scenario: topology, edge parameters, algorithm knobs.
-  ScenarioConfig cfg;
-  cfg.name = "quickstart";
-  cfg.n = 8;
-  cfg.initial_edges = topo_ring(cfg.n);
-  cfg.edge_params = default_edge_params();  // ε=0.1, τ=0.5, delays [0.1,0.5]
-  cfg.aopt.rho = 1e-3;                      // hardware drift bound
-  cfg.aopt.mu = 0.05;                       // fast-mode boost (eq. 7)
-  cfg.aopt.gtilde_static =
-      suggest_gtilde(cfg.n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;     // worst-case constant drift
+  // 1. Describe the scenario: every dimension is a named, registered
+  // component (see `simulate_cli --list`), plus typed model knobs.
+  ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.n = 8;
+  spec.topology = ComponentSpec("ring");    // registry component by name
+  spec.edge_params = default_edge_params(); // ε=0.1, τ=0.5, delays [0.1,0.5]
+  spec.aopt.rho = 1e-3;                     // hardware drift bound
+  spec.aopt.mu = 0.05;                      // fast-mode boost (eq. 7)
+  spec.gtilde_auto = true;                  // derive G̃ from the topology
+  spec.drift = ComponentSpec("spread");     // worst-case constant drift
+  // The same spec is addressable as strings — the CLI, benches and sweeps
+  // all share this one parsing path:
+  spec.set("mu", 0.05);
 
   // Parameter validation is explicit — the paper's constraints (eqs. 7-9).
-  const auto validation = cfg.aopt.validate();
-  std::cout << "sigma = " << cfg.aopt.sigma() << " (base of the skew logarithm)\n"
+  const auto validation = spec.aopt.validate();
+  std::cout << "sigma = " << spec.aopt.sigma() << " (base of the skew logarithm)\n"
             << validation.str();
 
   // 2. Build and run.
-  Scenario scenario(cfg);
+  Scenario scenario(spec);
   scenario.start();
   scenario.run_until(500.0);
 
   // 3. Inspect.
   Table table("quickstart: node state at t=500");
   table.headers({"node", "hardware H_u", "logical L_u", "max est M_u", "mode"});
-  for (NodeId u = 0; u < cfg.n; ++u) {
+  for (NodeId u = 0; u < scenario.spec().n; ++u) {
     table.row()
         .cell(u)
         .cell(scenario.engine().hardware(u))
@@ -49,7 +52,7 @@ int main() {
   table.print();
 
   const auto snap = measure_skew(scenario.engine());
-  const auto legality = check_legality(scenario.engine(), cfg.aopt.gtilde_static);
+  const auto legality = check_legality(scenario.engine(), scenario.spec().aopt.gtilde_static);
   std::cout << "global skew  G(t) = " << format_double(snap.global) << "\n"
             << "worst local skew  = " << format_double(snap.worst_local)
             << "  (" << format_double(snap.worst_local_ratio, 3)

@@ -32,17 +32,19 @@ struct TdmaOutcome {
   double certified_guard = 0.0;
 };
 
-TdmaOutcome run(AlgoKind algo, int rows, int cols) {
-  ScenarioConfig cfg;
+TdmaOutcome run(const std::string& algo, int rows, int cols) {
+  ScenarioSpec cfg;
   cfg.name = "sensor-tdma";
   cfg.n = rows * cols;
-  cfg.initial_edges = topo_grid(rows, cols);
-  cfg.algo = algo;
+  cfg.topology = ComponentSpec("grid");
+  cfg.topology.params.set("rows", rows);
+  cfg.topology.params.set("cols", cols);
+  cfg.algo = ComponentSpec(algo);
   cfg.aopt.rho = 5e-3;  // cheap crystal
   cfg.aopt.mu = 0.1;
   cfg.aopt.gtilde_static = 40.0;  // dominates the flooding staleness
-  cfg.drift = DriftKind::kLinearSpread;
-  cfg.estimates = EstimateKind::kOracleUniform;  // RBS-tight estimates
+  cfg.drift = ComponentSpec("spread");
+  cfg.estimates = ComponentSpec("uniform");  // RBS-tight estimates
   cfg.seed = 42;
   // Congested medium: store-and-forward messages pinned at max delay.
   cfg.edge_params = default_edge_params(0.1, 0.5, 2.0, 0.0);
@@ -97,10 +99,10 @@ int main() {
   table.headers({"algorithm", "steady nbr skew", "nbr skew after link event",
                  "global skew", "guard", "boundary violations", "duty cycle"});
 
-  for (AlgoKind algo : {AlgoKind::kAopt, AlgoKind::kMaxJump}) {
+  for (const std::string algo : {"aopt", "max-jump"}) {
     const auto out = run(algo, rows, cols);
     table.row()
-        .cell(to_string(algo))
+        .cell(algo)
         .cell(out.steady_neighbor_skew)
         .cell(out.event_neighbor_skew)
         .cell(out.global_skew)

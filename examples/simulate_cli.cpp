@@ -1,12 +1,15 @@
-// simulate_cli — a configurable scenario driver: pick topology, algorithm,
-// drift model, estimate layer and horizon from the command line, run, and
-// get skew/legality reports plus optional CSV time series and event traces.
+// simulate_cli — a configurable scenario driver built on the component
+// registries: pick topology, algorithm, drift model, estimate layer,
+// global-skew estimator and adversary by name, run, and get skew/legality
+// reports plus optional CSV time series and event traces.
 //
 // Examples:
 //   simulate_cli                                    # defaults: AOPT on a 16-ring
-//   simulate_cli --topo=grid --rows=4 --cols=6 --algo=max-jump --horizon=500
-//   simulate_cli --topo=line --n=32 --drift=blocks --block_period=100
+//   simulate_cli --list                             # enumerate all components
+//   simulate_cli --topo=grid:rows=4,cols=6 --algo=max-jump --horizon=500
+//   simulate_cli --topo=line --n=32 --drift=blocks:period=100
 //   simulate_cli --topo=geometric --n=24 --churn=0.05 --gskew=distributed
+//   simulate_cli --sweep=n --values=8,16,32 --threads=4
 //   simulate_cli --trace=trace.csv --series=skew.csv
 #include <iostream>
 
@@ -15,7 +18,9 @@
 #include "metrics/recorder.h"
 #include "metrics/skew.h"
 #include "metrics/trace.h"
+#include "runner/registries.h"
 #include "runner/scenario.h"
+#include "runner/sweep.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -24,149 +29,107 @@ using namespace gcs;
 
 namespace {
 
+/// Runner-level flags that are not ScenarioSpec keys.
+const std::vector<std::string> kReservedFlags = {
+    "horizon", "sample", "trace", "series", "list", "help",
+    "sweep",   "values", "threads", "csv",
+};
+
 int fail_usage(const std::string& message) {
   std::cerr << "error: " << message << "\n\n"
             << "usage: simulate_cli [--key=value ...]\n"
-            << "  --topo=line|ring|grid|torus|star|complete|tree|gnp|geometric|"
-               "hypercube|barbell\n"
-            << "  --n=16 --rows=4 --cols=4 --dim=4 --k=5 --path=6 --p=0.2 --radius=0.35\n"
-            << "  --algo=aopt|max-jump|bounded-rate-max|free-running\n"
-            << "  --drift=none|spread|blocks|walk|sine  --block_period=200 --blocks=2\n"
-            << "  --estimates=zero|uniform|adversarial|beacon\n"
-            << "  --gskew=static|oracle|distributed  --gtilde=0 (0 = auto)\n"
-            << "  --insertion=staged|dynamic|immediate|decay\n"
-            << "  --rho=0.001 --mu=0.05 --horizon=500 --seed=1 --churn=0 (ops/time)\n"
-            << "  --reference=-1 (node id; §3 reference-node mode)\n"
-            << "  --trace=FILE.csv --series=FILE.csv --sample=5\n";
+            << "scenario keys (shared with benches/tests via ScenarioSpec):\n"
+            << ScenarioSpec::key_help()
+            << "runner keys:\n"
+            << "  --horizon=500 --sample=5\n"
+            << "  --trace=FILE.csv --series=FILE.csv\n"
+            << "  --sweep=<spec key> --values=v1,v2,... --threads=2 --csv=FILE.csv\n"
+            << "  --list   enumerate every registered component and its params\n";
   return 2;
+}
+
+std::vector<std::string> nonempty_tokens(const std::string& text) {
+  std::vector<std::string> out;
+  for (std::string& token : split(text, ',')) {
+    if (!token.empty()) out.push_back(std::move(token));
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  ScenarioConfig cfg;
-  cfg.name = "simulate-cli";
-  cfg.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
-  Rng rng(cfg.seed);
 
-  // ---- topology ----
-  const std::string topo = flags.get("topo", std::string("ring"));
-  int n = flags.get("n", 16);
-  std::vector<Point2> positions;
-  if (topo == "line") {
-    cfg.initial_edges = topo_line(n);
-  } else if (topo == "ring") {
-    cfg.initial_edges = topo_ring(n);
-  } else if (topo == "grid" || topo == "torus") {
-    const int rows = flags.get("rows", 4);
-    const int cols = flags.get("cols", 4);
-    n = rows * cols;
-    cfg.initial_edges = topo == "grid" ? topo_grid(rows, cols) : topo_torus(rows, cols);
-  } else if (topo == "star") {
-    cfg.initial_edges = topo_star(n);
-  } else if (topo == "complete") {
-    cfg.initial_edges = topo_complete(n);
-  } else if (topo == "tree") {
-    cfg.initial_edges = topo_random_tree(n, rng);
-  } else if (topo == "gnp") {
-    cfg.initial_edges = topo_gnp_connected(n, flags.get("p", 0.2), rng);
-  } else if (topo == "geometric") {
-    cfg.initial_edges = topo_random_geometric(n, flags.get("radius", 0.35), rng, &positions);
-  } else if (topo == "hypercube") {
-    const int dim = flags.get("dim", 4);
-    n = 1 << dim;
-    cfg.initial_edges = topo_hypercube(dim);
-  } else if (topo == "barbell") {
-    const int k = flags.get("k", 5);
-    const int path = flags.get("path", 6);
-    n = 2 * k + path;
-    cfg.initial_edges = topo_barbell(k, path);
-  } else {
-    return fail_usage("unknown --topo=" + topo);
+  if (flags.has("list")) {
+    print_registries(std::cout);
+    return 0;
   }
-  cfg.n = n;
+  if (flags.has("help")) return fail_usage("");
 
-  // ---- algorithm ----
-  const std::string algo = flags.get("algo", std::string("aopt"));
-  if (algo == "aopt") cfg.algo = AlgoKind::kAopt;
-  else if (algo == "max-jump") cfg.algo = AlgoKind::kMaxJump;
-  else if (algo == "bounded-rate-max") cfg.algo = AlgoKind::kBoundedRateMax;
-  else if (algo == "free-running") cfg.algo = AlgoKind::kFreeRunning;
-  else return fail_usage("unknown --algo=" + algo);
+  ScenarioSpec spec;
+  try {
+    spec = ScenarioSpec::from_flags(flags, kReservedFlags);
+    if (spec.name == "scenario") spec.name = "simulate-cli";
+    // CLI default: a 16-ring with an auto-derived G̃ unless overridden.
+    // Replace only the kind: params the user attached (e.g. --radius without
+    // --topo) must survive so validate() can reject them if they don't apply.
+    if (spec.topology.kind == "explicit") spec.topology.kind = "ring";
+    if (!flags.has("n")) spec.n = 16;
+    if (!flags.has("gtilde")) spec.gtilde_auto = true;
+    spec.validate();
+  } catch (const std::exception& e) {
+    return fail_usage(e.what());
+  }
 
-  // ---- model parameters ----
-  cfg.edge_params = default_edge_params(
-      flags.get("eps", 0.1), flags.get("tau", 0.5),
-      flags.get("delay_max", 0.5), flags.get("delay_min", 0.1));
-  cfg.aopt.rho = flags.get("rho", 1e-3);
-  cfg.aopt.mu = flags.get("mu", 0.05);
-  const double gtilde = flags.get("gtilde", 0.0);
-  cfg.aopt.gtilde_static =
-      gtilde > 0.0 ? gtilde
-                   : suggest_gtilde(cfg.n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
+  const double horizon = flags.get("horizon", 500.0);
+  const double sample = flags.get("sample", 5.0);
 
-  const std::string insertion = flags.get("insertion", std::string("staged"));
-  if (insertion == "staged") cfg.aopt.insertion = InsertionPolicy::kStagedStatic;
-  else if (insertion == "dynamic") cfg.aopt.insertion = InsertionPolicy::kStagedDynamic;
-  else if (insertion == "immediate") cfg.aopt.insertion = InsertionPolicy::kImmediate;
-  else if (insertion == "decay") cfg.aopt.insertion = InsertionPolicy::kWeightDecay;
-  else return fail_usage("unknown --insertion=" + insertion);
+  // ---- sweep mode: expand one axis and run the grid on a thread pool ----
+  if (flags.has("sweep")) {
+    if (flags.has("trace") || flags.has("series")) {
+      return fail_usage("--trace/--series apply to single runs, not --sweep "
+                        "(use --csv=FILE for sweep results)");
+    }
+    const std::string axis_key = flags.get("sweep", std::string());
+    const auto values = nonempty_tokens(flags.get("values", std::string()));
+    if (values.empty()) return fail_usage("--sweep needs --values=v1,v2,...");
+    SweepOptions options;
+    options.threads = flags.get("threads", 2);
+    options.horizon = horizon;
+    options.sample_period = sample;
+    Sweep sweep(spec);
+    try {
+      sweep.axis(axis_key, values);
+      const auto results = SweepRunner(options).run(sweep);
+      SweepRunner::to_table(results, "simulate_cli sweep over " + axis_key).print();
+      if (flags.has("csv")) {
+        // A bare --csv (no value) parses as "true"; use the default name.
+        std::string path = flags.get("csv", std::string());
+        if (path.empty() || path == "true") path = "sweep.csv";
+        SweepRunner::write_csv(results, path);
+        std::cout << "wrote sweep results to " << path << "\n";
+      }
+      for (const auto& r : results) {
+        if (!r.ok()) return 1;
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      return fail_usage(e.what());
+    }
+  }
 
-  // ---- drift ----
-  const std::string drift = flags.get("drift", std::string("spread"));
-  if (drift == "none") cfg.drift = DriftKind::kNone;
-  else if (drift == "spread") cfg.drift = DriftKind::kLinearSpread;
-  else if (drift == "blocks") cfg.drift = DriftKind::kAlternatingBlocks;
-  else if (drift == "walk") cfg.drift = DriftKind::kRandomWalk;
-  else if (drift == "sine") cfg.drift = DriftKind::kSinusoidal;
-  else return fail_usage("unknown --drift=" + drift);
-  cfg.drift_block_period = flags.get("block_period", 200.0);
-  cfg.drift_blocks = flags.get("blocks", 2);
-  cfg.drift_sine_period = flags.get("sine_period", 400.0);
-
-  // ---- estimates / G̃ source ----
-  const std::string est = flags.get("estimates", std::string("uniform"));
-  if (est == "zero") cfg.estimates = EstimateKind::kOracleZero;
-  else if (est == "uniform") cfg.estimates = EstimateKind::kOracleUniform;
-  else if (est == "adversarial") cfg.estimates = EstimateKind::kOracleAdversarial;
-  else if (est == "beacon") cfg.estimates = EstimateKind::kBeacon;
-  else return fail_usage("unknown --estimates=" + est);
-
-  const std::string gskew = flags.get("gskew", std::string("static"));
-  if (gskew == "static") cfg.gskew = GskewKind::kStatic;
-  else if (gskew == "oracle") cfg.gskew = GskewKind::kOracle;
-  else if (gskew == "distributed") cfg.gskew = GskewKind::kDistributed;
-  else return fail_usage("unknown --gskew=" + gskew);
-
-  cfg.reference_node = flags.get("reference", -1);
-
-  const auto validation = cfg.aopt.validate();
-  if (!validation.ok()) return fail_usage("invalid parameters:\n" + validation.str());
+  // ---- single run ----
+  const auto validation = spec.aopt.validate();
   std::cout << validation.str();
 
-  // ---- run ----
-  Scenario s(cfg);
+  Scenario s(spec);
   std::unique_ptr<ExecutionTrace> trace;
   if (flags.has("trace")) {
     trace = std::make_unique<ExecutionTrace>(s.engine(), flags.get("sample", 5.0));
   }
   s.start();
 
-  const double churn_rate = flags.get("churn", 0.0);
-  std::unique_ptr<ChurnAdversary> churn;
-  if (churn_rate > 0.0) {
-    ChurnAdversary::Config churn_cfg;
-    churn_cfg.ops_per_time = churn_rate;
-    churn_cfg.start = 10.0;
-    churn = std::make_unique<ChurnAdversary>(s.sim(), s.graph(), cfg.initial_edges,
-                                             cfg.edge_params, churn_cfg,
-                                             cfg.seed ^ 0xabcULL);
-    churn->arm();
-  }
-
-  const double horizon = flags.get("horizon", 500.0);
-  const double sample = flags.get("sample", 5.0);
   TimeSeries global_series;
   TimeSeries local_series;
   PeriodicSampler sampler(s.sim(), sample, [&](Time t) {
@@ -178,21 +141,23 @@ int main(int argc, char** argv) {
   s.run_until(horizon);
 
   // ---- report ----
-  Table table("simulate_cli: " + topo + " n=" + std::to_string(cfg.n) + ", " +
-              to_string(cfg.algo) + ", horizon=" + format_double(horizon, 0));
+  const double ghat = s.spec().aopt.gtilde_static;
+  Table table("simulate_cli: " + s.spec().topology.str() + " n=" +
+              std::to_string(s.spec().n) + ", " + s.spec().algo.str() +
+              ", horizon=" + format_double(horizon, 0));
   table.headers({"metric", "value"});
-  table.row().cell("sigma").cell(cfg.aopt.sigma());
-  table.row().cell("Ghat (static budget)").cell(cfg.aopt.gtilde_static);
+  table.row().cell("sigma").cell(s.spec().aopt.sigma());
+  table.row().cell("Ghat (static budget)").cell(ghat);
   table.row().cell("D^ estimate").cell(estimate_dynamic_diameter(s.engine()));
   table.row().cell("global skew (final)").cell(global_series.last());
   table.row().cell("global skew (max)").cell(global_series.max());
   table.row().cell("worst local skew (max)").cell(local_series.max());
-  const auto legality = check_legality(s.engine(), cfg.aopt.gtilde_static);
+  const auto legality = check_legality(s.engine(), ghat);
   table.row().cell("legality").cell(legality.legal());
   table.row().cell("legality margin").cell(legality.worst_margin);
   table.row().cell("events fired").cell(static_cast<long long>(s.sim().fired_count()));
-  if (churn != nullptr) {
-    table.row().cell("churn ops").cell(churn->additions() + churn->removals());
+  if (s.adversary() != nullptr) {
+    table.row().cell("adversary ops").cell(s.adversary()->operations());
   }
   table.print();
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/algo_registry.h"
+
 namespace gcs {
 
 void MaxJumpNode::reevaluate() {
@@ -23,6 +25,36 @@ void BoundedRateMaxNode::reevaluate() {
     api_->set_rate_multiplier(1.0 + mu_);
   }
   // In the ι-wide band below M: keep the current mode (hysteresis).
+}
+
+void register_baseline_algorithms(Registry<AlgoFactory>& r) {
+  using E = Registry<AlgoFactory>::Entry;
+  r.add(E{"max-jump",
+          "Srikanth–Toueg-style max flooding with clock jumps (O(D) global, Ω(D) local)",
+          {},
+          [](const ParamMap&, const AlgoArgs&) -> Engine::AlgorithmFactory {
+            return [](NodeId) -> std::unique_ptr<Algorithm> {
+              return std::make_unique<MaxJumpNode>();
+            };
+          }});
+  r.add(E{"bounded-rate-max",
+          "AOPT's max-estimate rule without the gradient trigger hierarchy",
+          {},
+          [](const ParamMap&, const AlgoArgs& a) -> Engine::AlgorithmFactory {
+            const double mu = a.params.mu;
+            const double iota = a.params.iota;
+            return [mu, iota](NodeId) -> std::unique_ptr<Algorithm> {
+              return std::make_unique<BoundedRateMaxNode>(mu, iota);
+            };
+          }});
+  r.add(E{"free-running",
+          "no synchronization: the logical clock is the hardware clock",
+          {},
+          [](const ParamMap&, const AlgoArgs&) -> Engine::AlgorithmFactory {
+            return [](NodeId) -> std::unique_ptr<Algorithm> {
+              return std::make_unique<FreeRunningNode>();
+            };
+          }});
 }
 
 }  // namespace gcs

@@ -186,4 +186,63 @@ Time ScriptedDrift::next_change_after(NodeId u, Time t) {
   return pos == vec.end() ? kTimeInf : pos->first;
 }
 
+// --------------------------------------------------------------------------
+// Registration.
+
+namespace {
+
+void register_builtin_drift_models(Registry<DriftFactory>& r) {
+  using E = Registry<DriftFactory>::Entry;
+  r.add(E{"none",
+          "all rates exactly 1 + offset",
+          {{"offset", "0", "constant rate offset, |offset| <= rho"}},
+          [](const ParamMap& p, const DriftArgs& a) -> std::unique_ptr<DriftModel> {
+            return std::make_unique<ConstantDrift>(a.rho, p.get_double("offset", 0.0),
+                                                   a.n);
+          }});
+  r.add(E{"spread", "maximally divergent constant rates (worst case for global skew)",
+          {},
+          [](const ParamMap&, const DriftArgs& a) -> std::unique_ptr<DriftModel> {
+            return std::make_unique<LinearSpreadDrift>(a.rho, a.n);
+          }});
+  r.add(E{"blocks",
+          "block-sign drift flipping every period (gradient stressor)",
+          {{"period", "200", "sign-flip period"},
+           {"blocks", "2", "number of contiguous index blocks"}},
+          [](const ParamMap& p, const DriftArgs& a) -> std::unique_ptr<DriftModel> {
+            return std::make_unique<AlternatingBlocksDrift>(
+                a.rho, a.n, p.get_int("blocks", 2), p.get_double("period", 200.0));
+          }});
+  r.add(E{"walk",
+          "bounded random walk of per-node offsets",
+          {{"period", "10", "step period"},
+           {"std", "0", "step standard deviation (0 = rho/4)"}},
+          [](const ParamMap& p, const DriftArgs& a) -> std::unique_ptr<DriftModel> {
+            const double std_dev = p.get_double("std", 0.0);
+            return std::make_unique<RandomWalkDrift>(
+                a.rho, a.n, p.get_double("period", 10.0),
+                std_dev > 0.0 ? std_dev : a.rho / 4.0, a.seed ^ 0xd21fULL);
+          }});
+  r.add(E{"sine",
+          "temperature-cycle style oscillation with per-node phase",
+          {{"period", "400", "oscillation period"},
+           {"steps", "32", "piecewise-constant segments per period"}},
+          [](const ParamMap& p, const DriftArgs& a) -> std::unique_ptr<DriftModel> {
+            return std::make_unique<SinusoidalDrift>(a.rho, a.n,
+                                                     p.get_double("period", 400.0),
+                                                     p.get_int("steps", 32));
+          }});
+}
+
+}  // namespace
+
+Registry<DriftFactory>& drift_registry() {
+  static Registry<DriftFactory>* registry = [] {
+    auto* r = new Registry<DriftFactory>("drift model");
+    register_builtin_drift_models(*r);
+    return r;
+  }();
+  return *registry;
+}
+
 }  // namespace gcs

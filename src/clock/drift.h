@@ -7,11 +7,13 @@
 // (node, t) always returns the same value.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "util/common.h"
+#include "util/registry.h"
 #include "util/rng.h"
 
 namespace gcs {
@@ -158,5 +160,21 @@ class ScriptedDrift final : public DriftModel {
   double rho_;
   std::map<NodeId, std::vector<std::pair<Time, double>>> script_;
 };
+
+// --------------------------------------------------------------------------
+// Drift-model registry.
+
+/// Build context handed to drift factories.
+struct DriftArgs {
+  int n = 0;
+  double rho = 1e-3;        ///< the algorithm's drift bound
+  std::uint64_t seed = 1;   ///< scenario seed (factories salt it themselves)
+};
+
+using DriftFactory =
+    std::function<std::unique_ptr<DriftModel>(const ParamMap&, const DriftArgs&)>;
+
+/// The process-wide drift registry (builtins registered on first use).
+Registry<DriftFactory>& drift_registry();
 
 }  // namespace gcs

@@ -1,0 +1,15 @@
+#include "core/algo_registry.h"
+
+namespace gcs {
+
+Registry<AlgoFactory>& algo_registry() {
+  static Registry<AlgoFactory>* registry = [] {
+    auto* r = new Registry<AlgoFactory>("algorithm");
+    register_aopt_algorithm(*r);
+    register_baseline_algorithms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace gcs

@@ -1,0 +1,29 @@
+// Algorithm registry: clock-sync algorithms self-register a per-node
+// factory under a name ("aopt", "max-jump", ...). The registration sites
+// live next to the implementations (core/aopt_node.cpp, baseline/
+// baselines.cpp); new algorithms only need to add themselves here — no
+// switch statement to extend.
+#pragma once
+
+#include "core/engine.h"
+#include "util/registry.h"
+
+namespace gcs {
+
+/// Build context for algorithm factories.
+struct AlgoArgs {
+  AlgoParams params;
+};
+
+/// An algorithm factory produces the engine's per-node factory.
+using AlgoFactory =
+    std::function<Engine::AlgorithmFactory(const ParamMap&, const AlgoArgs&)>;
+
+/// The process-wide algorithm registry (builtins registered on first use).
+Registry<AlgoFactory>& algo_registry();
+
+/// Registration sites (called once by algo_registry()).
+void register_aopt_algorithm(Registry<AlgoFactory>& r);
+void register_baseline_algorithms(Registry<AlgoFactory>& r);
+
+}  // namespace gcs

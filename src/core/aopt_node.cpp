@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/algo_registry.h"
 #include "util/log.h"
 
 namespace gcs {
@@ -252,6 +253,19 @@ void AoptNode::reevaluate() {
     ++mode_switches_;
     api_->set_rate_multiplier(target);
   }
+}
+
+void register_aopt_algorithm(Registry<AlgoFactory>& r) {
+  r.add(Registry<AlgoFactory>::Entry{
+      "aopt",
+      "the paper's gradient algorithm (AOPT, §4) — parameters via AlgoParams",
+      {},
+      [](const ParamMap&, const AlgoArgs& a) -> Engine::AlgorithmFactory {
+        const AlgoParams params = a.params;
+        return [params](NodeId) -> std::unique_ptr<Algorithm> {
+          return std::make_unique<AoptNode>(params);
+        };
+      }});
 }
 
 }  // namespace gcs

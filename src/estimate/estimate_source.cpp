@@ -84,4 +84,85 @@ void BeaconEstimateSource::on_edge_lost(NodeId u, NodeId peer) {
   entries_.erase(key(u, peer));
 }
 
+// --------------------------------------------------------------------------
+// Registration.
+
+namespace {
+
+std::unique_ptr<EstimateSource> make_oracle(OracleErrorPolicy policy,
+                                            const EstimateArgs& a) {
+  return std::make_unique<OracleEstimateSource>(a.graph, policy, a.seed ^ 0xe57ULL);
+}
+
+void register_builtin_estimates(Registry<EstimateFactory>& r) {
+  using E = Registry<EstimateFactory>::Entry;
+  r.add(E{"zero", "oracle estimates with zero error", {},
+          [](const ParamMap&, const EstimateArgs& a) {
+            return make_oracle(OracleErrorPolicy::kZero, a);
+          }});
+  r.add(E{"uniform", "oracle estimates with uniform error in [-eps, eps]", {},
+          [](const ParamMap&, const EstimateArgs& a) {
+            return make_oracle(OracleErrorPolicy::kUniform, a);
+          }});
+  r.add(E{"adversarial",
+          "oracle estimates shrinking the perceived skew by eps (slowest reaction)",
+          {},
+          [](const ParamMap&, const EstimateArgs& a) {
+            return make_oracle(OracleErrorPolicy::kAdversarial, a);
+          }});
+  r.add(E{"beacon",
+          "message-based estimates from periodic beacons (eps derived, eq. 1 checked in tests)",
+          {},
+          [](const ParamMap&, const EstimateArgs& a) -> std::unique_ptr<EstimateSource> {
+            return std::make_unique<BeaconEstimateSource>(a.graph, a.beacon_period,
+                                                          a.rho, a.mu);
+          }});
+}
+
+void register_builtin_gskew(Registry<GskewFactory>& r) {
+  using E = Registry<GskewFactory>::Entry;
+  r.add(E{"static", "the a-priori constant G̃ of §4–§5 (eq. 6)", {},
+          [](const ParamMap&, const GskewArgs& a) -> std::unique_ptr<GlobalSkewEstimator> {
+            return std::make_unique<StaticGskewEstimator>(a.gtilde_static);
+          }});
+  r.add(E{"oracle",
+          "§7 estimates assumed given: G̃_u = factor·G(t) + margin",
+          {{"factor", "2", "multiplier on the true global skew (>= 1)"},
+           {"margin", "1", "additive margin (>= 0)"}},
+          [](const ParamMap& p, const GskewArgs& a) -> std::unique_ptr<GlobalSkewEstimator> {
+            return std::make_unique<OracleGskewEstimator>(a.true_global_skew,
+                                                          p.get_double("factor", 2.0),
+                                                          p.get_double("margin", 1.0));
+          }});
+  r.add(E{"distributed",
+          "§7 estimates computed from flooded max/min bounds plus a diameter hint",
+          {{"hint", "0", "a-priori D̂ (0 = conservative bound from n and edge params)"}},
+          [](const ParamMap& p, const GskewArgs& a) -> std::unique_ptr<GlobalSkewEstimator> {
+            const double hint = p.get_double("hint", 0.0);
+            return std::make_unique<DistributedGskewEstimator>(
+                a.max_estimate, a.min_estimate,
+                hint > 0.0 ? hint : a.default_diameter_hint);
+          }});
+}
+
+}  // namespace
+
+Registry<EstimateFactory>& estimate_registry() {
+  static Registry<EstimateFactory>* registry = [] {
+    auto* r = new Registry<EstimateFactory>("estimate source");
+    register_builtin_estimates(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Registry<GskewFactory>& gskew_registry() {
+  static Registry<GskewFactory>* registry = [] {
+    auto* r = new Registry<GskewFactory>("global-skew estimator");
+    register_builtin_gskew(*r);
+    return r;
+  }();
+  return *registry;
+}
+
 }  // namespace gcs

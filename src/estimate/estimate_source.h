@@ -9,6 +9,8 @@
 //    beacon_eps() and the guarantee is asserted in tests, not assumed.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "graph/dynamic_graph.h"
 #include "net/message.h"
 #include "util/common.h"
+#include "util/registry.h"
 #include "util/rng.h"
 
 namespace gcs {
@@ -172,5 +175,40 @@ class DistributedGskewEstimator final : public GlobalSkewEstimator {
   NodeValueFn min_estimate_;
   double diameter_hint_;
 };
+
+// --------------------------------------------------------------------------
+// Registries for both layers.
+
+/// Build context for estimate-source factories.
+struct EstimateArgs {
+  DynamicGraph& graph;
+  double beacon_period = 0.25;  ///< the engine's beacon cadence
+  double rho = 1e-3;
+  double mu = 0.05;
+  std::uint64_t seed = 1;
+};
+
+using EstimateFactory =
+    std::function<std::unique_ptr<EstimateSource>(const ParamMap&, const EstimateArgs&)>;
+
+/// The process-wide estimate-source registry (builtins on first use).
+Registry<EstimateFactory>& estimate_registry();
+
+/// Build context for global-skew-estimator factories. The callbacks reach
+/// into the engine through the scenario (stable once construction finishes);
+/// factories must not invoke them at build time.
+struct GskewArgs {
+  double gtilde_static = 10.0;               ///< the a-priori G̃ of §4–§5
+  double default_diameter_hint = 1.0;        ///< conservative D̂ if none given
+  std::function<double()> true_global_skew;  ///< oracle access
+  std::function<ClockValue(NodeId)> max_estimate;  ///< flooded M_u
+  std::function<ClockValue(NodeId)> min_estimate;  ///< flooded m_u
+};
+
+using GskewFactory =
+    std::function<std::unique_ptr<GlobalSkewEstimator>(const ParamMap&, const GskewArgs&)>;
+
+/// The process-wide global-skew-estimator registry (builtins on first use).
+Registry<GskewFactory>& gskew_registry();
 
 }  // namespace gcs

@@ -72,4 +72,47 @@ void ChurnAdversary::step() {
   }
 }
 
+// --------------------------------------------------------------------------
+// Registration.
+
+namespace {
+
+void register_builtin_adversaries(Registry<AdversaryFactory>& r) {
+  using E = Registry<AdversaryFactory>::Entry;
+  r.add(E{"none", "static topology: no edge events after t=0", {},
+          [](const ParamMap&, const AdversaryArgs&) -> std::unique_ptr<TopologyAdversary> {
+            return nullptr;
+          }});
+  r.add(E{"churn",
+          "Poisson edge churn over the initial edge set (connectivity preserved)",
+          {{"rate", "0.05", "mean operations per time unit"},
+           {"p_remove", "0.5", "probability an op attempts a removal"},
+           {"start", "10", "first operation not before this time"},
+           {"stop", "inf", "no operations after this time"},
+           {"keep_connected", "true", "refuse removals that would disconnect"}},
+          [](const ParamMap& p, const AdversaryArgs& a) -> std::unique_ptr<TopologyAdversary> {
+            ChurnAdversary::Config cfg;
+            cfg.ops_per_time = p.get_double("rate", 0.05);
+            cfg.p_remove = p.get_double("p_remove", 0.5);
+            cfg.start = p.get_double("start", 10.0);
+            cfg.stop = p.get_str("stop", "inf") == "inf" ? kTimeInf
+                                                         : p.get_double("stop", kTimeInf);
+            cfg.keep_connected = p.get_bool("keep_connected", true);
+            return std::make_unique<ChurnAdversary>(a.sim, a.graph, a.initial_edges,
+                                                    a.edge_params, cfg,
+                                                    a.seed ^ 0xabcULL);
+          }});
+}
+
+}  // namespace
+
+Registry<AdversaryFactory>& adversary_registry() {
+  static Registry<AdversaryFactory>* registry = [] {
+    auto* r = new Registry<AdversaryFactory>("adversary");
+    register_builtin_adversaries(*r);
+    return r;
+  }();
+  return *registry;
+}
+
 }  // namespace gcs

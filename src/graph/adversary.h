@@ -1,16 +1,30 @@
 // Topology adversaries: drive edge insertions/removals over time.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "graph/dynamic_graph.h"
 #include "sim/simulator.h"
+#include "util/registry.h"
 #include "util/rng.h"
 
 namespace gcs {
 
+/// Common handle for every topology adversary: something that, once armed,
+/// schedules edge events on the simulator.
+class TopologyAdversary {
+ public:
+  virtual ~TopologyAdversary() = default;
+  /// Begin scheduling events. Call once, before or after engine start.
+  virtual void arm() = 0;
+  /// Total operations applied so far (for reports; 0 if not tracked).
+  [[nodiscard]] virtual int operations() const { return 0; }
+};
+
 /// Replays a fixed script of edge events.
-class ScriptedAdversary {
+class ScriptedAdversary final : public TopologyAdversary {
  public:
   struct Event {
     Time at = 0.0;
@@ -29,7 +43,8 @@ class ScriptedAdversary {
   }
 
   /// Schedule all scripted events on the simulator. Call once.
-  void arm();
+  void arm() override;
+  [[nodiscard]] int operations() const override { return static_cast<int>(script_.size()); }
 
  private:
   Simulator& sim_;
@@ -42,7 +57,7 @@ class ScriptedAdversary {
 /// removes a random present edge (only if the adversary-level graph stays
 /// connected, preserving the paper's connectivity requirement) or re-adds a
 /// random absent candidate.
-class ChurnAdversary {
+class ChurnAdversary final : public TopologyAdversary {
  public:
   struct Config {
     double ops_per_time = 0.1;   ///< mean operations per time unit
@@ -57,10 +72,11 @@ class ChurnAdversary {
                  Config config, std::uint64_t seed);
 
   /// Begin scheduling churn operations.
-  void arm();
+  void arm() override;
 
   [[nodiscard]] int removals() const { return removals_; }
   [[nodiscard]] int additions() const { return additions_; }
+  [[nodiscard]] int operations() const override { return additions_ + removals_; }
 
  private:
   void step();
@@ -75,5 +91,24 @@ class ChurnAdversary {
   int removals_ = 0;
   int additions_ = 0;
 };
+
+// --------------------------------------------------------------------------
+// Adversary registry.
+
+/// Build context for adversary factories.
+struct AdversaryArgs {
+  Simulator& sim;
+  DynamicGraph& graph;
+  const std::vector<EdgeKey>& initial_edges;  ///< churn candidate set
+  EdgeParams edge_params;
+  std::uint64_t seed = 1;
+};
+
+/// Factories may return nullptr ("none": no adversary).
+using AdversaryFactory =
+    std::function<std::unique_ptr<TopologyAdversary>(const ParamMap&, const AdversaryArgs&)>;
+
+/// The process-wide adversary registry (builtins registered on first use).
+Registry<AdversaryFactory>& adversary_registry();
 
 }  // namespace gcs

@@ -215,4 +215,100 @@ int hop_diameter(int n, const std::vector<EdgeKey>& edges) {
   return diameter;
 }
 
+// --------------------------------------------------------------------------
+// Registration. Each entry documents its parameters; the node count comes
+// from the scenario (TopologyArgs::n) unless the generator's own parameters
+// determine it (grid, torus, hypercube, barbell).
+
+namespace {
+
+TopologyResult plain(int n, std::vector<EdgeKey> edges) {
+  return TopologyResult{n, std::move(edges), {}};
+}
+
+void register_builtin_topologies(Registry<TopologyFactory>& r) {
+  using E = Registry<TopologyFactory>::Entry;
+  r.add(E{"line", "path v0-v1-...-v(n-1)", {},
+          [](const ParamMap&, const TopologyArgs& a) { return plain(a.n, topo_line(a.n)); }});
+  r.add(E{"ring", "line plus the closing edge", {},
+          [](const ParamMap&, const TopologyArgs& a) { return plain(a.n, topo_ring(a.n)); }});
+  r.add(E{"star", "node 0 connected to all others", {},
+          [](const ParamMap&, const TopologyArgs& a) { return plain(a.n, topo_star(a.n)); }});
+  r.add(E{"complete", "all pairs", {},
+          [](const ParamMap&, const TopologyArgs& a) {
+            return plain(a.n, topo_complete(a.n));
+          }});
+  r.add(E{"grid",
+          "rows x cols grid, 4-neighborhood (n = rows*cols)",
+          {{"rows", "4", "grid rows"}, {"cols", "4", "grid columns"}},
+          [](const ParamMap& p, const TopologyArgs&) {
+            const int rows = p.get_int("rows", 4);
+            const int cols = p.get_int("cols", 4);
+            return plain(rows * cols, topo_grid(rows, cols));
+          }});
+  r.add(E{"torus",
+          "grid with wrap-around links (n = rows*cols)",
+          {{"rows", "4", "grid rows"}, {"cols", "4", "grid columns"}},
+          [](const ParamMap& p, const TopologyArgs&) {
+            const int rows = p.get_int("rows", 4);
+            const int cols = p.get_int("cols", 4);
+            return plain(rows * cols, topo_torus(rows, cols));
+          }});
+  r.add(E{"hypercube",
+          "dim-dimensional hypercube (n = 2^dim)",
+          {{"dim", "4", "dimension"}},
+          [](const ParamMap& p, const TopologyArgs&) {
+            const int dim = p.get_int("dim", 4);
+            return plain(1 << dim, topo_hypercube(dim));
+          }});
+  r.add(E{"barbell",
+          "two k-cliques joined by a path (n = 2k + path)",
+          {{"k", "5", "clique size"}, {"path", "6", "joining path length"}},
+          [](const ParamMap& p, const TopologyArgs&) {
+            const int k = p.get_int("k", 5);
+            const int path = p.get_int("path", 6);
+            return plain(2 * k + path, topo_barbell(k, path));
+          }});
+  r.add(E{"tree", "uniform random spanning tree", {},
+          [](const ParamMap&, const TopologyArgs& a) {
+            return plain(a.n, topo_random_tree(a.n, a.rng));
+          }});
+  r.add(E{"gnp",
+          "Erdos-Renyi G(n,p) conditioned on connectivity",
+          {{"p", "0.2", "edge probability"}},
+          [](const ParamMap& p, const TopologyArgs& a) {
+            return plain(a.n, topo_gnp_connected(a.n, p.get_double("p", 0.2), a.rng));
+          }});
+  r.add(E{"geometric",
+          "random geometric graph in the unit square (radius grown until connected)",
+          {{"radius", "0.35", "connection radius"}},
+          [](const ParamMap& p, const TopologyArgs& a) {
+            TopologyResult out;
+            out.n = a.n;
+            out.edges = topo_random_geometric(a.n, p.get_double("radius", 0.35), a.rng,
+                                              &out.positions);
+            return out;
+          }});
+  r.add(E{"empty", "n isolated nodes (edges can be added dynamically)", {},
+          [](const ParamMap&, const TopologyArgs& a) { return plain(a.n, {}); }});
+  r.add(E{"explicit", "edge list supplied programmatically (ScenarioSpec::explicit_edges)",
+          {},
+          [](const ParamMap&, const TopologyArgs& a) {
+            require(a.explicit_edges != nullptr,
+                    "topology 'explicit': no edge list supplied");
+            return plain(a.n, *a.explicit_edges);
+          }});
+}
+
+}  // namespace
+
+Registry<TopologyFactory>& topology_registry() {
+  static Registry<TopologyFactory>* registry = [] {
+    auto* r = new Registry<TopologyFactory>("topology");
+    register_builtin_topologies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
 }  // namespace gcs

@@ -2,9 +2,11 @@
 // and whether edges exist from t=0 (create_edge_instant) or appear later.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "util/common.h"
+#include "util/registry.h"
 #include "util/rng.h"
 
 namespace gcs {
@@ -61,5 +63,29 @@ std::vector<EdgeKey> edges_within_radius(const std::vector<Point2>& positions,
 
 /// Hop diameter of an undirected edge list (-1 if disconnected).
 int hop_diameter(int n, const std::vector<EdgeKey>& edges);
+
+// --------------------------------------------------------------------------
+// Topology registry: every generator above self-registers under a name so
+// scenarios can be described as strings ("grid:rows=4,cols=6").
+
+/// Build context handed to topology factories.
+struct TopologyArgs {
+  int n = 0;          ///< requested node count (generators may override)
+  Rng& rng;           ///< deterministic source for randomized generators
+  const std::vector<EdgeKey>* explicit_edges = nullptr;  ///< for kind "explicit"
+};
+
+/// What a topology factory produces. `n` is authoritative: generators whose
+/// size is set by their own parameters (grid, hypercube, ...) report it here.
+struct TopologyResult {
+  int n = 0;
+  std::vector<EdgeKey> edges;
+  std::vector<Point2> positions;  ///< only for geometric generators
+};
+
+using TopologyFactory = std::function<TopologyResult(const ParamMap&, const TopologyArgs&)>;
+
+/// The process-wide topology registry (builtins registered on first use).
+Registry<TopologyFactory>& topology_registry();
 
 }  // namespace gcs

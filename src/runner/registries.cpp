@@ -1,0 +1,48 @@
+#include "runner/registries.h"
+
+#include "clock/drift.h"
+#include "core/algo_registry.h"
+#include "estimate/estimate_source.h"
+#include "graph/adversary.h"
+#include "graph/topology.h"
+
+namespace gcs {
+
+namespace {
+
+template <class Factory>
+RegistryDescription describe(const Registry<Factory>& registry) {
+  RegistryDescription out;
+  out.family = registry.family();
+  for (const auto& [name, entry] : registry.entries()) {
+    out.components.push_back({entry.name, entry.description, entry.params});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<RegistryDescription> describe_registries() {
+  return {
+      describe(topology_registry()),  describe(algo_registry()),
+      describe(drift_registry()),     describe(estimate_registry()),
+      describe(gskew_registry()),     describe(adversary_registry()),
+  };
+}
+
+void print_registries(std::ostream& os) {
+  for (const auto& family : describe_registries()) {
+    os << family.family << ":\n";
+    for (const auto& c : family.components) {
+      os << "  " << c.name;
+      if (!c.description.empty()) os << " — " << c.description;
+      os << "\n";
+      for (const auto& p : c.params) {
+        os << "      " << p.name << " (default " << p.def << "): " << p.desc << "\n";
+      }
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace gcs

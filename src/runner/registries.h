@@ -1,0 +1,30 @@
+// Aggregated view over all component registries, for --list and docs.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/registry.h"
+
+namespace gcs {
+
+/// A flattened, registry-generated description of one component family.
+struct RegistryDescription {
+  std::string family;
+  struct Component {
+    std::string name;
+    std::string description;
+    std::vector<ParamDoc> params;
+  };
+  std::vector<Component> components;
+};
+
+/// Snapshot every registry (topology, algorithm, drift, estimates, gskew,
+/// adversary), in a stable order.
+std::vector<RegistryDescription> describe_registries();
+
+/// Human-readable dump of describe_registries() (simulate_cli --list).
+void print_registries(std::ostream& os);
+
+}  // namespace gcs

@@ -16,134 +16,188 @@ const char* to_string(AlgoKind kind) {
   return "?";
 }
 
-namespace {
+ScenarioSpec to_spec(const ScenarioConfig& config) {
+  ScenarioSpec spec;
+  spec.name = config.name;
+  spec.n = config.n;
+  spec.seed = config.seed;
+  spec.topology = ComponentSpec("explicit");
+  spec.explicit_edges = config.initial_edges;
+  spec.edge_params = config.edge_params;
+  spec.aopt = config.aopt;
+  spec.engine = config.engine;
+  spec.detection = config.detection;
+  spec.delays = config.delays;
+  spec.reference_node = config.reference_node;
 
-std::unique_ptr<DriftModel> make_drift(const ScenarioConfig& c) {
-  const double rho = c.aopt.rho;
-  switch (c.drift) {
+  switch (config.algo) {
+    case AlgoKind::kAopt: spec.algo = ComponentSpec("aopt"); break;
+    case AlgoKind::kMaxJump: spec.algo = ComponentSpec("max-jump"); break;
+    case AlgoKind::kBoundedRateMax: spec.algo = ComponentSpec("bounded-rate-max"); break;
+    case AlgoKind::kFreeRunning: spec.algo = ComponentSpec("free-running"); break;
+  }
+
+  switch (config.drift) {
     case DriftKind::kNone:
-      return std::make_unique<ConstantDrift>(rho, 0.0, c.n);
+      spec.drift = ComponentSpec("none");
+      break;
     case DriftKind::kLinearSpread:
-      return std::make_unique<LinearSpreadDrift>(rho, c.n);
+      spec.drift = ComponentSpec("spread");
+      break;
     case DriftKind::kAlternatingBlocks:
-      return std::make_unique<AlternatingBlocksDrift>(rho, c.n, c.drift_blocks,
-                                                      c.drift_block_period);
-    case DriftKind::kRandomWalk: {
-      const double std_dev = c.drift_walk_std > 0.0 ? c.drift_walk_std : rho / 4.0;
-      return std::make_unique<RandomWalkDrift>(rho, c.n, c.drift_walk_period,
-                                               std_dev, c.seed ^ 0xd21fULL);
-    }
+      spec.drift = ComponentSpec("blocks");
+      spec.drift.params.set("period", config.drift_block_period);
+      spec.drift.params.set("blocks", config.drift_blocks);
+      break;
+    case DriftKind::kRandomWalk:
+      spec.drift = ComponentSpec("walk");
+      spec.drift.params.set("period", config.drift_walk_period);
+      spec.drift.params.set("std", config.drift_walk_std);
+      break;
     case DriftKind::kSinusoidal:
-      return std::make_unique<SinusoidalDrift>(rho, c.n, c.drift_sine_period);
+      spec.drift = ComponentSpec("sine");
+      spec.drift.params.set("period", config.drift_sine_period);
+      break;
   }
-  return nullptr;
-}
 
-std::unique_ptr<EstimateSource> make_estimates(const ScenarioConfig& c,
-                                               DynamicGraph& graph) {
-  switch (c.estimates) {
-    case EstimateKind::kOracleZero:
-      return std::make_unique<OracleEstimateSource>(graph, OracleErrorPolicy::kZero,
-                                                    c.seed ^ 0xe57ULL);
-    case EstimateKind::kOracleUniform:
-      return std::make_unique<OracleEstimateSource>(
-          graph, OracleErrorPolicy::kUniform, c.seed ^ 0xe57ULL);
+  switch (config.estimates) {
+    case EstimateKind::kOracleZero: spec.estimates = ComponentSpec("zero"); break;
+    case EstimateKind::kOracleUniform: spec.estimates = ComponentSpec("uniform"); break;
     case EstimateKind::kOracleAdversarial:
-      return std::make_unique<OracleEstimateSource>(
-          graph, OracleErrorPolicy::kAdversarial, c.seed ^ 0xe57ULL);
-    case EstimateKind::kBeacon:
-      return std::make_unique<BeaconEstimateSource>(graph, c.engine.beacon_period,
-                                                    c.aopt.rho, c.aopt.mu);
+      spec.estimates = ComponentSpec("adversarial");
+      break;
+    case EstimateKind::kBeacon: spec.estimates = ComponentSpec("beacon"); break;
   }
-  return nullptr;
+
+  switch (config.gskew) {
+    case GskewKind::kStatic:
+      spec.gskew = ComponentSpec("static");
+      break;
+    case GskewKind::kOracle:
+      spec.gskew = ComponentSpec("oracle");
+      spec.gskew.params.set("factor", config.gskew_factor);
+      spec.gskew.params.set("margin", config.gskew_margin);
+      break;
+    case GskewKind::kDistributed:
+      spec.gskew = ComponentSpec("distributed");
+      if (config.gskew_diameter_hint > 0.0) {
+        spec.gskew.params.set("hint", config.gskew_diameter_hint);
+      }
+      break;
+  }
+  return spec;
 }
 
-}  // namespace
+Scenario::Scenario(const ScenarioConfig& config) : Scenario(to_spec(config)) {}
 
-Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
-  require(config_.n >= 1, "Scenario: n >= 1");
-  config_.edge_params.validate();
-  const auto validation = config_.aopt.validate();
+Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+
+  // ---- topology (may override n) ----
+  {
+    Rng topo_rng(spec_.seed);
+    TopologyArgs targs{spec_.n, topo_rng, &spec_.explicit_edges};
+    const auto& entry = topology_registry().get(spec_.topology.kind);
+    TopologyResult topo = entry.factory(spec_.topology.params, targs);
+    require(topo.n >= 1, "Scenario: topology produced n < 1");
+    spec_.n = topo.n;
+    initial_edges_ = std::move(topo.edges);
+    positions_ = std::move(topo.positions);
+    for (const EdgeKey& e : initial_edges_) {
+      require(e.a >= 0 && e.b < spec_.n,
+              "Scenario: edge " + e.str() + " out of range for n=" +
+                  std::to_string(spec_.n));
+    }
+  }
+
+  if (spec_.gtilde_auto) {
+    spec_.aopt.gtilde_static =
+        suggest_gtilde(spec_.n, initial_edges_, spec_.edge_params, spec_.aopt);
+  }
+  const auto validation = spec_.aopt.validate();
   require(validation.ok(), "Scenario: invalid AlgoParams:\n" + validation.str());
 
-  graph_ = std::make_unique<DynamicGraph>(sim_, config_.n, config_.seed ^ 0x9e1ULL);
-  graph_->set_detection_delay_mode(config_.detection);
-  transport_ = std::make_unique<Transport>(sim_, *graph_, config_.seed ^ 0x71fULL);
-  transport_->set_delay_mode(config_.delays);
-  drift_ = make_drift(config_);
-  if (config_.reference_node != kNoNode) {
+  graph_ = std::make_unique<DynamicGraph>(sim_, spec_.n, spec_.seed ^ 0x9e1ULL);
+  graph_->set_detection_delay_mode(spec_.detection);
+  transport_ = std::make_unique<Transport>(sim_, *graph_, spec_.seed ^ 0x71fULL);
+  transport_->set_delay_mode(spec_.delays);
+
+  // ---- drift ----
+  {
+    DriftArgs dargs{spec_.n, spec_.aopt.rho, spec_.seed};
+    drift_ = drift_registry().get(spec_.drift.kind).factory(spec_.drift.params, dargs);
+    require(drift_ != nullptr, "Scenario: drift factory returned null");
+  }
+  if (spec_.reference_node != kNoNode) {
     // §3 remark: boost the reference node and widen the drift bound the
     // algorithm reasons with to the effective ρ̃.
-    require(config_.reference_node < config_.n, "Scenario: reference node out of range");
+    require(spec_.reference_node < spec_.n, "Scenario: reference node out of range");
     auto wrapped = std::make_unique<ReferenceNodeDrift>(std::move(drift_),
-                                                        config_.reference_node);
-    config_.aopt.rho = wrapped->rho();
-    const auto revalidate = config_.aopt.validate();
+                                                        spec_.reference_node);
+    spec_.aopt.rho = wrapped->rho();
+    const auto revalidate = spec_.aopt.validate();
     require(revalidate.ok(),
             "Scenario: params invalid under reference-node rho~:\n" + revalidate.str());
     drift_ = std::move(wrapped);
   }
-  estimates_ = make_estimates(config_, *graph_);
 
-  switch (config_.gskew) {
-    case GskewKind::kStatic:
-      gskew_ = std::make_unique<StaticGskewEstimator>(config_.aopt.gtilde_static);
-      break;
-    case GskewKind::kOracle:
-      // The §7 oracle needs the engine; capture through the member pointer,
-      // which is stable and set below before any estimate is requested.
-      gskew_ = std::make_unique<OracleGskewEstimator>(
-          [this] { return engine_->true_global_skew(); }, config_.gskew_factor,
-          config_.gskew_margin);
-      break;
-    case GskewKind::kDistributed: {
-      double hint = config_.gskew_diameter_hint;
-      if (hint <= 0.0) {
-        // Conservative a-priori D̂ from what the nodes know: every potential
-        // hop costs at most one beacon period plus the worst delay bound,
-        // amplified by the drift envelope.
-        hint = static_cast<double>(config_.n) *
-               (config_.engine.beacon_period + config_.edge_params.msg_delay_max) *
-               (2.0 * config_.aopt.rho + config_.aopt.mu * (1.0 + config_.aopt.rho) +
-                (1.0 - config_.aopt.rho) *
-                    config_.edge_params.delay_uncertainty() /
-                    (config_.engine.beacon_period +
-                     config_.edge_params.msg_delay_max)) +
-               1.0;
-      }
-      gskew_ = std::make_unique<DistributedGskewEstimator>(
-          [this](NodeId u) { return engine_->max_estimate(u); },
-          [this](NodeId u) { return engine_->min_estimate(u); }, hint);
-      break;
-    }
+  // ---- estimate layer ----
+  {
+    EstimateArgs eargs{*graph_, spec_.engine.beacon_period, spec_.aopt.rho,
+                       spec_.aopt.mu, spec_.seed};
+    estimates_ =
+        estimate_registry().get(spec_.estimates.kind).factory(spec_.estimates.params, eargs);
+    require(estimates_ != nullptr, "Scenario: estimate factory returned null");
   }
 
-  const AlgoParams aopt_params = config_.aopt;
-  const AlgoKind kind = config_.algo;
-  Engine::AlgorithmFactory factory = [aopt_params, kind](NodeId) -> std::unique_ptr<Algorithm> {
-    switch (kind) {
-      case AlgoKind::kAopt: return std::make_unique<AoptNode>(aopt_params);
-      case AlgoKind::kMaxJump: return std::make_unique<MaxJumpNode>();
-      case AlgoKind::kBoundedRateMax:
-        return std::make_unique<BoundedRateMaxNode>(aopt_params.mu, aopt_params.iota);
-      case AlgoKind::kFreeRunning: return std::make_unique<FreeRunningNode>();
-    }
-    return nullptr;
-  };
+  // ---- global-skew estimator ----
+  {
+    GskewArgs gargs;
+    gargs.gtilde_static = spec_.aopt.gtilde_static;
+    // Conservative a-priori D̂ from what the nodes know: every potential hop
+    // costs at most one beacon period plus the worst delay bound, amplified
+    // by the drift envelope.
+    gargs.default_diameter_hint =
+        static_cast<double>(spec_.n) *
+            (spec_.engine.beacon_period + spec_.edge_params.msg_delay_max) *
+            (2.0 * spec_.aopt.rho + spec_.aopt.mu * (1.0 + spec_.aopt.rho) +
+             (1.0 - spec_.aopt.rho) * spec_.edge_params.delay_uncertainty() /
+                 (spec_.engine.beacon_period + spec_.edge_params.msg_delay_max)) +
+        1.0;
+    // The engine pointer is a stable member set below, before any estimate
+    // is requested.
+    gargs.true_global_skew = [this] { return engine_->true_global_skew(); };
+    gargs.max_estimate = [this](NodeId u) { return engine_->max_estimate(u); };
+    gargs.min_estimate = [this](NodeId u) { return engine_->min_estimate(u); };
+    gskew_ = gskew_registry().get(spec_.gskew.kind).factory(spec_.gskew.params, gargs);
+    require(gskew_ != nullptr, "Scenario: gskew factory returned null");
+  }
 
+  // ---- algorithm + engine ----
+  AlgoArgs aargs{spec_.aopt};
+  Engine::AlgorithmFactory factory =
+      algo_registry().get(spec_.algo.kind).factory(spec_.algo.params, aargs);
   engine_ = std::make_unique<Engine>(sim_, *graph_, *transport_, *drift_,
-                                     *estimates_, *gskew_, config_.aopt,
-                                     config_.engine, factory);
+                                     *estimates_, *gskew_, spec_.aopt,
+                                     spec_.engine, factory);
+
+  // ---- adversary (nullptr for "none") ----
+  {
+    AdversaryArgs advargs{sim_, *graph_, initial_edges_, spec_.edge_params, spec_.seed};
+    adversary_ =
+        adversary_registry().get(spec_.adversary.kind).factory(spec_.adversary.params, advargs);
+  }
 }
 
 void Scenario::start() {
   require(!started_, "Scenario: start() called twice");
   require(sim_.now() == 0.0, "Scenario: must start at time 0");
   started_ = true;
-  for (const EdgeKey& e : config_.initial_edges) {
-    graph_->create_edge_instant(e, config_.edge_params);
+  for (const EdgeKey& e : initial_edges_) {
+    graph_->create_edge_instant(e, spec_.edge_params);
   }
   engine_->start();
+  if (adversary_ != nullptr) adversary_->arm();
 }
 
 AoptNode& Scenario::aopt(NodeId u) {

@@ -1,7 +1,14 @@
 // Scenario assembly: wires simulator, graph, transport, drift, estimate
-// layer, global-skew estimator, engine and algorithm factory together in the
-// right order, with sensible defaults. Experiments, tests and examples all
-// construct runs through this.
+// layer, global-skew estimator, engine, algorithm and adversary together in
+// the right order, with sensible defaults. Experiments, tests and examples
+// all construct runs through this.
+//
+// Construction is registry-driven: every pluggable dimension of the
+// ScenarioSpec (topology, algorithm, drift, estimates, gskew, adversary) is
+// resolved by name against the component registries, so adding a variant
+// means one registration site next to its implementation — no switch
+// statements here. The legacy enum-based ScenarioConfig survives as a thin
+// deprecated shim that converts to a ScenarioSpec.
 #pragma once
 
 #include <memory>
@@ -10,6 +17,7 @@
 
 #include "baseline/baselines.h"
 #include "clock/drift.h"
+#include "core/algo_registry.h"
 #include "core/aopt_node.h"
 #include "core/engine.h"
 #include "core/params.h"
@@ -18,9 +26,13 @@
 #include "graph/dynamic_graph.h"
 #include "graph/topology.h"
 #include "net/transport.h"
+#include "runner/spec.h"
 #include "sim/simulator.h"
 
 namespace gcs {
+
+// ---------------------------------------------------------------------------
+// Legacy enum-based configuration (deprecated shim; use ScenarioSpec).
 
 enum class AlgoKind { kAopt, kMaxJump, kBoundedRateMax, kFreeRunning };
 [[nodiscard]] const char* to_string(AlgoKind kind);
@@ -46,6 +58,7 @@ enum class GskewKind {
   kDistributed,  ///< §7 estimates computed from flooded max/min bounds
 };
 
+/// Deprecated: the pre-registry flat configuration. Convert with to_spec().
 struct ScenarioConfig {
   std::string name = "scenario";
   int n = 8;
@@ -82,11 +95,19 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
 };
 
+/// Convert a legacy config into the registry-driven spec (lossless).
+[[nodiscard]] ScenarioSpec to_spec(const ScenarioConfig& config);
+
+// ---------------------------------------------------------------------------
+
 class Scenario {
  public:
+  explicit Scenario(ScenarioSpec spec);
+  /// Deprecated shim: builds from to_spec(config).
   explicit Scenario(const ScenarioConfig& config);
 
-  /// Build the t=0 topology and start the engine. Call once, then run.
+  /// Build the t=0 topology, start the engine and arm the adversary.
+  /// Call once, then run. Throws on a second call.
   void start();
 
   void run_until(Time t) { sim_.run_until(t); }
@@ -96,7 +117,18 @@ class Scenario {
   [[nodiscard]] DynamicGraph& graph() { return *graph_; }
   [[nodiscard]] Transport& transport() { return *transport_; }
   [[nodiscard]] Engine& engine() { return *engine_; }
-  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  /// The spec as actually run: n resolved by the topology, G̃ resolved if
+  /// gtilde_auto, rho widened under a reference node.
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+
+  /// Resolved t=0 edge list (whatever the topology component produced).
+  [[nodiscard]] const std::vector<EdgeKey>& initial_edges() const { return initial_edges_; }
+  /// Node positions, if the topology component is geometric.
+  [[nodiscard]] const std::vector<Point2>& positions() const { return positions_; }
+
+  /// The armed adversary, or nullptr for "none".
+  [[nodiscard]] TopologyAdversary* adversary() { return adversary_.get(); }
 
   /// The AOPT instance at node u (throws if another algorithm runs).
   [[nodiscard]] AoptNode& aopt(NodeId u);
@@ -107,7 +139,9 @@ class Scenario {
   }
 
  private:
-  ScenarioConfig config_;
+  ScenarioSpec spec_;
+  std::vector<EdgeKey> initial_edges_;
+  std::vector<Point2> positions_;
   Simulator sim_;
   std::unique_ptr<DynamicGraph> graph_;
   std::unique_ptr<Transport> transport_;
@@ -115,6 +149,7 @@ class Scenario {
   std::unique_ptr<EstimateSource> estimates_;
   std::unique_ptr<GlobalSkewEstimator> gskew_;
   std::unique_ptr<Engine> engine_;
+  std::unique_ptr<TopologyAdversary> adversary_;
   bool started_ = false;
 };
 

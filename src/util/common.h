@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace gcs {
 
@@ -63,6 +64,20 @@ struct EdgeKeyHash {
 /// Throwing check used for precondition validation in non-hot paths.
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw std::runtime_error(msg);
+}
+
+/// Split on a separator. Every token is returned, including empty ones —
+/// callers decide whether empties are errors (ComponentSpec) or skipped
+/// (value lists).
+inline std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = text.find(sep, pos);
+    out.push_back(text.substr(pos, next - pos));
+    if (next == std::string::npos) return out;
+    pos = next + 1;
+  }
 }
 
 }  // namespace gcs

@@ -10,16 +10,16 @@
 namespace gcs {
 namespace {
 
-ScenarioConfig tiny(int n) {
-  ScenarioConfig cfg;
+ScenarioSpec tiny(int n) {
+  ScenarioSpec cfg;
   cfg.n = n;
-  cfg.initial_edges = topo_line(n);
+  cfg.explicit_edges = topo_line(n);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.1;
   cfg.aopt.gtilde_static = 5.0;
-  cfg.drift = DriftKind::kNone;
-  cfg.estimates = EstimateKind::kOracleZero;
+  cfg.drift = ComponentSpec("none");
+  cfg.estimates = ComponentSpec("zero");
   return cfg;
 }
 
@@ -37,9 +37,9 @@ TEST(AoptUnit, DerivedConstantsMatchParams) {
   s.start();
   const auto info = s.aopt(0).peer_info(1);
   ASSERT_TRUE(info.has_value());
-  EdgeParams ep = s.config().edge_params;
+  EdgeParams ep = s.spec().edge_params;
   ep.eps = s.engine().edge_eps(EdgeKey(0, 1));
-  const EdgeConstants expect = s.config().aopt.edge_constants(ep);
+  const EdgeConstants expect = s.spec().aopt.edge_constants(ep);
   EXPECT_DOUBLE_EQ(info->kappa, expect.kappa);
   EXPECT_DOUBLE_EQ(info->delta, expect.delta);
   EXPECT_DOUBLE_EQ(s.aopt(0).edge_kappa(1), expect.kappa);
@@ -55,7 +55,7 @@ TEST(AoptUnit, MaxEstimateConditionDrivesFastMode) {
   ASSERT_DOUBLE_EQ(s.engine().rate_multiplier(0), 1.0);
   s.engine().corrupt_max_estimate(0, s.engine().logical(0) + 1.0);
   s.run_for(1.0);  // next tick re-evaluates
-  EXPECT_DOUBLE_EQ(s.engine().rate_multiplier(0), 1.0 + s.config().aopt.mu);
+  EXPECT_DOUBLE_EQ(s.engine().rate_multiplier(0), 1.0 + s.spec().aopt.mu);
   EXPECT_FALSE(s.aopt(0).last_fast_trigger());  // it was MC, not FC
   // After catching M (1.0 gap at ~mu rate => ~10 units), slow again.
   s.run_for(30.0);
@@ -73,7 +73,7 @@ TEST(AoptUnit, FastTriggerFiresWhenNeighborFarAhead) {
   s.engine().corrupt_logical(1, s.engine().logical(1) + 2.0 * info->kappa);
   s.run_for(1.0);
   EXPECT_TRUE(s.aopt(0).last_fast_trigger());
-  EXPECT_DOUBLE_EQ(s.engine().rate_multiplier(0), 1.0 + s.config().aopt.mu);
+  EXPECT_DOUBLE_EQ(s.engine().rate_multiplier(0), 1.0 + s.spec().aopt.mu);
   // ...and node 1's SC (neighbor far behind) must hold it in slow mode.
   EXPECT_TRUE(s.aopt(1).last_slow_trigger());
   EXPECT_DOUBLE_EQ(s.engine().rate_multiplier(1), 1.0);
@@ -81,9 +81,9 @@ TEST(AoptUnit, FastTriggerFiresWhenNeighborFarAhead) {
 
 TEST(AoptUnit, ModeSwitchCounterAdvances) {
   auto cfg = tiny(4);
-  cfg.drift = DriftKind::kAlternatingBlocks;
-  cfg.drift_blocks = 2;
-  cfg.drift_block_period = 40.0;
+  cfg.drift = ComponentSpec("blocks");
+  cfg.drift.params.set("blocks", 2);
+  cfg.drift.params.set("period", 40.0);
   cfg.aopt.rho = 4e-3;
   Scenario s(cfg);
   s.start();
@@ -106,10 +106,9 @@ TEST(AoptUnit, InsertEdgeMsgFromStrangerIsIgnored) {
 
 TEST(AoptUnit, StaleInsertEdgeMsgAfterLossIsIgnored) {
   Scenario s(tiny(3));
-  s.config();
   s.start();
   s.run_until(5.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(6.0);  // discovered, handshake pending
   // The edge vanishes; a late insertedge must not resurrect insertion.
   s.graph().destroy_edge(EdgeKey(0, 2));
@@ -125,9 +124,9 @@ TEST(AoptUnit, StaleInsertEdgeMsgAfterLossIsIgnored) {
 
 TEST(AoptUnit, HandshakeUsesGtildeAtSendTime) {
   auto cfg = tiny(3);
-  cfg.gskew = GskewKind::kOracle;
-  cfg.gskew_factor = 2.0;
-  cfg.gskew_margin = 1.0;
+  cfg.gskew = ComponentSpec("oracle");
+  cfg.gskew.params.set("factor", 2.0);
+  cfg.gskew.params.set("margin", 1.0);
   Scenario s(cfg);
   s.start();
   s.run_until(20.0);
@@ -147,7 +146,7 @@ TEST(AoptUnit, T0IsOnTheGridAndAfterLins) {
   Scenario s(tiny(3));
   s.start();
   s.run_until(15.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(30.0);
   const auto info = s.aopt(0).peer_info(2);
   ASSERT_TRUE(info.has_value());
@@ -155,14 +154,14 @@ TEST(AoptUnit, T0IsOnTheGridAndAfterLins) {
   const double ratio = info->t0 / info->insertion_duration;
   EXPECT_NEAR(ratio, std::round(ratio), 1e-9);
   // L_ins >= L(discovery) + Gtilde => T0 comfortably after discovery.
-  EXPECT_GT(info->t0, 15.0 + s.config().aopt.gtilde_static / 2.0);
+  EXPECT_GT(info->t0, 15.0 + s.spec().aopt.gtilde_static / 2.0);
 }
 
 TEST(AoptUnit, LevelZeroMembershipTracksDiscoveryOnly) {
   Scenario s(tiny(3));
   s.start();
   s.run_until(15.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(16.0);  // discovered (tau=0.5), far from T0
   EXPECT_TRUE(s.aopt(0).edge_in_level(2, 0));   // N^0 = discovery set
   EXPECT_FALSE(s.aopt(0).edge_in_level(2, 1));  // not yet on level 1
@@ -189,13 +188,13 @@ TEST(AoptUnit, WeightDecayKappaInitCoversGlobalSkew) {
 TEST(AoptUnit, SelfLoopEdgeRejectedByModel) {
   Scenario s(tiny(3));
   s.start();
-  EXPECT_THROW(s.graph().create_edge(EdgeKey(1, 1), s.config().edge_params),
+  EXPECT_THROW(s.graph().create_edge(EdgeKey(1, 1), s.spec().edge_params),
                std::invalid_argument);
 }
 
 TEST(AoptUnit, TwoNodeNetworkConverges) {
   auto cfg = tiny(2);
-  cfg.drift = DriftKind::kLinearSpread;
+  cfg.drift = ComponentSpec("spread");
   cfg.aopt.rho = 2e-3;
   Scenario s(cfg);
   s.start();
@@ -209,7 +208,7 @@ TEST(AoptUnit, TwoNodeNetworkConverges) {
 }
 
 TEST(AoptUnit, SingleNodeDegenerateCase) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 1;
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;

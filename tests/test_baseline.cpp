@@ -9,23 +9,23 @@
 namespace gcs {
 namespace {
 
-ScenarioConfig comparison_config(int n, AlgoKind algo) {
-  ScenarioConfig cfg;
+ScenarioSpec comparison_config(int n, const std::string& algo) {
+  ScenarioSpec cfg;
   cfg.n = n;
-  cfg.initial_edges = topo_line(n);
+  cfg.explicit_edges = topo_line(n);
   cfg.edge_params = default_edge_params();
-  cfg.algo = algo;
+  cfg.algo = ComponentSpec(algo);
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.05;
   cfg.aopt.gtilde_static =
-      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;
-  cfg.estimates = EstimateKind::kOracleUniform;
+      suggest_gtilde(n, cfg.explicit_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = ComponentSpec("spread");
+  cfg.estimates = ComponentSpec("uniform");
   return cfg;
 }
 
 TEST(Baselines, MaxJumpBoundsGlobalSkew) {
-  Scenario s(comparison_config(10, AlgoKind::kMaxJump));
+  Scenario s(comparison_config(10, "max-jump"));
   s.start();
   double worst = 0.0;
   for (int step = 1; step <= 100; ++step) {
@@ -38,7 +38,7 @@ TEST(Baselines, MaxJumpBoundsGlobalSkew) {
 }
 
 TEST(Baselines, BoundedRateMaxBoundsGlobalSkew) {
-  Scenario s(comparison_config(10, AlgoKind::kBoundedRateMax));
+  Scenario s(comparison_config(10, "bounded-rate-max"));
   s.start();
   double worst = 0.0;
   for (int step = 1; step <= 100; ++step) {
@@ -49,7 +49,7 @@ TEST(Baselines, BoundedRateMaxBoundsGlobalSkew) {
 }
 
 TEST(Baselines, BoundedRateMaxRespectsRateEnvelope) {
-  auto cfg = comparison_config(8, AlgoKind::kBoundedRateMax);
+  auto cfg = comparison_config(8, "bounded-rate-max");
   Scenario s(cfg);
   s.start();
   std::vector<double> prev(8);
@@ -68,7 +68,7 @@ TEST(Baselines, BoundedRateMaxRespectsRateEnvelope) {
 }
 
 TEST(Baselines, MaxJumpViolatesRateEnvelopeByJumping) {
-  Scenario s(comparison_config(10, AlgoKind::kMaxJump));
+  Scenario s(comparison_config(10, "max-jump"));
   s.start();
   s.run_until(500.0);
   double total_jump = 0.0;
@@ -88,7 +88,7 @@ TEST(Baselines, MaxJumpViolatesRateEnvelopeByJumping) {
 // gradient bound. (This is the §1/§2 motivation for gradient CSAs.)
 // ---------------------------------------------------------------------------
 
-double worst_old_edge_skew_after_shortcut(AlgoKind algo, int n) {
+double worst_old_edge_skew_after_shortcut(const std::string& algo, int n) {
   auto cfg = comparison_config(n, algo);
   // §8-style adversarial communication: every message takes the maximum
   // delay and no transit compensation is possible (delay_min = 0), so the
@@ -118,8 +118,8 @@ double worst_old_edge_skew_after_shortcut(AlgoKind algo, int n) {
 
 TEST(Baselines, ShortcutInsertionHurtsMaxJumpNotAopt) {
   const int n = 12;
-  const double aopt = worst_old_edge_skew_after_shortcut(AlgoKind::kAopt, n);
-  const double maxjump = worst_old_edge_skew_after_shortcut(AlgoKind::kMaxJump, n);
+  const double aopt = worst_old_edge_skew_after_shortcut("aopt", n);
+  const double maxjump = worst_old_edge_skew_after_shortcut("max-jump", n);
   // Max-jump concentrates the revealed skew on one old edge; AOPT keeps the
   // gradient property on edges that have been present for a long time.
   EXPECT_GT(maxjump, 2.0 * aopt)
@@ -129,7 +129,7 @@ TEST(Baselines, ShortcutInsertionHurtsMaxJumpNotAopt) {
 TEST(Baselines, SteadyLocalSkewAoptBeatsMaxJump) {
   // Even without topology changes, max-jump's local skew is set by the M
   // wavefront staleness per hop; AOPT's by drift alone (much smaller).
-  auto run = [](AlgoKind algo) {
+  auto run = [](const std::string& algo) {
     auto cfg = comparison_config(12, algo);
     Scenario s(cfg);
     s.start();
@@ -141,14 +141,14 @@ TEST(Baselines, SteadyLocalSkewAoptBeatsMaxJump) {
     }
     return worst;
   };
-  const double aopt = run(AlgoKind::kAopt);
-  const double maxjump = run(AlgoKind::kMaxJump);
+  const double aopt = run("aopt");
+  const double maxjump = run("max-jump");
   EXPECT_LT(aopt, maxjump)
       << "AOPT local skew " << aopt << " should beat max-jump " << maxjump;
 }
 
 TEST(Baselines, FreeRunningHasNoBoundedGlobalSkew) {
-  Scenario s(comparison_config(10, AlgoKind::kFreeRunning));
+  Scenario s(comparison_config(10, "free-running"));
   s.start();
   s.run_until(500.0);
   const double g500 = s.engine().true_global_skew();

@@ -8,17 +8,17 @@
 namespace gcs {
 namespace {
 
-ScenarioConfig base_config(int n) {
-  ScenarioConfig c;
+ScenarioSpec base_config(int n) {
+  ScenarioSpec c;
   c.n = n;
-  c.initial_edges = topo_line(n);
+  c.explicit_edges = topo_line(n);
   c.edge_params = default_edge_params();
   c.aopt.rho = 1e-3;
   c.aopt.mu = 0.05;
   c.aopt.gtilde_static =
-      suggest_gtilde(n, c.initial_edges, c.edge_params, c.aopt);
-  c.drift = DriftKind::kLinearSpread;
-  c.estimates = EstimateKind::kOracleUniform;
+      suggest_gtilde(n, c.explicit_edges, c.edge_params, c.aopt);
+  c.drift = ComponentSpec("spread");
+  c.estimates = ComponentSpec("uniform");
   c.engine.tick_period = 0.2;
   c.engine.beacon_period = 0.2;
   return c;
@@ -40,7 +40,7 @@ TEST(Engine, ClocksStartAtZeroAndAdvance) {
 
 TEST(Engine, HardwareClocksRespectDriftEnvelope) {
   auto cfg = base_config(6);
-  cfg.drift = DriftKind::kRandomWalk;
+  cfg.drift = ComponentSpec("walk");
   Scenario s(cfg);
   s.start();
   const double rho = cfg.aopt.rho;
@@ -61,8 +61,8 @@ TEST(Engine, HardwareClocksRespectDriftEnvelope) {
 TEST(Engine, LogicalRatesWithinAlphaBetaEnvelope) {
   Scenario s(base_config(8));
   s.start();
-  const double alpha = s.config().aopt.alpha();
-  const double beta = s.config().aopt.beta();
+  const double alpha = s.spec().aopt.alpha();
+  const double beta = s.spec().aopt.beta();
   ClockValue prev[8] = {};
   Time prev_t = 0.0;
   for (int step = 1; step <= 40; ++step) {
@@ -141,7 +141,7 @@ TEST(Engine, CorruptLogicalKeepsMaxInvariant) {
 
 TEST(Engine, FreeRunningDiverges) {
   auto cfg = base_config(6);
-  cfg.algo = AlgoKind::kFreeRunning;
+  cfg.algo = ComponentSpec("free-running");
   Scenario s(cfg);
   s.start();
   s.run_until(2000.0);

@@ -13,11 +13,11 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(OracleEstimates, ZeroPolicyIsExact) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 3;
-  cfg.initial_edges = topo_line(3);
+  cfg.explicit_edges = topo_line(3);
   cfg.edge_params = default_edge_params();
-  cfg.estimates = EstimateKind::kOracleZero;
+  cfg.estimates = ComponentSpec("zero");
   Scenario s(cfg);
   s.start();
   s.run_until(25.0);
@@ -27,9 +27,9 @@ TEST(OracleEstimates, ZeroPolicyIsExact) {
 }
 
 TEST(OracleEstimates, NoEstimateWithoutEdge) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 3;
-  cfg.initial_edges = {EdgeKey(0, 1)};
+  cfg.explicit_edges = {EdgeKey(0, 1)};
   cfg.edge_params = default_edge_params();
   Scenario s(cfg);
   s.start();
@@ -37,11 +37,11 @@ TEST(OracleEstimates, NoEstimateWithoutEdge) {
 }
 
 TEST(OracleEstimates, UniformPolicyWithinEps) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 2;
-  cfg.initial_edges = {EdgeKey(0, 1)};
+  cfg.explicit_edges = {EdgeKey(0, 1)};
   cfg.edge_params = default_edge_params(/*eps=*/0.25);
-  cfg.estimates = EstimateKind::kOracleUniform;
+  cfg.estimates = ComponentSpec("uniform");
   Scenario s(cfg);
   s.start();
   s.run_until(10.0);
@@ -54,13 +54,13 @@ TEST(OracleEstimates, UniformPolicyWithinEps) {
 }
 
 TEST(OracleEstimates, AdversarialShrinksPerceivedSkewWithoutCrossing) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 2;
-  cfg.initial_edges = {EdgeKey(0, 1)};
+  cfg.explicit_edges = {EdgeKey(0, 1)};
   cfg.edge_params = default_edge_params(/*eps=*/0.25);
-  cfg.drift = DriftKind::kLinearSpread;  // node 1 runs faster
-  cfg.algo = AlgoKind::kFreeRunning;     // let real skew develop
-  cfg.estimates = EstimateKind::kOracleAdversarial;
+  cfg.drift = ComponentSpec("spread");  // node 1 runs faster
+  cfg.algo = ComponentSpec("free-running");     // let real skew develop
+  cfg.estimates = ComponentSpec("adversarial");
   cfg.aopt.rho = 0.01;
   cfg.aopt.mu = 0.1;
   Scenario s(cfg);
@@ -91,16 +91,16 @@ class BeaconAccuracyTest : public ::testing::TestWithParam<BeaconCase> {};
 
 TEST_P(BeaconAccuracyTest, EstimateErrorWithinDerivedEps) {
   const auto param = GetParam();
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 4;
-  cfg.initial_edges = topo_line(4);
+  cfg.explicit_edges = topo_line(4);
   cfg.edge_params = default_edge_params(0.1, 0.5, param.delay_max, param.delay_min);
-  cfg.estimates = EstimateKind::kBeacon;
+  cfg.estimates = ComponentSpec("beacon");
   cfg.engine.beacon_period = param.beacon_period;
   cfg.engine.tick_period = param.beacon_period;
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = param.mu;
-  cfg.drift = DriftKind::kLinearSpread;
+  cfg.drift = ComponentSpec("spread");
   cfg.seed = param.seed;
   Scenario s(cfg);
   s.start();
@@ -151,11 +151,11 @@ TEST(BeaconEps, FormulaComponents) {
 }
 
 TEST(BeaconEstimates, ClearedOnEdgeLoss) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 2;
-  cfg.initial_edges = {EdgeKey(0, 1)};
+  cfg.explicit_edges = {EdgeKey(0, 1)};
   cfg.edge_params = default_edge_params();
-  cfg.estimates = EstimateKind::kBeacon;
+  cfg.estimates = ComponentSpec("beacon");
   cfg.detection = DetectionDelayMode::kZero;
   Scenario s(cfg);
   s.start();

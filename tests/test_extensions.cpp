@@ -58,16 +58,16 @@ TEST(SinusoidalDriftTest, BoundedAndPeriodic) {
 }
 
 TEST(SinusoidalDriftTest, RunsInsideScenario) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 6;
-  cfg.initial_edges = topo_ring(6);
+  cfg.explicit_edges = topo_ring(6);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.05;
   cfg.aopt.gtilde_static =
-      suggest_gtilde(6, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kSinusoidal;
-  cfg.drift_sine_period = 120.0;
+      suggest_gtilde(6, cfg.explicit_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = ComponentSpec("sine");
+  cfg.drift.params.set("period", 120.0);
   Scenario s(cfg);
   s.start();
   s.run_until(400.0);
@@ -79,15 +79,15 @@ TEST(SinusoidalDriftTest, RunsInsideScenario) {
 }
 
 TEST(ExecutionTraceTest, RecordsModeChangesAndSnapshots) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 6;
-  cfg.initial_edges = topo_line(6);
+  cfg.explicit_edges = topo_line(6);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.05;
   cfg.aopt.gtilde_static =
-      suggest_gtilde(6, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;
+      suggest_gtilde(6, cfg.explicit_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = ComponentSpec("spread");
   Scenario s(cfg);
   ExecutionTrace trace(s.engine(), /*snapshot_period=*/10.0);
   s.start();
@@ -110,15 +110,15 @@ TEST(ExecutionTraceTest, RecordsModeChangesAndSnapshots) {
 }
 
 TEST(ExecutionTraceTest, RecordsJumpsForMaxJumpAlgorithm) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 8;
-  cfg.initial_edges = topo_line(8);
+  cfg.explicit_edges = topo_line(8);
   cfg.edge_params = default_edge_params(0.1, 0.5, 2.0, 0.0);
-  cfg.algo = AlgoKind::kMaxJump;
+  cfg.algo = ComponentSpec("max-jump");
   cfg.aopt.rho = 5e-3;
   cfg.aopt.mu = 0.1;
   cfg.aopt.gtilde_static = 50.0;
-  cfg.drift = DriftKind::kLinearSpread;
+  cfg.drift = ComponentSpec("spread");
   cfg.delays = DelayMode::kMax;
   cfg.engine.beacon_period = 1.0;
   Scenario s(cfg);
@@ -137,9 +137,9 @@ TEST(ExecutionTraceTest, RecordsJumpsForMaxJumpAlgorithm) {
 }
 
 TEST(ExecutionTraceTest, DetachesOnDestruction) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 3;
-  cfg.initial_edges = topo_line(3);
+  cfg.explicit_edges = topo_line(3);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.05;
@@ -155,15 +155,15 @@ TEST(ExecutionTraceTest, DetachesOnDestruction) {
 }
 
 TEST(GradientOnHypercube, BoundHoldsAfterStabilization) {
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = 16;
-  cfg.initial_edges = topo_hypercube(4);
+  cfg.explicit_edges = topo_hypercube(4);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.05;
   cfg.aopt.gtilde_static =
-      suggest_gtilde(16, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;
+      suggest_gtilde(16, cfg.explicit_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = ComponentSpec("spread");
   Scenario s(cfg);
   s.start();
   s.run_until(2.0 * cfg.aopt.gtilde_static / cfg.aopt.mu);
@@ -179,17 +179,17 @@ TEST(GradientOnBarbell, ThinBridgeCarriesTheSkewGradient) {
   const int k = 5;
   const int path = 6;
   const int n = 2 * k + path;
-  ScenarioConfig cfg;
+  ScenarioSpec cfg;
   cfg.n = n;
-  cfg.initial_edges = topo_barbell(k, path);
+  cfg.explicit_edges = topo_barbell(k, path);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.05;
   cfg.aopt.gtilde_static =
-      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kAlternatingBlocks;  // one clique fast, one slow
-  cfg.drift_blocks = 2;
-  cfg.drift_block_period = 1e9;
+      suggest_gtilde(n, cfg.explicit_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = ComponentSpec("blocks");  // one clique fast, one slow
+  cfg.drift.params.set("blocks", 2);
+  cfg.drift.params.set("period", 1e9);
   Scenario s(cfg);
   s.start();
   s.run_until(2.0 * cfg.aopt.gtilde_static / cfg.aopt.mu);

@@ -26,38 +26,38 @@ struct FuzzCase {
 
 class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
 
-ScenarioConfig random_config(Rng& rng) {
-  ScenarioConfig cfg;
+ScenarioSpec random_config(Rng& rng) {
+  ScenarioSpec cfg;
   cfg.seed = rng.next();
 
   // Topology.
   switch (rng.below(6)) {
     case 0:
       cfg.n = static_cast<int>(rng.between(4, 16));
-      cfg.initial_edges = topo_line(cfg.n);
+      cfg.explicit_edges = topo_line(cfg.n);
       break;
     case 1:
       cfg.n = static_cast<int>(rng.between(4, 16));
-      cfg.initial_edges = topo_ring(cfg.n);
+      cfg.explicit_edges = topo_ring(cfg.n);
       break;
     case 2: {
       const int rows = static_cast<int>(rng.between(2, 4));
       const int cols = static_cast<int>(rng.between(2, 4));
       cfg.n = rows * cols;
-      cfg.initial_edges = topo_grid(rows, cols);
+      cfg.explicit_edges = topo_grid(rows, cols);
       break;
     }
     case 3:
       cfg.n = static_cast<int>(rng.between(4, 16));
-      cfg.initial_edges = topo_random_tree(cfg.n, rng);
+      cfg.explicit_edges = topo_random_tree(cfg.n, rng);
       break;
     case 4:
       cfg.n = static_cast<int>(rng.between(5, 14));
-      cfg.initial_edges = topo_gnp_connected(cfg.n, 0.35, rng);
+      cfg.explicit_edges = topo_gnp_connected(cfg.n, 0.35, rng);
       break;
     default:
       cfg.n = 8;
-      cfg.initial_edges = topo_hypercube(3);
+      cfg.explicit_edges = topo_hypercube(3);
       break;
   }
 
@@ -68,27 +68,25 @@ ScenarioConfig random_config(Rng& rng) {
   cfg.aopt.rho = rng.uniform(5e-4, 4e-3);
   cfg.aopt.mu = rng.uniform(0.05, 0.1);
   cfg.aopt.gtilde_static =
-      suggest_gtilde(cfg.n, cfg.initial_edges, cfg.edge_params, cfg.aopt) +
+      suggest_gtilde(cfg.n, cfg.explicit_edges, cfg.edge_params, cfg.aopt) +
       rng.uniform(0.0, 5.0);
   const InsertionPolicy policies[] = {
       InsertionPolicy::kStagedStatic, InsertionPolicy::kStagedDynamic,
       InsertionPolicy::kImmediate, InsertionPolicy::kWeightDecay};
   cfg.aopt.insertion = policies[rng.below(4)];
   cfg.aopt.B = 8.0;
-  const DriftKind drifts[] = {DriftKind::kNone, DriftKind::kLinearSpread,
-                              DriftKind::kAlternatingBlocks, DriftKind::kRandomWalk,
-                              DriftKind::kSinusoidal};
-  cfg.drift = drifts[rng.below(5)];
-  cfg.drift_block_period = rng.uniform(20.0, 120.0);
-  cfg.drift_blocks = static_cast<int>(rng.between(2, 4));
-  const EstimateKind estimates[] = {EstimateKind::kOracleZero,
-                                    EstimateKind::kOracleUniform,
-                                    EstimateKind::kOracleAdversarial,
-                                    EstimateKind::kBeacon};
-  cfg.estimates = estimates[rng.below(4)];
-  const GskewKind gskews[] = {GskewKind::kStatic, GskewKind::kOracle,
-                              GskewKind::kDistributed};
-  cfg.gskew = gskews[rng.below(3)];
+  const char* drifts[] = {"none", "spread", "blocks", "walk", "sine"};
+  cfg.drift = ComponentSpec(drifts[rng.below(5)]);
+  const double block_period = rng.uniform(20.0, 120.0);
+  const int blocks = static_cast<int>(rng.between(2, 4));
+  if (cfg.drift.kind == "blocks") {
+    cfg.drift.params.set("period", block_period);
+    cfg.drift.params.set("blocks", blocks);
+  }
+  const char* estimates[] = {"zero", "uniform", "adversarial", "beacon"};
+  cfg.estimates = ComponentSpec(estimates[rng.below(4)]);
+  const char* gskews[] = {"static", "oracle", "distributed"};
+  cfg.gskew = ComponentSpec(gskews[rng.below(3)]);
   const DelayMode delays[] = {DelayMode::kUniform, DelayMode::kMin, DelayMode::kMax};
   cfg.delays = delays[rng.below(3)];
   const DetectionDelayMode detections[] = {DetectionDelayMode::kZero,
@@ -108,8 +106,8 @@ void check_invariants(Scenario& s, std::vector<double>& prev_logical,
   Engine& engine = s.engine();
   const int n = engine.size();
   const Time now = s.sim().now();
-  const double alpha = s.config().aopt.alpha();
-  const double beta = s.config().aopt.beta();
+  const double alpha = s.spec().aopt.alpha();
+  const double beta = s.spec().aopt.beta();
 
   double min_logical = kTimeInf;
   double max_logical = -kTimeInf;
@@ -139,7 +137,7 @@ void check_invariants(Scenario& s, std::vector<double>& prev_logical,
   }
   prev_time = now;
 
-  if (s.config().algo != AlgoKind::kAopt) return;
+  if (s.spec().algo.kind != "aopt") return;
   for (NodeId u = 0; u < n; ++u) {
     ASSERT_FALSE(s.aopt(u).saw_trigger_conflict()) << "node " << u;
     for (NodeId v : s.graph().view_neighbors(u)) {
@@ -169,7 +167,7 @@ TEST_P(FuzzTest, InvariantsHoldUnderRandomAdversary) {
 
   std::vector<double> prev_logical(static_cast<std::size_t>(cfg.n), 0.0);
   Time prev_time = 0.0;
-  const auto candidates = cfg.initial_edges;
+  const auto candidates = cfg.explicit_edges;
   bool model_conforming = true;
 
   for (int step = 0; step < 60; ++step) {

@@ -11,16 +11,16 @@
 namespace gcs {
 namespace {
 
-ScenarioConfig base(int n) {
-  ScenarioConfig cfg;
+ScenarioSpec base(int n) {
+  ScenarioSpec cfg;
   cfg.n = n;
-  cfg.initial_edges = topo_line(n);
+  cfg.explicit_edges = topo_line(n);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.05;
   cfg.aopt.gtilde_static =
-      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;
+      suggest_gtilde(n, cfg.explicit_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = ComponentSpec("spread");
   return cfg;
 }
 
@@ -84,7 +84,7 @@ TEST(MinEstimate, DownwardCorruptionClampsOwnEstimate) {
 
 struct DistributedCase {
   int n;
-  DriftKind drift;
+  const char* drift;
   std::uint64_t seed;
 };
 
@@ -93,8 +93,8 @@ class DistributedGskewTest : public ::testing::TestWithParam<DistributedCase> {}
 TEST_P(DistributedGskewTest, EstimateUpperBoundsTrueSkew) {
   const auto param = GetParam();
   auto cfg = base(param.n);
-  cfg.drift = param.drift;
-  cfg.gskew = GskewKind::kDistributed;
+  cfg.drift = ComponentSpec(param.drift);
+  cfg.gskew = ComponentSpec("distributed");
   cfg.seed = param.seed;
   Scenario s(cfg);
   s.start();
@@ -124,9 +124,9 @@ TEST_P(DistributedGskewTest, EstimateUpperBoundsTrueSkew) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, DistributedGskewTest,
-    ::testing::Values(DistributedCase{6, DriftKind::kLinearSpread, 1},
-                      DistributedCase{10, DriftKind::kRandomWalk, 2},
-                      DistributedCase{8, DriftKind::kAlternatingBlocks, 3}),
+    ::testing::Values(DistributedCase{6, "spread", 1},
+                      DistributedCase{10, "walk", 2},
+                      DistributedCase{8, "blocks", 3}),
     [](const ::testing::TestParamInfo<DistributedCase>& info) {
       return "case" + std::to_string(info.param.seed);
     });
@@ -136,7 +136,7 @@ TEST(DistributedGskew, HandshakeRecordsValidEstimate) {
   cfg.aopt.mu = 0.1;
   cfg.aopt.insertion = InsertionPolicy::kStagedDynamic;
   cfg.aopt.B = 8.0;
-  cfg.gskew = GskewKind::kDistributed;
+  cfg.gskew = ComponentSpec("distributed");
   Scenario s(cfg);
   s.start();
   s.run_until(60.0);

@@ -9,17 +9,17 @@ namespace {
 
 // Fast-converging parameters for insertion tests: mu at the eq. (7) maximum
 // and a small static G̃ keep I(G̃) in the hundreds of time units.
-ScenarioConfig insertion_config(int n, InsertionPolicy policy) {
-  ScenarioConfig cfg;
+ScenarioSpec insertion_config(int n, InsertionPolicy policy) {
+  ScenarioSpec cfg;
   cfg.n = n;
-  cfg.initial_edges = topo_line(n);
+  cfg.explicit_edges = topo_line(n);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.1;
   cfg.aopt.gtilde_static = 1.5;
   cfg.aopt.insertion = policy;
-  cfg.drift = DriftKind::kLinearSpread;
-  cfg.estimates = EstimateKind::kOracleUniform;
+  cfg.drift = ComponentSpec("spread");
+  cfg.estimates = ComponentSpec("uniform");
   cfg.engine.tick_period = 0.25;
   cfg.engine.beacon_period = 0.25;
   return cfg;
@@ -46,7 +46,7 @@ TEST(Insertion, HandshakeAgreesOnIdenticalTimes) {
   Scenario s(insertion_config(3, InsertionPolicy::kStagedStatic));
   s.start();
   s.run_until(50.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   // Handshake completes within a few time units (Delta ~ 1.6, T <= 0.5).
   s.run_until(60.0);
   const auto a = s.aopt(0).peer_info(2);
@@ -68,7 +68,7 @@ TEST(Insertion, InsertionTimeSequenceMatchesListing2) {
   Scenario s(insertion_config(3, InsertionPolicy::kStagedStatic));
   s.start();
   s.run_until(50.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(60.0);
   const auto info = s.aopt(0).peer_info(2);
   ASSERT_TRUE(info.has_value() && info->t0 < kTimeInf);
@@ -85,7 +85,7 @@ TEST(Insertion, LevelMembershipFollowsLogicalClock) {
   Scenario s(insertion_config(3, InsertionPolicy::kStagedStatic));
   s.start();
   s.run_until(50.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(60.0);
   const auto info = s.aopt(0).peer_info(2);
   ASSERT_TRUE(info.has_value() && info->t0 < kTimeInf);
@@ -112,10 +112,9 @@ TEST(Insertion, LevelMembershipFollowsLogicalClock) {
 
 TEST(Insertion, EdgeLossDuringHandshakeCancelsInsertion) {
   Scenario s(insertion_config(3, InsertionPolicy::kStagedStatic));
-  s.config();
   s.start();
   s.run_until(50.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(50.6);  // before the leader's Delta (~1.6) elapses
   s.graph().destroy_edge(EdgeKey(0, 2));
   s.run_until(70.0);
@@ -132,11 +131,11 @@ TEST(Insertion, RediscoveredEdgeRestartsHandshake) {
   Scenario s(insertion_config(3, InsertionPolicy::kStagedStatic));
   s.start();
   s.run_until(50.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(50.6);
   s.graph().destroy_edge(EdgeKey(0, 2));
   s.run_until(80.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(95.0);
   const auto a = s.aopt(0).peer_info(2);
   const auto b = s.aopt(2).peer_info(0);
@@ -164,7 +163,7 @@ TEST(Insertion, ImmediatePolicyJoinsAllLevelsAtDiscovery) {
   Scenario s(insertion_config(3, InsertionPolicy::kImmediate));
   s.start();
   s.run_until(50.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(51.0);  // detection delay <= tau = 0.5
   EXPECT_TRUE(s.aopt(0).edge_in_level(2, 1));
   EXPECT_TRUE(s.aopt(0).edge_in_level(2, 500));
@@ -175,7 +174,7 @@ TEST(Insertion, WeightDecayStartsHighAndDecaysToKappa) {
   Scenario s(insertion_config(3, InsertionPolicy::kWeightDecay));
   s.start();
   s.run_until(50.0);
-  s.graph().create_edge(EdgeKey(0, 2), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 2), s.spec().edge_params);
   s.run_until(60.0);
   const auto info = s.aopt(0).peer_info(2);
   ASSERT_TRUE(info.has_value() && info->t0 < kTimeInf);
@@ -188,7 +187,7 @@ TEST(Insertion, WeightDecayStartsHighAndDecaysToKappa) {
   while (s.engine().logical(0) < info->t0 + 1.0) s.run_for(5.0);
   EXPECT_TRUE(s.aopt(0).edge_in_level(2, 100));
   const double kappa_early = s.aopt(0).edge_kappa(2);
-  EXPECT_GT(kappa_early, 2.0 * s.config().aopt.gtilde_static * 0.5);
+  EXPECT_GT(kappa_early, 2.0 * s.spec().aopt.gtilde_static * 0.5);
 
   // Mid-decay: strictly between.
   while (s.engine().logical(0) < info->t0 + info->insertion_duration / 2.0) {

@@ -19,10 +19,10 @@ class ProbeAlgo final : public Algorithm {
   NodeApi* api() { return api_; }
 };
 
-ScenarioConfig probe_config(DriftKind drift) {
-  ScenarioConfig cfg;
+ScenarioSpec probe_config(const ComponentSpec& drift) {
+  ScenarioSpec cfg;
   cfg.n = 2;
-  cfg.initial_edges = {EdgeKey(0, 1)};
+  cfg.explicit_edges = {EdgeKey(0, 1)};
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 2e-3;
   cfg.aopt.mu = 0.1;
@@ -128,10 +128,10 @@ TEST(LogicalTargets, CallbackMayScheduleFurtherTargets) {
 TEST(LogicalTargets, AoptInsertionTimesHitTheGridUnderDrift) {
   // End-to-end: with oscillating drift, both endpoints of a new edge enter
   // level 1 exactly when their own logical clock reads T0 (Listing 1 line 19).
-  ScenarioConfig cfg = probe_config(DriftKind::kAlternatingBlocks);
+  ScenarioSpec cfg = probe_config(ComponentSpec("blocks"));
   cfg.n = 3;
-  cfg.initial_edges = topo_line(3);
-  cfg.drift_block_period = 7.0;
+  cfg.explicit_edges = topo_line(3);
+  cfg.drift.params.set("period", 7.0);
   cfg.aopt.gtilde_static = 1.5;
   Scenario s(cfg);
   s.start();

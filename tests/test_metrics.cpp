@@ -11,16 +11,16 @@
 namespace gcs {
 namespace {
 
-ScenarioConfig small_config(int n, const std::vector<EdgeKey>& edges) {
-  ScenarioConfig cfg;
+ScenarioSpec small_config(int n, const std::vector<EdgeKey>& edges) {
+  ScenarioSpec cfg;
   cfg.n = n;
-  cfg.initial_edges = edges;
+  cfg.explicit_edges = edges;
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = 1e-3;
   cfg.aopt.mu = 0.05;
   cfg.aopt.gtilde_static = suggest_gtilde(n, edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;
-  cfg.estimates = EstimateKind::kOracleUniform;
+  cfg.drift = ComponentSpec("spread");
+  cfg.estimates = ComponentSpec("uniform");
   return cfg;
 }
 
@@ -88,7 +88,7 @@ TEST(SkewMetrics, GradientRespectsStabilityFilter) {
   Scenario s(small_config(4, topo_line(4)));
   s.start();
   s.run_until(20.0);
-  s.graph().create_edge(EdgeKey(0, 3), s.config().edge_params);
+  s.graph().create_edge(EdgeKey(0, 3), s.spec().edge_params);
   s.run_until(22.0);
   // With a high stability requirement the new edge's shortcut is ignored.
   const auto strict = measure_gradient(s.engine(), 10.0);
@@ -161,7 +161,7 @@ TEST(Legality, PsiNonNegativeAndMonotoneInLevel) {
 TEST(Legality, SynchronizedStartIsLegal) {
   Scenario s(small_config(6, topo_line(6)));
   s.start();
-  const auto report = check_legality(s.engine(), s.config().aopt.gtilde_static);
+  const auto report = check_legality(s.engine(), s.spec().aopt.gtilde_static);
   EXPECT_TRUE(report.legal());
   EXPECT_FALSE(report.levels.empty());
 }
@@ -173,7 +173,7 @@ TEST(Legality, DetectsIllegalConfiguration) {
   // Hoist one interior node far above its neighbors: Psi at its neighbors
   // jumps to ~offset, which must exceed C_s/2 for deep levels.
   s.engine().corrupt_logical(1, s.engine().logical(1) + 50.0);
-  const auto report = check_legality(s.engine(), s.config().aopt.gtilde_static);
+  const auto report = check_legality(s.engine(), s.spec().aopt.gtilde_static);
   EXPECT_FALSE(report.legal());
   EXPECT_GT(report.worst_margin, 0.0);
 }
@@ -195,8 +195,8 @@ TEST(DiameterEstimate, ScalesWithHopCount) {
 }
 
 TEST(DiameterEstimate, InfiniteWhenDisconnected) {
-  ScenarioConfig cfg = small_config(4, topo_line(4));
-  cfg.initial_edges = {EdgeKey(0, 1), EdgeKey(2, 3)};  // two components
+  ScenarioSpec cfg = small_config(4, topo_line(4));
+  cfg.explicit_edges = {EdgeKey(0, 1), EdgeKey(2, 3)};  // two components
   Scenario s(cfg);
   s.start();
   EXPECT_TRUE(std::isinf(estimate_dynamic_diameter(s.engine())));

@@ -13,17 +13,17 @@
 namespace gcs {
 namespace {
 
-ScenarioConfig line_config(int n, double mu = 0.05, double rho = 1e-3) {
-  ScenarioConfig cfg;
+ScenarioSpec line_config(int n, double mu = 0.05, double rho = 1e-3) {
+  ScenarioSpec cfg;
   cfg.n = n;
-  cfg.initial_edges = topo_line(n);
+  cfg.explicit_edges = topo_line(n);
   cfg.edge_params = default_edge_params();
   cfg.aopt.rho = rho;
   cfg.aopt.mu = mu;
   cfg.aopt.gtilde_static =
-      suggest_gtilde(n, cfg.initial_edges, cfg.edge_params, cfg.aopt);
-  cfg.drift = DriftKind::kLinearSpread;
-  cfg.estimates = EstimateKind::kOracleUniform;
+      suggest_gtilde(n, cfg.explicit_edges, cfg.edge_params, cfg.aopt);
+  cfg.drift = ComponentSpec("spread");
+  cfg.estimates = ComponentSpec("uniform");
   return cfg;
 }
 
@@ -100,8 +100,8 @@ TEST(Theorem56, GlobalSkewConvergesNearDiameterBound) {
 
 struct GradientCase {
   int n;
-  DriftKind drift;
-  EstimateKind estimates;
+  const char* drift;
+  const char* estimates;
   std::uint64_t seed;
 };
 
@@ -110,10 +110,12 @@ class GradientPropertyTest : public ::testing::TestWithParam<GradientCase> {};
 TEST_P(GradientPropertyTest, StableGradientBoundHolds) {
   const auto param = GetParam();
   auto cfg = line_config(param.n);
-  cfg.drift = param.drift;
-  cfg.drift_block_period = 150.0;
-  cfg.drift_blocks = 4;
-  cfg.estimates = param.estimates;
+  cfg.drift = ComponentSpec(param.drift);
+  if (cfg.drift.kind == "blocks") {
+    cfg.drift.params.set("period", 150.0);
+    cfg.drift.params.set("blocks", 4);
+  }
+  cfg.estimates = ComponentSpec(param.estimates);
   cfg.seed = param.seed;
   Scenario s(cfg);
   s.start();
@@ -142,12 +144,12 @@ TEST_P(GradientPropertyTest, StableGradientBoundHolds) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, GradientPropertyTest,
     ::testing::Values(
-        GradientCase{8, DriftKind::kLinearSpread, EstimateKind::kOracleUniform, 1},
-        GradientCase{12, DriftKind::kAlternatingBlocks, EstimateKind::kOracleUniform, 2},
-        GradientCase{12, DriftKind::kAlternatingBlocks, EstimateKind::kOracleAdversarial, 3},
-        GradientCase{8, DriftKind::kRandomWalk, EstimateKind::kOracleUniform, 4},
-        GradientCase{8, DriftKind::kLinearSpread, EstimateKind::kBeacon, 5},
-        GradientCase{10, DriftKind::kAlternatingBlocks, EstimateKind::kBeacon, 6}),
+        GradientCase{8, "spread", "uniform", 1},
+        GradientCase{12, "blocks", "uniform", 2},
+        GradientCase{12, "blocks", "adversarial", 3},
+        GradientCase{8, "walk", "uniform", 4},
+        GradientCase{8, "spread", "beacon", 5},
+        GradientCase{10, "blocks", "beacon", 6}),
     [](const ::testing::TestParamInfo<GradientCase>& info) {
       return "case" + std::to_string(info.param.seed);
     });
@@ -159,9 +161,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Legality, HoldsThroughoutStabilizedRun) {
   auto cfg = line_config(10);
-  cfg.drift = DriftKind::kAlternatingBlocks;
-  cfg.drift_block_period = 120.0;
-  cfg.drift_blocks = 2;
+  cfg.drift = ComponentSpec("blocks");
+  cfg.drift.params.set("period", 120.0);
+  cfg.drift.params.set("blocks", 2);
   Scenario s(cfg);
   s.start();
   const double ghat = cfg.aopt.gtilde_static;
@@ -237,8 +239,8 @@ TEST(SelfStabilization, GradientBoundRestoredAfterScatterCorruption) {
 
 TEST(RateEnvelope, HoldsUnderBlockDriftWithCorruptions) {
   auto cfg = line_config(8);
-  cfg.drift = DriftKind::kAlternatingBlocks;
-  cfg.drift_block_period = 60.0;
+  cfg.drift = ComponentSpec("blocks");
+  cfg.drift.params.set("period", 60.0);
   Scenario s(cfg);
   s.start();
   s.run_until(50.0);

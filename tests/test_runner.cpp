@@ -8,96 +8,123 @@
 namespace gcs {
 namespace {
 
-TEST(ScenarioConfigTest, RejectsInvalidAlgoParams) {
-  ScenarioConfig cfg;
-  cfg.n = 4;
-  cfg.initial_edges = topo_line(4);
-  cfg.edge_params = default_edge_params();
-  cfg.aopt.rho = 0.05;
-  cfg.aopt.mu = 0.05;  // mu <= 2rho/(1-rho): invalid
-  EXPECT_THROW(Scenario{cfg}, std::runtime_error);
+ScenarioSpec line_spec(int n) {
+  ScenarioSpec spec;
+  spec.n = n;
+  spec.topology = ComponentSpec("line");
+  spec.edge_params = default_edge_params();
+  return spec;
 }
 
-TEST(ScenarioConfigTest, RejectsBadEdgeParams) {
-  ScenarioConfig cfg;
-  cfg.n = 4;
-  cfg.initial_edges = topo_line(4);
-  cfg.edge_params.eps = -1.0;
-  EXPECT_THROW(Scenario{cfg}, std::runtime_error);
+TEST(ScenarioSpecTest, RejectsInvalidAlgoParams) {
+  auto spec = line_spec(4);
+  spec.aopt.rho = 0.05;
+  spec.aopt.mu = 0.05;  // mu <= 2rho/(1-rho): invalid
+  EXPECT_THROW(Scenario{spec}, std::runtime_error);
 }
 
-TEST(ScenarioConfigTest, RejectsReferenceNodeOutOfRange) {
-  ScenarioConfig cfg;
-  cfg.n = 4;
-  cfg.initial_edges = topo_line(4);
-  cfg.edge_params = default_edge_params();
-  cfg.aopt.mu = 0.1;
-  cfg.reference_node = 9;
-  EXPECT_THROW(Scenario{cfg}, std::runtime_error);
+TEST(ScenarioSpecTest, RejectsBadEdgeParams) {
+  auto spec = line_spec(4);
+  spec.edge_params.eps = -1.0;
+  EXPECT_THROW(Scenario{spec}, std::runtime_error);
+}
+
+TEST(ScenarioSpecTest, RejectsReferenceNodeOutOfRange) {
+  auto spec = line_spec(4);
+  spec.aopt.mu = 0.1;
+  spec.reference_node = 9;
+  EXPECT_THROW(Scenario{spec}, std::runtime_error);
+}
+
+TEST(ScenarioSpecTest, RejectsUnknownComponentKind) {
+  auto spec = line_spec(4);
+  spec.drift = ComponentSpec("warp");
+  EXPECT_THROW(Scenario{spec}, std::runtime_error);
+}
+
+TEST(ScenarioSpecTest, RejectsUnknownComponentParam) {
+  auto spec = line_spec(4);
+  spec.drift = ComponentSpec("spread");
+  spec.drift.params.set("speed", "9");
+  EXPECT_THROW(Scenario{spec}, std::runtime_error);
 }
 
 TEST(ScenarioTest, StartTwiceThrows) {
-  ScenarioConfig cfg;
-  cfg.n = 3;
-  cfg.initial_edges = topo_line(3);
-  cfg.edge_params = default_edge_params();
-  Scenario s(cfg);
+  Scenario s(line_spec(3));
   s.start();
   EXPECT_THROW(s.start(), std::runtime_error);
 }
 
 TEST(ScenarioTest, AoptAccessorRejectsBaselines) {
-  ScenarioConfig cfg;
-  cfg.n = 3;
-  cfg.initial_edges = topo_line(3);
-  cfg.edge_params = default_edge_params();
-  cfg.algo = AlgoKind::kMaxJump;
-  Scenario s(cfg);
+  auto spec = line_spec(3);
+  spec.algo = ComponentSpec("max-jump");
+  Scenario s(spec);
   s.start();
-  EXPECT_THROW(s.aopt(0), std::runtime_error);
+  EXPECT_THROW((void)s.aopt(0), std::runtime_error);
 }
 
-TEST(ScenarioTest, AllAlgoKindsRunAllEstimateKinds) {
-  for (AlgoKind algo : {AlgoKind::kAopt, AlgoKind::kMaxJump,
-                        AlgoKind::kBoundedRateMax, AlgoKind::kFreeRunning}) {
-    for (EstimateKind est :
-         {EstimateKind::kOracleZero, EstimateKind::kOracleUniform,
-          EstimateKind::kOracleAdversarial, EstimateKind::kBeacon}) {
-      ScenarioConfig cfg;
-      cfg.n = 4;
-      cfg.initial_edges = topo_ring(4);
-      cfg.edge_params = default_edge_params();
-      cfg.algo = algo;
-      cfg.estimates = est;
-      Scenario s(cfg);
+TEST(ScenarioTest, AllAlgorithmsRunAllEstimateSources) {
+  for (const auto& algo : algo_registry().names()) {
+    for (const auto& est : estimate_registry().names()) {
+      ScenarioSpec spec;
+      spec.n = 4;
+      spec.topology = ComponentSpec("ring");
+      spec.edge_params = default_edge_params();
+      spec.algo = ComponentSpec(algo);
+      spec.estimates = ComponentSpec(est);
+      Scenario s(spec);
       s.start();
       s.run_until(20.0);
       for (NodeId u = 0; u < 4; ++u) {
-        EXPECT_GT(s.engine().logical(u), 18.0) << to_string(algo);
+        EXPECT_GT(s.engine().logical(u), 18.0) << algo << "/" << est;
       }
     }
   }
 }
 
-TEST(ScenarioTest, AllDriftKindsRespectEnvelope) {
-  for (DriftKind drift :
-       {DriftKind::kNone, DriftKind::kLinearSpread, DriftKind::kAlternatingBlocks,
-        DriftKind::kRandomWalk, DriftKind::kSinusoidal}) {
-    ScenarioConfig cfg;
-    cfg.n = 4;
-    cfg.initial_edges = topo_line(4);
-    cfg.edge_params = default_edge_params();
-    cfg.drift = drift;
-    cfg.aopt.rho = 2e-3;
-    Scenario s(cfg);
+TEST(ScenarioTest, AllDriftModelsRespectEnvelope) {
+  for (const auto& drift : drift_registry().names()) {
+    auto spec = line_spec(4);
+    spec.drift = ComponentSpec(drift);
+    spec.aopt.rho = 2e-3;
+    Scenario s(spec);
     s.start();
     s.run_until(100.0);
     for (NodeId u = 0; u < 4; ++u) {
       const double h = s.engine().hardware(u);
-      EXPECT_GE(h, 100.0 * (1.0 - cfg.aopt.rho) - 1e-6);
-      EXPECT_LE(h, 100.0 * (1.0 + cfg.aopt.rho) + 1e-6);
+      EXPECT_GE(h, 100.0 * (1.0 - spec.aopt.rho) - 1e-6) << drift;
+      EXPECT_LE(h, 100.0 * (1.0 + spec.aopt.rho) + 1e-6) << drift;
     }
   }
+}
+
+TEST(ScenarioTest, TopologyComponentSizesTheNetwork) {
+  ScenarioSpec spec;
+  spec.topology = ComponentSpec("grid", ParamMap{{"rows", "3"}, {"cols", "5"}});
+  spec.edge_params = default_edge_params();
+  Scenario s(spec);
+  EXPECT_EQ(s.spec().n, 15);
+  EXPECT_EQ(s.initial_edges().size(), topo_grid(3, 5).size());
+}
+
+TEST(ScenarioTest, GtildeAutoDerivesFromBuiltTopology) {
+  auto spec = line_spec(16);
+  spec.gtilde_auto = true;
+  Scenario s(spec);
+  const double expect =
+      suggest_gtilde(16, topo_line(16), spec.edge_params, spec.aopt);
+  EXPECT_DOUBLE_EQ(s.spec().aopt.gtilde_static, expect);
+}
+
+TEST(ScenarioTest, AdversaryComponentIsArmedOnStart) {
+  auto spec = line_spec(8);
+  spec.topology = ComponentSpec("ring");  // line edges are all bridges
+  spec.adversary = ComponentSpec("churn", ParamMap{{"rate", "2"}, {"start", "1"}});
+  Scenario s(spec);
+  ASSERT_NE(s.adversary(), nullptr);
+  s.start();
+  s.run_until(100.0);
+  EXPECT_GT(s.adversary()->operations(), 0);
 }
 
 TEST(DefaultEdgeParamsTest, ValidatesAndPopulates) {
@@ -122,24 +149,17 @@ TEST(SuggestGtilde, ScalesWithTopologyExtent) {
                std::runtime_error);  // disconnected
 }
 
-TEST(ToStringTest, AlgoKindNames) {
-  EXPECT_STREQ(to_string(AlgoKind::kAopt), "AOPT");
-  EXPECT_STREQ(to_string(AlgoKind::kMaxJump), "max-jump");
-  EXPECT_STREQ(to_string(AlgoKind::kBoundedRateMax), "bounded-rate-max");
-  EXPECT_STREQ(to_string(AlgoKind::kFreeRunning), "free-running");
-}
-
 TEST(ScenarioTest, SeedsChangeExecutionsDeterministically) {
   auto run_once = [](std::uint64_t seed) {
-    ScenarioConfig cfg;
-    cfg.n = 6;
-    cfg.initial_edges = topo_ring(6);
-    cfg.edge_params = default_edge_params();
-    cfg.drift = DriftKind::kRandomWalk;
-    cfg.estimates = EstimateKind::kOracleUniform;
-    cfg.aopt.rho = 2e-3;
-    cfg.seed = seed;
-    Scenario s(cfg);
+    ScenarioSpec spec;
+    spec.n = 6;
+    spec.topology = ComponentSpec("ring");
+    spec.edge_params = default_edge_params();
+    spec.drift = ComponentSpec("walk");
+    spec.estimates = ComponentSpec("uniform");
+    spec.aopt.rho = 2e-3;
+    spec.seed = seed;
+    Scenario s(spec);
     s.start();
     s.run_until(150.0);
     double sum = 0.0;
@@ -154,16 +174,75 @@ TEST(ScenarioTest, SeedsChangeExecutionsDeterministically) {
 }
 
 TEST(ScenarioTest, InitialTopologyMayBeEmptyOfEdges) {
-  ScenarioConfig cfg;
-  cfg.n = 3;
-  cfg.edge_params = default_edge_params();
-  Scenario s(cfg);  // no initial edges at all
+  ScenarioSpec spec;
+  spec.n = 3;
+  spec.edge_params = default_edge_params();
+  Scenario s(spec);  // default "explicit" topology, no edges at all
   s.start();
   s.run_until(30.0);
   // Free-drifting singletons; edges can still be added later.
-  s.graph().create_edge(EdgeKey(0, 1), cfg.edge_params);
+  s.graph().create_edge(EdgeKey(0, 1), spec.edge_params);
   s.run_until(60.0);
   EXPECT_TRUE(s.graph().both_views_present(EdgeKey(0, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// The deprecated ScenarioConfig shim.
+
+TEST(ScenarioConfigShim, ConvertsLosslesslyAndRuns) {
+  ScenarioConfig cfg;
+  cfg.n = 5;
+  cfg.initial_edges = topo_ring(5);
+  cfg.edge_params = default_edge_params();
+  cfg.algo = AlgoKind::kBoundedRateMax;
+  cfg.drift = DriftKind::kAlternatingBlocks;
+  cfg.drift_blocks = 2;
+  cfg.drift_block_period = 40.0;
+  cfg.gskew = GskewKind::kOracle;
+  cfg.gskew_factor = 3.0;
+  cfg.seed = 17;
+
+  const ScenarioSpec spec = to_spec(cfg);
+  EXPECT_EQ(spec.algo.kind, "bounded-rate-max");
+  EXPECT_EQ(spec.drift.kind, "blocks");
+  EXPECT_EQ(spec.drift.params.get_double("period", 0.0), 40.0);
+  EXPECT_EQ(spec.gskew.kind, "oracle");
+  EXPECT_EQ(spec.gskew.params.get_double("factor", 0.0), 3.0);
+  EXPECT_EQ(spec.seed, 17u);
+  EXPECT_EQ(spec.explicit_edges.size(), cfg.initial_edges.size());
+
+  Scenario s(cfg);
+  s.start();
+  s.run_until(20.0);
+  EXPECT_GT(s.engine().logical(0), 18.0);
+}
+
+TEST(ScenarioConfigShim, MatchesSpecConstructionExactly) {
+  // The shim and the native spec path must drive identical executions.
+  ScenarioConfig cfg;
+  cfg.n = 6;
+  cfg.initial_edges = topo_line(6);
+  cfg.edge_params = default_edge_params();
+  cfg.drift = DriftKind::kRandomWalk;
+  cfg.seed = 9;
+  Scenario via_shim(cfg);
+  via_shim.start();
+  via_shim.run_until(80.0);
+
+  Scenario via_spec(to_spec(cfg));
+  via_spec.start();
+  via_spec.run_until(80.0);
+
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_DOUBLE_EQ(via_shim.engine().logical(u), via_spec.engine().logical(u));
+  }
+}
+
+TEST(ToStringTest, AlgoKindNames) {
+  EXPECT_STREQ(to_string(AlgoKind::kAopt), "AOPT");
+  EXPECT_STREQ(to_string(AlgoKind::kMaxJump), "max-jump");
+  EXPECT_STREQ(to_string(AlgoKind::kBoundedRateMax), "bounded-rate-max");
+  EXPECT_STREQ(to_string(AlgoKind::kFreeRunning), "free-running");
 }
 
 }  // namespace
