@@ -4,6 +4,11 @@
 // can be pushed on a given machine.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/triggers.h"
 #include "metrics/legality.h"
 #include "metrics/skew.h"
@@ -94,7 +99,7 @@ void BM_ScenarioSimulation(benchmark::State& state) {
   // Report simulated node-time-units per wall second.
   state.SetItemsProcessed(state.iterations() * n * 50);
 }
-BENCHMARK(BM_ScenarioSimulation)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ScenarioSimulation)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_BeaconScenarioSimulation(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
@@ -113,4 +118,21 @@ BENCHMARK(BM_BeaconScenarioSimulation)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace gcs
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON report: unless the caller passes
+// --benchmark_out, results land in BENCH_kernel.json (google-benchmark's
+// default out format is already json), so every run leaves a comparable
+// artifact. Compare runs with benchmark's tools/compare.py.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string default_out = "--benchmark_out=BENCH_kernel.json";
+  const bool has_out = std::any_of(args.begin(), args.end(), [](const char* a) {
+    return std::string_view(a).starts_with("--benchmark_out=");
+  });
+  if (!has_out) args.push_back(default_out.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

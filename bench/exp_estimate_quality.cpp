@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
     while (s.sim().now() < start + measure) {
       s.run_for(1.7);
       for (NodeId u = 0; u < n; ++u) {
-        for (NodeId v : s.graph().view_neighbors(u)) {
+        for (const NeighborView& nv : s.graph().view_neighbors(u)) {
+          const NodeId v = nv.id;
           const auto est = s.estimate_of(u, v);
           if (!est.has_value()) continue;
           worst_err =

@@ -12,8 +12,25 @@ double AoptNode::PeerInfo::insertion_time(int s) const {
   return t0 + (1.0 - std::exp2(1.0 - static_cast<double>(s))) * insertion_duration;
 }
 
+const AoptNode::Peer* AoptNode::find_peer(NodeId id) const {
+  for (const Peer& p : peers_) {
+    if (p.id >= id) return p.id == id ? &p : nullptr;
+  }
+  return nullptr;
+}
+
+AoptNode::Peer& AoptNode::peer_slot(NodeId id) {
+  auto it = peers_.begin();
+  while (it != peers_.end() && it->id < id) ++it;
+  if (it == peers_.end() || it->id != id) {
+    it = peers_.insert(it, Peer{});
+    it->id = id;
+  }
+  return *it;
+}
+
 void AoptNode::on_edge_discovered(NodeId peer) {
-  Peer& p = peers_[peer];
+  Peer& p = peer_slot(peer);
   p.present = true;
   ++p.gen;
   p.discovered_at = api_->now();
@@ -63,9 +80,9 @@ void AoptNode::on_edge_discovered(NodeId peer) {
 }
 
 void AoptNode::leader_check(NodeId peer, std::uint64_t gen) {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return;
-  Peer& p = it->second;
+  Peer* found = find_peer(peer);
+  if (found == nullptr) return;
+  Peer& p = *found;
   // gen mismatch <=> the edge was lost (or re-discovered) since the wait
   // began, i.e. v was NOT in N⁰_u throughout the logical window (line 6).
   if (!p.present || p.gen != gen) return;
@@ -76,9 +93,9 @@ void AoptNode::leader_check(NodeId peer, std::uint64_t gen) {
 }
 
 void AoptNode::on_insert_edge_msg(NodeId from, const InsertEdgeMsg& msg) {
-  const auto it = peers_.find(from);
-  if (it == peers_.end() || !it->second.present) return;
-  Peer& p = it->second;
+  Peer* found = find_peer(from);
+  if (found == nullptr || !found->present) return;
+  Peer& p = *found;
   // Listing 1 line 12: wait at least T+τ but at most ∆−τ. Waiting until the
   // logical clock advances by (1+ρ)(1+µ)(T+τ) satisfies both: real wait is
   // >= T+τ (rate <= (1+ρ)(1+µ)) and <= (1+ρ)(1+µ)(T+τ)/(1−ρ) = ∆−τ.
@@ -90,9 +107,9 @@ void AoptNode::on_insert_edge_msg(NodeId from, const InsertEdgeMsg& msg) {
 }
 
 void AoptNode::follower_check(NodeId peer, std::uint64_t gen, InsertEdgeMsg msg) {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return;
-  Peer& p = it->second;
+  Peer* found = find_peer(peer);
+  if (found == nullptr) return;
+  Peer& p = *found;
   if (!p.present || p.gen != gen) return;  // line 13 presence window violated
   // Line 13 also requires the presence window to span (1+ρ)(1+µ)(T+τ) of
   // logical time before now.
@@ -135,9 +152,9 @@ void AoptNode::compute_insertion_times(Peer& p, ClockValue l_ins, double gtilde)
 }
 
 void AoptNode::on_edge_lost(NodeId peer) {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return;
-  Peer& p = it->second;
+  Peer* found = find_peer(peer);
+  if (found == nullptr) return;
+  Peer& p = *found;
   // Listing 1 lines 15-18: leave all neighbor sets, T_s := ⊥.
   p.present = false;
   ++p.gen;
@@ -182,21 +199,21 @@ double AoptNode::current_kappa(const Peer& p, ClockValue own_logical) const {
 }
 
 bool AoptNode::edge_in_level(NodeId peer, int s) const {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return false;
-  return level_limit(it->second, api_->logical()) >= s;
+  const Peer* p = find_peer(peer);
+  if (p == nullptr) return false;
+  return level_limit(*p, api_->logical()) >= s;
 }
 
 double AoptNode::edge_kappa(NodeId peer) const {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return 0.0;
-  return current_kappa(it->second, api_->logical());
+  const Peer* p = find_peer(peer);
+  if (p == nullptr) return 0.0;
+  return current_kappa(*p, api_->logical());
 }
 
 std::optional<AoptNode::PeerInfo> AoptNode::peer_info(NodeId peer) const {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return std::nullopt;
-  const Peer& p = it->second;
+  const Peer* found = find_peer(peer);
+  if (found == nullptr) return std::nullopt;
+  const Peer& p = *found;
   PeerInfo info;
   info.present = p.present;
   info.t0 = p.t0;
@@ -207,12 +224,19 @@ std::optional<AoptNode::PeerInfo> AoptNode::peer_info(NodeId peer) const {
   return info;
 }
 
+void AoptNode::report_trigger_conflict() {
+  saw_conflict_ = true;  // impossible per Lemma 5.3 when eq. (9) holds
+  GCS_ERROR << "node " << api_->id() << ": fast and slow triggers both hold";
+}
+
 void AoptNode::reevaluate() {
   const ClockValue own = api_->logical();
 
-  std::vector<LevelPeer> level_peers;
-  level_peers.reserve(peers_.size());
-  for (auto& [id, p] : peers_) {
+  // Scratch member: reevaluate runs on every event touching this node, so a
+  // fresh vector here would be the hottest allocation in the engine.
+  std::vector<LevelPeer>& level_peers = reevaluate_scratch_;
+  level_peers.clear();
+  for (const Peer& p : peers_) {
     if (!p.present) continue;
     const int limit = level_limit(p, own);
     if (limit < 1) continue;  // discovery-set-only edges play no trigger role
@@ -222,17 +246,16 @@ void AoptNode::reevaluate() {
     lp.delta = p.delta;
     lp.eps = p.eps;
     lp.tau = p.tau;
-    const auto est = api_->neighbor_estimate(id);
+    const auto est = api_->neighbor_estimate_present(p.id, p.eps);
     lp.has_estimate = est.has_value();
     lp.est_minus_own = est.has_value() ? *est - own : 0.0;
     level_peers.push_back(lp);
   }
 
-  last_decision_ =
-      evaluate_triggers(level_peers, params_.mu, params_.rho, params_.level_cap);
-  if (last_decision_.fast && last_decision_.slow) {
-    saw_conflict_ = true;  // impossible per Lemma 5.3 when eq. (9) holds
-    GCS_ERROR << "node " << api_->id() << ": fast and slow triggers both hold";
+  last_decision_ = evaluate_triggers(level_peers.data(), level_peers.size(),
+                                     params_.mu, params_.rho, params_.level_cap);
+  if (last_decision_.fast && last_decision_.slow) [[unlikely]] {
+    report_trigger_conflict();
   }
 
   // Listing 3.

@@ -10,7 +10,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/params.h"
@@ -58,33 +59,50 @@ class AoptNode final : public Algorithm {
 
  private:
   struct Peer {
+    // Hot fields first: reevaluate walks these on every event.
+    NodeId id = kNoNode;
     bool present = false;
-    std::uint64_t gen = 0;  ///< bumped on every discovery/loss; guards callbacks
-    Time discovered_at = 0.0;
-    ClockValue discovered_logical = 0.0;
-    // Derived per-edge constants (κ_e, δ_e, ε_e, τ_e, T_e).
+    // Derived per-edge constants (κ_e, δ_e, ε_e, τ_e).
     double kappa = 0.0;
     double delta = 0.0;
     double eps = 0.0;
     double tau = 0.0;
-    double tmsg = 0.0;
     // Insertion agreement (Listing 2). T0 == kTimeInf means "⊥".
     double t0 = kTimeInf;
     double insertion_duration = 0.0;
+    // ---- cold: handshake bookkeeping ----
+    std::uint64_t gen = 0;  ///< bumped on every discovery/loss; guards callbacks
+    Time discovered_at = 0.0;
+    ClockValue discovered_logical = 0.0;
+    double tmsg = 0.0;        ///< T_e (msg_delay_max)
     double gtilde = 0.0;
     double kappa_init = 0.0;  ///< weight-decay start value
   };
 
   [[nodiscard]] bool is_leader_of(NodeId peer) const { return api_->id() < peer; }
+  /// The peer record for `id`, or nullptr if never seen. Peers live in a
+  /// sorted flat vector: iteration order is then stdlib-independent (an
+  /// unordered_map here makes oracle estimate draws — and so whole runs —
+  /// depend on hash iteration order), and the per-reevaluate walk touches
+  /// contiguous memory.
+  [[nodiscard]] const Peer* find_peer(NodeId id) const;
+  [[nodiscard]] Peer* find_peer(NodeId id) {
+    return const_cast<Peer*>(std::as_const(*this).find_peer(id));
+  }
+  Peer& peer_slot(NodeId id);  ///< find-or-insert (sorted)
   void leader_check(NodeId peer, std::uint64_t gen);
   void follower_check(NodeId peer, std::uint64_t gen, InsertEdgeMsg msg);
   void compute_insertion_times(Peer& p, ClockValue l_ins, double gtilde);
   /// Largest level the peer currently belongs to (0 = discovery set only).
   [[nodiscard]] int level_limit(const Peer& p, ClockValue own_logical) const;
   [[nodiscard]] double current_kappa(const Peer& p, ClockValue own_logical) const;
+  /// Lemma 5.3 violation reporting, off the reevaluate hot path (the log
+  /// machinery would otherwise bloat its stack frame).
+  [[gnu::cold]] [[gnu::noinline]] void report_trigger_conflict();
 
   AlgoParams params_;
-  std::unordered_map<NodeId, Peer> peers_;
+  std::vector<Peer> peers_;  ///< sorted by id; entries persist across edge loss
+  std::vector<LevelPeer> reevaluate_scratch_;
   TriggerDecision last_decision_;
   long long mode_switches_ = 0;
   bool saw_conflict_ = false;

@@ -21,7 +21,7 @@ void NodeApi::set_rate_multiplier(double mult) {
 }
 void NodeApi::set_logical_value(ClockValue v) { engine_.set_logical_value(id_, v); }
 
-const std::unordered_set<NodeId>& NodeApi::neighbors() const {
+const std::vector<NeighborView>& NodeApi::neighbors() const {
   return engine_.graph_.view_neighbors(id_);
 }
 Time NodeApi::neighbor_since(NodeId peer) const {
@@ -31,6 +31,16 @@ const EdgeParams& NodeApi::edge_params(NodeId peer) const {
   return engine_.graph_.params(EdgeKey(id_, peer));
 }
 std::optional<ClockValue> NodeApi::neighbor_estimate(NodeId peer) {
+  if (engine_.oracle_estimates_ != nullptr) {
+    return engine_.oracle_estimates_->estimate(id_, peer);  // devirtualized
+  }
+  return engine_.estimates_.estimate(id_, peer);
+}
+
+std::optional<ClockValue> NodeApi::neighbor_estimate_present(NodeId peer, double eps) {
+  if (engine_.oracle_estimates_ != nullptr) {
+    return engine_.oracle_estimates_->estimate_present(id_, peer, eps);
+  }
   return engine_.estimates_.estimate(id_, peer);
 }
 double NodeApi::edge_eps(NodeId peer) const {
@@ -42,9 +52,7 @@ bool NodeApi::send_insert_edge(NodeId peer, ClockValue l_ins, double gtilde) {
 double NodeApi::global_skew_estimate() { return engine_.gskew_.estimate(id_); }
 
 void NodeApi::schedule_at_logical(ClockValue target, std::function<void()> fn) {
-  auto& n = engine_.node(id_);
-  n.logical_targets.emplace(target, std::move(fn));
-  engine_.reschedule_logical_event(id_);
+  engine_.add_logical_target(id_, target, std::move(fn));
 }
 
 void NodeApi::schedule_after(Duration dt, std::function<void()> fn) {
@@ -71,33 +79,41 @@ Engine::Engine(Simulator& sim, DynamicGraph& graph, Transport& transport,
           "Engine: periods must be positive");
 
   const int n = graph_.size();
+  // Sized exactly once: algorithms hold pointers into this vector, so it
+  // must never reallocate after this loop.
   nodes_.reserve(static_cast<std::size_t>(n));
   const Time t0 = sim_.now();
   for (NodeId u = 0; u < n; ++u) {
-    auto state = std::make_unique<NodeState>();
+    NodeState& state = nodes_.emplace_back(*this, u);
     const double h_rate = drift_.rate_at(u, t0);
-    state->hw = PiecewiseLinearClock(t0, 0.0, h_rate);
-    state->logical = PiecewiseLinearClock(t0, 0.0, h_rate);  // mult=1 initially
-    state->maxest = PiecewiseLinearClock(t0, 0.0, h_rate);
+    state.clocks.last = t0;
+    state.clocks.rate[NodeClocks::kHw] = h_rate;
+    state.clocks.rate[NodeClocks::kLog] = h_rate;  // mult=1 initially
+    state.clocks.rate[NodeClocks::kMax] = h_rate;
     // The min estimate starts at the true minimum (0) and advances at the
     // safe rate (1-rho)/(1+rho)*h, which cannot overtake any logical clock.
-    state->minest = PiecewiseLinearClock(
-        t0, 0.0, (1.0 - params_.rho) / (1.0 + params_.rho) * h_rate);
-    state->m_locked = true;
-    state->api = std::make_unique<NodeApi>(*this, u);
-    state->algo = factory(u);
-    require(state->algo != nullptr, "Engine: factory returned null algorithm");
-    state->algo->attach(state->api.get());
-    nodes_.push_back(std::move(state));
+    state.clocks.rate[NodeClocks::kMin] =
+        (1.0 - params_.rho) / (1.0 + params_.rho) * h_rate;
+    state.m_locked = true;
+    state.algo = factory(u);
+    require(state.algo != nullptr, "Engine: factory returned null algorithm");
+    state.algo->attach(&state.api);
   }
   estimates_.bind(this);
+  oracle_estimates_ = dynamic_cast<OracleEstimateSource*>(&estimates_);
+  estimates_consume_beacons_ = estimates_.consumes_beacons();
   graph_.set_listener(this);
-  transport_.set_handler([this](const Delivery& d) { on_delivery(d); });
+  transport_.set_sink(this);
 }
 
 void Engine::start() {
   require(!started_, "Engine: start() called twice");
   started_ = true;
+  // When tick and beacon cadence coincide (the default), one heartbeat
+  // event per node drives both duties in the order the split events fired
+  // (tick first, FIFO): half the recurring kernel load.
+  merged_heartbeat_ = config_.enable_beacons &&
+                      config_.tick_period == config_.beacon_period;
   const int n = size();
   for (NodeId u = 0; u < n; ++u) {
     node(u).algo->init();
@@ -105,8 +121,14 @@ void Engine::start() {
     // Stagger per-node periodic events so same-time bursts do not mask
     // event-ordering bugs and beacons do not synchronize artificially.
     const double phase = (static_cast<double>(u) + 1.0) / (static_cast<double>(n) + 1.0);
-    schedule_tick(u, config_.tick_period * phase);
-    if (config_.enable_beacons) schedule_beacon(u, config_.beacon_period * phase);
+    if (merged_heartbeat_) {
+      sim_.schedule_event_after(
+          config_.tick_period * phase,
+          SimEvent::node_event(EventKind::kHeartbeat, this, u));
+    } else {
+      schedule_tick(u, config_.tick_period * phase);
+      if (config_.enable_beacons) schedule_beacon(u, config_.beacon_period * phase);
+    }
     reevaluate(u);
   }
 }
@@ -114,40 +136,41 @@ void Engine::start() {
 void Engine::advance(NodeId u) {
   NodeState& n = node(u);
   const Time t = sim_.now();
-  n.hw.advance(t);
-  n.logical.advance(t);
-  n.minest.advance(t);
-  if (!n.m_locked) n.maxest.advance(t);
+  // Most events advance the same node several times at one instant
+  // (delivery -> max candidate -> reevaluate); integrating is idempotent,
+  // so skip the repeat work.
+  if (n.clocks.last == t) return;
+  n.clocks.advance(t);
 }
 
 double Engine::unlocked_max_rate(const NodeState& n) const {
-  return (1.0 - params_.rho) / (1.0 + params_.rho) * n.hw.rate();
+  return (1.0 - params_.rho) / (1.0 + params_.rho) * n.clocks.rate[NodeClocks::kHw];
 }
 
 ClockValue Engine::logical(NodeId u) {
   advance(u);
-  return node(u).logical.value();
+  return node(u).clocks.value[NodeClocks::kLog];
 }
 
 ClockValue Engine::hardware(NodeId u) {
   advance(u);
-  return node(u).hw.value();
+  return node(u).clocks.value[NodeClocks::kHw];
 }
 
 ClockValue Engine::max_estimate(NodeId u) {
   advance(u);
   NodeState& n = node(u);
-  return n.m_locked ? n.logical.value() : n.maxest.value();
+  return n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax];
 }
 
 ClockValue Engine::min_estimate(NodeId u) {
   advance(u);
-  return node(u).minest.value();
+  return node(u).clocks.value[NodeClocks::kMin];
 }
 
 bool Engine::max_locked(NodeId u) const { return node(u).m_locked; }
 double Engine::rate_multiplier(NodeId u) const { return node(u).mult; }
-double Engine::hardware_rate(NodeId u) const { return node(u).hw.rate(); }
+double Engine::hardware_rate(NodeId u) const { return node(u).clocks.rate[NodeClocks::kHw]; }
 Algorithm& Engine::algorithm(NodeId u) { return *node(u).algo; }
 
 double Engine::true_global_skew() {
@@ -164,9 +187,9 @@ double Engine::true_global_skew() {
 void Engine::corrupt_logical(NodeId u, ClockValue value) {
   advance(u);
   NodeState& n = node(u);
-  const ClockValue m_before = n.m_locked ? n.logical.value() : n.maxest.value();
-  n.logical.set_value(sim_.now(), value);
-  if (n.minest.value() > value) n.minest.set_value(sim_.now(), value);
+  const ClockValue m_before = n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax];
+  n.clocks.set_value(sim_.now(), NodeClocks::kLog, value);
+  if (n.clocks.value[NodeClocks::kMin] > value) n.clocks.set_value(sim_.now(), NodeClocks::kMin, value);
   if (value >= m_before) {
     // The paper's invariant M_u >= L_u (eq. 4) must keep holding.
     n.m_locked = true;
@@ -175,8 +198,8 @@ void Engine::corrupt_logical(NodeId u, ClockValue value) {
   } else if (n.m_locked) {
     // L dropped below the old M: keep M at its former value, now unlocked.
     n.m_locked = false;
-    n.maxest.set_value(sim_.now(), m_before);
-    n.maxest.set_rate(sim_.now(), unlocked_max_rate(n));
+    n.clocks.set_value(sim_.now(), NodeClocks::kMax, m_before);
+    n.clocks.set_rate(sim_.now(), NodeClocks::kMax, unlocked_max_rate(n));
     reschedule_mlock(u);
   } else {
     reschedule_mlock(u);
@@ -188,22 +211,33 @@ void Engine::corrupt_logical(NodeId u, ClockValue value) {
 void Engine::corrupt_max_estimate(NodeId u, ClockValue value) {
   advance(u);
   NodeState& n = node(u);
-  const ClockValue l = n.logical.value();
+  const ClockValue l = n.clocks.value[NodeClocks::kLog];
   if (value <= l) {
     n.m_locked = true;
     if (n.mlock_event.valid()) sim_.cancel(n.mlock_event);
     n.mlock_event = EventId{};
   } else {
     n.m_locked = false;
-    n.maxest.set_value(sim_.now(), value);
-    n.maxest.set_rate(sim_.now(), unlocked_max_rate(n));
+    n.clocks.set_value(sim_.now(), NodeClocks::kMax, value);
+    n.clocks.set_rate(sim_.now(), NodeClocks::kMax, unlocked_max_rate(n));
     reschedule_mlock(u);
   }
   reevaluate(u);
 }
 
+double Engine::metric_kappa(const EdgeKey& e) {
+  const auto it = kappa_cache_.find(e);
+  if (it != kappa_cache_.end()) return it->second;
+  EdgeParams params = graph_.params(e);
+  params.eps = estimates_.eps(e);
+  const double kappa = params_.edge_constants(params).kappa;
+  kappa_cache_.emplace(e, kappa);
+  return kappa;
+}
+
 void Engine::on_edge_discovered(NodeId u, NodeId peer) {
   advance(u);
+  kappa_cache_.erase(EdgeKey(u, peer));  // belt-and-braces vs ε policy changes
   node(u).algo->on_edge_discovered(peer);
   if (started_) reevaluate(u);
 }
@@ -219,54 +253,112 @@ void Engine::apply_drift(NodeId u) {
   advance(u);
   NodeState& n = node(u);
   const double h_rate = drift_.rate_at(u, sim_.now());
-  n.hw.set_rate(sim_.now(), h_rate);
-  n.logical.set_rate(sim_.now(), n.mult * h_rate);
-  n.minest.set_rate(sim_.now(), unlocked_max_rate(n));
-  if (!n.m_locked) n.maxest.set_rate(sim_.now(), unlocked_max_rate(n));
+  n.clocks.set_rate(sim_.now(), NodeClocks::kHw, h_rate);
+  n.clocks.set_rate(sim_.now(), NodeClocks::kLog, n.mult * h_rate);
+  n.clocks.set_rate(sim_.now(), NodeClocks::kMin, unlocked_max_rate(n));
+  if (!n.m_locked) n.clocks.set_rate(sim_.now(), NodeClocks::kMax, unlocked_max_rate(n));
   reschedule_logical_event(u);
   reschedule_mlock(u);
+}
+
+void Engine::dispatch(const SimEvent& ev) {
+  const NodeId u = ev.node;
+  switch (ev.kind) {
+    case EventKind::kTick:
+      trace(EventKind::kTick, u);
+      reevaluate(u);
+      schedule_tick(u, config_.tick_period);
+      break;
+    case EventKind::kBeacon:
+      trace(EventKind::kBeacon, u);
+      fire_beacon(u);
+      break;
+    case EventKind::kDriftChange:
+      trace(EventKind::kDriftChange, u);
+      apply_drift(u);
+      schedule_drift(u);
+      break;
+    case EventKind::kMLockCatch:
+      trace(EventKind::kMLockCatch, u);
+      fire_mlock(u);
+      break;
+    case EventKind::kLogicalTarget:
+      trace(EventKind::kLogicalTarget, u);
+      fire_logical_targets(u);
+      break;
+    case EventKind::kHeartbeat:
+      // Both duties, in the order the split events fired (tick scheduled
+      // first, so FIFO ran it first at the shared instant).
+      trace(EventKind::kTick, u);
+      reevaluate(u);
+      trace(EventKind::kBeacon, u);
+      fire_beacon(u);
+      break;
+    case EventKind::kClosure:
+    case EventKind::kDelivery:
+      require(false, "Engine::dispatch: unexpected event kind");
+  }
 }
 
 void Engine::schedule_drift(NodeId u) {
   const Time next = drift_.next_change_after(u, sim_.now());
   if (next == kTimeInf) return;
-  sim_.schedule_at(next, [this, u] {
-    apply_drift(u);
-    schedule_drift(u);
-  });
+  sim_.schedule_event_at(next,
+                         SimEvent::node_event(EventKind::kDriftChange, this, u));
 }
 
 void Engine::schedule_tick(NodeId u, Duration delay) {
-  sim_.schedule_after(delay, [this, u] {
-    reevaluate(u);
-    schedule_tick(u, config_.tick_period);
-  });
+  sim_.schedule_event_after(delay, SimEvent::node_event(EventKind::kTick, this, u));
 }
 
 void Engine::schedule_beacon(NodeId u, Duration delay) {
-  sim_.schedule_after(delay, [this, u] {
-    advance(u);
-    NodeState& n = node(u);
-    const Beacon beacon{n.logical.value(),
-                        n.m_locked ? n.logical.value() : n.maxest.value(),
-                        n.minest.value()};
-    for (NodeId peer : graph_.view_neighbors(u)) {
-      transport_.send(u, peer, beacon);
-    }
+  sim_.schedule_event_after(delay,
+                            SimEvent::node_event(EventKind::kBeacon, this, u));
+}
+
+void Engine::fire_beacon(NodeId u) {
+  advance(u);
+  NodeState& n = node(u);
+  const Beacon beacon{n.clocks.value[NodeClocks::kLog],
+                      n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax],
+                      n.clocks.value[NodeClocks::kMin]};
+  // view_neighbors is sorted by id, so the fan-out order — and with it the
+  // sequence of RNG-drawn transport delays — is stdlib-independent.
+  for (const NeighborView& nv : graph_.view_neighbors(u)) {
+    transport_.send_via(u, nv, beacon);
+  }
+  if (merged_heartbeat_) {
+    sim_.schedule_event_after(config_.beacon_period,
+                              SimEvent::node_event(EventKind::kHeartbeat, this, u));
+  } else {
     schedule_beacon(u, config_.beacon_period);
-  });
+  }
+}
+
+void Engine::add_logical_target(NodeId u, ClockValue target,
+                                std::function<void()> fn) {
+  NodeState& n = node(u);
+  n.logical_targets.push_back(
+      LogicalTarget{target, next_target_seq_++, std::move(fn)});
+  std::push_heap(n.logical_targets.begin(), n.logical_targets.end(),
+                 LogicalTargetOrder{});
+  reschedule_logical_event(u);
 }
 
 void Engine::reschedule_logical_event(NodeId u) {
   NodeState& n = node(u);
-  if (n.logical_event.valid()) {
-    sim_.cancel(n.logical_event);
-    n.logical_event = EventId{};
+  if (n.logical_targets.empty()) {
+    if (n.logical_event.valid()) {
+      sim_.cancel(n.logical_event);
+      n.logical_event = EventId{};
+    }
+    return;
   }
-  if (n.logical_targets.empty()) return;
-  n.logical.advance(sim_.now());
-  const Time fire_at = n.logical.time_of_value(n.logical_targets.begin()->first);
-  n.logical_event = sim_.schedule_at(fire_at, [this, u] { fire_logical_targets(u); });
+  n.clocks.advance(sim_.now());
+  const Time fire_at = n.clocks.time_of_value(NodeClocks::kLog, n.logical_targets.front().at);
+  if (n.logical_event.valid() && sim_.reschedule(n.logical_event, fire_at)) return;
+  n.logical_event = sim_.schedule_event_at(
+      fire_at, SimEvent::node_event(EventKind::kLogicalTarget, this, u));
 }
 
 void Engine::fire_logical_targets(NodeId u) {
@@ -274,54 +366,74 @@ void Engine::fire_logical_targets(NodeId u) {
   NodeState& n = node(u);
   n.logical_event = EventId{};
   // Fire every target at or (within float fuzz) below the current L.
-  const ClockValue l = n.logical.value();
+  const ClockValue l = n.clocks.value[NodeClocks::kLog];
   const ClockValue fuzz = 1e-9 * (std::fabs(l) + 1.0);
-  std::vector<std::function<void()>> due;
-  while (!n.logical_targets.empty() && n.logical_targets.begin()->first <= l + fuzz) {
-    due.push_back(std::move(n.logical_targets.begin()->second));
-    n.logical_targets.erase(n.logical_targets.begin());
+  // Collect the due targets before running any (they may schedule more).
+  // The scratch buffer is moved out for the duration of the calls so a
+  // re-entrant fire on another node degrades to a fresh allocation instead
+  // of corrupting the list.
+  std::vector<LogicalTarget> due = std::move(due_scratch_);
+  due.clear();
+  while (!n.logical_targets.empty() && n.logical_targets.front().at <= l + fuzz) {
+    std::pop_heap(n.logical_targets.begin(), n.logical_targets.end(),
+                  LogicalTargetOrder{});
+    due.push_back(std::move(n.logical_targets.back()));
+    n.logical_targets.pop_back();
   }
-  for (auto& fn : due) fn();
+  for (LogicalTarget& target : due) target.fn();
+  due.clear();
+  due_scratch_ = std::move(due);
   reschedule_logical_event(u);
   reevaluate(u);
 }
 
 void Engine::reschedule_mlock(NodeId u) {
   NodeState& n = node(u);
-  if (n.mlock_event.valid()) {
-    sim_.cancel(n.mlock_event);
-    n.mlock_event = EventId{};
+  if (n.m_locked) {
+    if (n.mlock_event.valid()) {
+      sim_.cancel(n.mlock_event);
+      n.mlock_event = EventId{};
+    }
+    return;
   }
-  if (n.m_locked) return;
-  const double l_rate = n.logical.rate();
-  const double m_rate = n.maxest.rate();
-  const double gap = n.maxest.value_at(sim_.now()) - n.logical.value_at(sim_.now());
+  const double l_rate = n.clocks.rate[NodeClocks::kLog];
+  const double m_rate = n.clocks.rate[NodeClocks::kMax];
+  const double gap = n.clocks.value_at(NodeClocks::kMax, sim_.now()) -
+      n.clocks.value_at(NodeClocks::kLog, sim_.now());
   if (gap <= 0.0) {
     // Degenerate (value corruption): lock immediately.
+    if (n.mlock_event.valid()) {
+      sim_.cancel(n.mlock_event);
+      n.mlock_event = EventId{};
+    }
     advance(u);
     n.m_locked = true;
     return;
   }
   require(l_rate > m_rate, "Engine: logical rate must exceed unlocked M rate");
-  const Duration dt = gap / (l_rate - m_rate);
-  n.mlock_event = sim_.schedule_after(dt, [this, u] {
-    advance(u);
-    NodeState& s = node(u);
-    s.mlock_event = EventId{};
-    s.m_locked = true;  // from now on M_u tracks L_u exactly
-    reevaluate(u);
-  });
+  const Time fire_at = sim_.now() + gap / (l_rate - m_rate);
+  if (n.mlock_event.valid() && sim_.reschedule(n.mlock_event, fire_at)) return;
+  n.mlock_event = sim_.schedule_event_at(
+      fire_at, SimEvent::node_event(EventKind::kMLockCatch, this, u));
+}
+
+void Engine::fire_mlock(NodeId u) {
+  advance(u);
+  NodeState& n = node(u);
+  n.mlock_event = EventId{};
+  n.m_locked = true;  // from now on M_u tracks L_u exactly
+  reevaluate(u);
 }
 
 void Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
   advance(u);
   NodeState& n = node(u);
-  const ClockValue l = n.logical.value();
+  const ClockValue l = n.clocks.value[NodeClocks::kLog];
   if (n.m_locked) {
     if (candidate > l) {
       n.m_locked = false;
-      n.maxest.set_value(sim_.now(), candidate);
-      n.maxest.set_rate(sim_.now(), unlocked_max_rate(n));
+      n.clocks.set_value(sim_.now(), NodeClocks::kMax, candidate);
+      n.clocks.set_rate(sim_.now(), NodeClocks::kMax, unlocked_max_rate(n));
       reschedule_mlock(u);
       if (observer_ != nullptr) {
         observer_->on_max_estimate_raised(sim_.now(), u, candidate);
@@ -329,8 +441,8 @@ void Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
     }
     return;
   }
-  if (candidate > n.maxest.value()) {
-    n.maxest.set_value(sim_.now(), candidate);
+  if (candidate > n.clocks.value[NodeClocks::kMax]) {
+    n.clocks.set_value(sim_.now(), NodeClocks::kMax, candidate);
     reschedule_mlock(u);
     if (observer_ != nullptr) {
       observer_->on_max_estimate_raised(sim_.now(), u, candidate);
@@ -345,7 +457,7 @@ void Engine::set_rate_multiplier(NodeId u, double mult) {
   advance(u);
   if (observer_ != nullptr) observer_->on_mode_change(sim_.now(), u, n.mult, mult);
   n.mult = mult;
-  n.logical.set_rate(sim_.now(), mult * n.hw.rate());
+  n.clocks.set_rate(sim_.now(), NodeClocks::kLog, mult * n.clocks.rate[NodeClocks::kHw]);
   reschedule_logical_event(u);
   reschedule_mlock(u);
 }
@@ -353,11 +465,11 @@ void Engine::set_rate_multiplier(NodeId u, double mult) {
 void Engine::set_logical_value(NodeId u, ClockValue v) {
   advance(u);
   NodeState& n = node(u);
-  const ClockValue m_before = n.m_locked ? n.logical.value() : n.maxest.value();
+  const ClockValue m_before = n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax];
   if (observer_ != nullptr) {
-    observer_->on_logical_jump(sim_.now(), u, n.logical.value(), v);
+    observer_->on_logical_jump(sim_.now(), u, n.clocks.value[NodeClocks::kLog], v);
   }
-  n.logical.set_value(sim_.now(), v);
+  n.clocks.set_value(sim_.now(), NodeClocks::kLog, v);
   if (v >= m_before) {
     n.m_locked = true;
     if (n.mlock_event.valid()) sim_.cancel(n.mlock_event);
@@ -380,7 +492,7 @@ void Engine::reevaluate(NodeId u) {
 void Engine::on_delivery(const Delivery& d) {
   advance(d.to);
   if (const auto* beacon = std::get_if<Beacon>(&d.payload)) {
-    estimates_.on_beacon(d);
+    if (estimates_consume_beacons_) estimates_.on_beacon(d);
     // Max-estimate flooding (Condition 4.3): the receiver may add the
     // drift-discounted known transit lower bound.
     const ClockValue candidate =
@@ -391,8 +503,8 @@ void Engine::on_delivery(const Delivery& d) {
     NodeState& receiver = node(d.to);
     const ClockValue min_candidate =
         beacon->min_estimate + (1.0 - params_.rho) * d.known_min_delay;
-    if (min_candidate > receiver.minest.value()) {
-      receiver.minest.set_value(sim_.now(), min_candidate);
+    if (min_candidate > receiver.clocks.value[NodeClocks::kMin]) {
+      receiver.clocks.set_value(sim_.now(), NodeClocks::kMin, min_candidate);
     }
   } else if (const auto* ins = std::get_if<InsertEdgeMsg>(&d.payload)) {
     node(d.to).algo->on_insert_edge_msg(d.from, *ins);

@@ -12,18 +12,21 @@
 // tick, exactly as the paper's footnote 6 prescribes for implementations.
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include <stdexcept>
+
 #include "clock/drift.h"
-#include "clock/piecewise_clock.h"
 #include "core/params.h"
 #include "estimate/estimate_source.h"
 #include "graph/dynamic_graph.h"
 #include "net/transport.h"
+#include "sim/event.h"
 #include "sim/simulator.h"
 
 namespace gcs {
@@ -51,13 +54,17 @@ class NodeApi {
   /// Discontinuous clock jump (used by baselines and fault injection).
   void set_logical_value(ClockValue v);
 
-  /// Neighbors in this node's current view (N_u(t)).
-  [[nodiscard]] const std::unordered_set<NodeId>& neighbors() const;
+  /// Neighbors in this node's current view (N_u(t)), sorted by peer id.
+  [[nodiscard]] const std::vector<NeighborView>& neighbors() const;
   [[nodiscard]] Time neighbor_since(NodeId peer) const;
   [[nodiscard]] const EdgeParams& edge_params(NodeId peer) const;
 
   /// Estimate layer access (eq. 1).
   std::optional<ClockValue> neighbor_estimate(NodeId peer);
+  /// Like neighbor_estimate, for callers that know the peer is currently in
+  /// this node's view and know the edge's ε (algorithms cache both): lets
+  /// the oracle source skip its graph lookup. Identical results.
+  std::optional<ClockValue> neighbor_estimate_present(NodeId peer, double eps);
   [[nodiscard]] double edge_eps(NodeId peer) const;
 
   /// Listing 1 line 9. Returns false if the edge is absent from our view.
@@ -136,7 +143,10 @@ class EngineObserver {
   }
 };
 
-class Engine final : public DynamicGraph::Listener, public ClockAccess {
+class Engine final : public DynamicGraph::Listener,
+                     public ClockAccess,
+                     public EventDispatcher,
+                     public DeliverySink {
  public:
   using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>(NodeId)>;
 
@@ -151,6 +161,9 @@ class Engine final : public DynamicGraph::Listener, public ClockAccess {
 
   /// Attach a passive observer (nullptr to detach).
   void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// Probe of the engine's event firings (time, node, kind); nullptr detaches.
+  void set_kernel_trace(KernelTraceSink* trace) { trace_ = trace; }
 
   // ------------------------------------------------------------- queries
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
@@ -167,6 +180,11 @@ class Engine final : public DynamicGraph::Listener, public ClockAccess {
   ClockValue min_estimate(NodeId u);
   /// ε_e the estimate layer guarantees for this edge (metrics access).
   [[nodiscard]] double edge_eps(const EdgeKey& e) const { return estimates_.eps(e); }
+  /// κ_e as the metrics layer defines it: AOPT's eq. 9 derivation from the
+  /// edge params with the estimate layer's ε. Cached per edge — edge params
+  /// and ε are fixed for an edge's lifetime — and invalidated on rediscovery
+  /// so recorder-heavy runs stop re-deriving constants O(edges) per sample.
+  [[nodiscard]] double metric_kappa(const EdgeKey& e);
   [[nodiscard]] bool max_locked(NodeId u) const;
   [[nodiscard]] double rate_multiplier(NodeId u) const;
   [[nodiscard]] double hardware_rate(NodeId u) const;
@@ -192,27 +210,97 @@ class Engine final : public DynamicGraph::Listener, public ClockAccess {
   void on_edge_discovered(NodeId u, NodeId peer) override;
   void on_edge_lost(NodeId u, NodeId peer) override;
 
+  // ------------------------------------------------------- EventDispatcher
+  /// Typed-event switch: the kernel hands back Tick/Beacon/DriftChange/
+  /// MLockCatch/LogicalTarget records scheduled by this engine.
+  void dispatch(const SimEvent& ev) override;
+
  private:
   friend class NodeApi;
 
+  /// A pending schedule_at_logical() callback. Per node, targets form a
+  /// 4-ary-free binary min-heap ordered by (target value, seq), which
+  /// preserves the fire order of the former multimap (key order, insertion
+  /// order among equal keys) without a node allocation per target.
+  struct LogicalTarget {
+    ClockValue at = 0.0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct LogicalTargetOrder {  // std::*_heap comparator => min-heap
+    bool operator()(const LogicalTarget& a, const LogicalTarget& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// The four piecewise-linear clocks of one node — hardware H_u, logical
+  /// L_u, max estimate M_u, min estimate m_u — stored structure-of-arrays
+  /// with one shared last-update instant, so a single advance integrates all
+  /// four (vectorizable, one branch). The per-clock arithmetic is identical
+  /// to PiecewiseLinearClock. M_u is integrated even while locked (its slot
+  /// is dead data then: every unlock transition rewrites value and rate).
+  struct NodeClocks {
+    enum : int { kHw = 0, kLog = 1, kMax = 2, kMin = 3 };
+    double value[4] = {0.0, 0.0, 0.0, 0.0};
+    double rate[4] = {1.0, 1.0, 1.0, 1.0};
+    Time last = 0.0;
+
+    void advance(Time t) {
+      if (t < last) {
+        require(last - t <= 1e-9 * (last + 1.0), "NodeClocks: time went backwards");
+        return;
+      }
+      const double dt = t - last;
+      value[0] += rate[0] * dt;
+      value[1] += rate[1] * dt;
+      value[2] += rate[2] * dt;
+      value[3] += rate[3] * dt;
+      last = t;
+    }
+    [[nodiscard]] double value_at(int clock, Time t) const {
+      return value[clock] + rate[clock] * (t - last);
+    }
+    /// Advance to t, then change one clock's rate / override one value.
+    void set_rate(Time t, int clock, double r) {
+      advance(t);
+      rate[clock] = r;
+    }
+    void set_value(Time t, int clock, double v) {
+      advance(t);
+      value[clock] = v;
+    }
+    /// Time at which `clock` reaches `target` (>= its value), assuming the
+    /// rate never changes. Requires a positive rate.
+    [[nodiscard]] Time time_of_value(int clock, double target) const {
+      if (rate[clock] <= 0.0) throw std::logic_error("time_of_value: non-positive rate");
+      if (target <= value[clock]) return last;
+      return last + (target - value[clock]) / rate[clock];
+    }
+  };
+
+  /// Per-node state, stored contiguously by value (nodes_ is sized once in
+  /// the constructor and never resized: NodeApi/algorithm pointers into it
+  /// must stay stable).
   struct NodeState {
-    PiecewiseLinearClock hw;
-    PiecewiseLinearClock logical;
-    PiecewiseLinearClock maxest;  ///< only meaningful while !m_locked
-    PiecewiseLinearClock minest;  ///< flooded lower bound on min_v L_v
-    bool m_locked = true;         ///< M_u == L_u
+    NodeState(Engine& engine, NodeId u) : api(engine, u) {}
+
+    NodeClocks clocks;
+    bool m_locked = true;  ///< M_u == L_u
     double mult = 1.0;
-    std::unique_ptr<NodeApi> api;
+    NodeApi api;
     std::unique_ptr<Algorithm> algo;
-    std::multimap<ClockValue, std::function<void()>> logical_targets;
+    std::vector<LogicalTarget> logical_targets;  ///< min-heap, see above
     EventId logical_event{};
     EventId mlock_event{};
     bool in_reevaluate = false;  ///< reentrancy guard
   };
 
-  NodeState& node(NodeId u) { return *nodes_.at(static_cast<std::size_t>(u)); }
+  // Unchecked on purpose: node() runs several times per event, and every
+  // caller passes an id that came from the engine/graph (0 <= u < size()).
+  NodeState& node(NodeId u) { return nodes_[static_cast<std::size_t>(u)]; }
   [[nodiscard]] const NodeState& node(NodeId u) const {
-    return *nodes_.at(static_cast<std::size_t>(u));
+    return nodes_[static_cast<std::size_t>(u)];
   }
 
   /// Integrate all three clocks of u up to now.
@@ -223,26 +311,43 @@ class Engine final : public DynamicGraph::Listener, public ClockAccess {
   void schedule_drift(NodeId u);
   void schedule_tick(NodeId u, Duration delay);
   void schedule_beacon(NodeId u, Duration delay);
+  void fire_beacon(NodeId u);
+  void add_logical_target(NodeId u, ClockValue target, std::function<void()> fn);
   void reschedule_logical_event(NodeId u);
   void fire_logical_targets(NodeId u);
   void reschedule_mlock(NodeId u);
+  void fire_mlock(NodeId u);
   void apply_max_candidate(NodeId u, ClockValue candidate);
   void set_rate_multiplier(NodeId u, double mult);
   void set_logical_value(NodeId u, ClockValue v);
   void reevaluate(NodeId u);
-  void on_delivery(const Delivery& d);
+  void on_delivery(const Delivery& d) override;  // DeliverySink
 
   Simulator& sim_;
   DynamicGraph& graph_;
   Transport& transport_;
   DriftModel& drift_;
   EstimateSource& estimates_;
+  /// Devirtualization fast path: non-null iff estimates_ is the oracle
+  /// source (the default for large sweeps). Calling through the final class
+  /// lets the whole estimate inline into the re-evaluation loop.
+  OracleEstimateSource* oracle_estimates_ = nullptr;
+  bool estimates_consume_beacons_ = false;
   GlobalSkewEstimator& gskew_;
   AlgoParams params_;
   EngineConfig config_;
-  std::vector<std::unique_ptr<NodeState>> nodes_;
+  void trace(EventKind kind, NodeId u) {
+    if (trace_ != nullptr) trace_->on_event_fired(sim_.now(), u, kind);
+  }
+
+  std::vector<NodeState> nodes_;  ///< contiguous; fixed size after ctor
+  std::unordered_map<EdgeKey, double, EdgeKeyHash> kappa_cache_;  ///< see metric_kappa
+  std::uint64_t next_target_seq_ = 1;
+  std::vector<LogicalTarget> due_scratch_;  ///< reused by fire_logical_targets
   EngineObserver* observer_ = nullptr;
+  KernelTraceSink* trace_ = nullptr;
   bool started_ = false;
+  bool merged_heartbeat_ = false;  ///< tick+beacon share one timer (see start())
 };
 
 }  // namespace gcs

@@ -5,8 +5,8 @@
 
 namespace gcs {
 
-TriggerDecision evaluate_triggers(const std::vector<LevelPeer>& peers, double mu,
-                                  double rho, int level_cap) {
+TriggerDecision evaluate_triggers(const LevelPeer* peers, std::size_t count,
+                                  double mu, double rho, int level_cap) {
   TriggerDecision decision;
 
   // Data-driven level bound (see header).
@@ -15,7 +15,8 @@ TriggerDecision evaluate_triggers(const std::vector<LevelPeer>& peers, double mu
   double max_delta = 0.0;
   double kappa_min = kTimeInf;
   bool any = false;
-  for (const auto& p : peers) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const LevelPeer& p = peers[i];
     if (p.level_limit < 1) continue;
     any = true;
     kappa_min = std::min(kappa_min, p.kappa);
@@ -25,40 +26,44 @@ TriggerDecision evaluate_triggers(const std::vector<LevelPeer>& peers, double mu
   }
   if (!any || kappa_min <= 0.0) return decision;
 
-  const int s_stop = std::min<long long>(
-      level_cap,
-      static_cast<long long>(std::floor((max_abs + max_eps + max_delta) / kappa_min)) + 2);
+  // floor() via integer truncation: the ratio is non-negative, where the two
+  // agree — and std::floor is a libm CALL at baseline x86-64, once per
+  // re-evaluation. Huge ratios (corrupt clocks) saturate to level_cap.
+  const double ratio = (max_abs + max_eps + max_delta) / kappa_min;
+  const long long whole =
+      ratio < 1e18 ? static_cast<long long>(ratio) : (1LL << 60);
+  const int s_stop = std::min<long long>(level_cap, whole + 2);
 
   for (int s = 1; s <= s_stop; ++s) {
+    // Accumulate the per-peer conditions branchlessly: the comparisons are
+    // data-dependent (≈50% mispredict as branches) and this loop runs on
+    // every re-evaluation. The boolean algebra is exactly the original
+    // control flow: missing estimates block both certificates.
     bool member = false;
     bool fast_exists = false;
     bool fast_blocked = false;
     bool slow_exists = false;
     bool slow_blocked = false;
-    for (const auto& p : peers) {
-      if (p.level_limit < s) continue;
-      member = true;
-      if (!p.has_estimate) {
-        // No estimate: cannot certify the universal conditions.
-        fast_blocked = true;
-        slow_blocked = true;
-        continue;
-      }
+    const double sd = static_cast<double>(s);
+    for (std::size_t i = 0; i < count; ++i) {
+      const LevelPeer& p = peers[i];
+      const bool in_level = p.level_limit >= s;
+      member |= in_level;
+      const bool certifiable = in_level & p.has_estimate;
+      const bool no_estimate = in_level & !p.has_estimate;
+      fast_blocked |= no_estimate;
+      slow_blocked |= no_estimate;
       const double ahead = p.est_minus_own;    // L̃ᵥᵤ − L_u
       const double behind = -p.est_minus_own;  // L_u − L̃ᵥᵤ
       // Def. 4.5 (fast trigger).
-      if (ahead >= static_cast<double>(s) * p.kappa - p.eps) fast_exists = true;
-      if (behind > static_cast<double>(s) * p.kappa + 2.0 * mu * p.tau + p.eps) {
-        fast_blocked = true;
-      }
+      fast_exists |= certifiable & (ahead >= sd * p.kappa - p.eps);
+      fast_blocked |=
+          certifiable & (behind > sd * p.kappa + 2.0 * mu * p.tau + p.eps);
       // Def. 4.6 (slow trigger).
-      if (behind >= (static_cast<double>(s) + 0.5) * p.kappa - p.delta - p.eps) {
-        slow_exists = true;
-      }
-      if (ahead > (static_cast<double>(s) + 0.5) * p.kappa + p.delta + p.eps +
-                      mu * (1.0 + rho) * p.tau) {
-        slow_blocked = true;
-      }
+      slow_exists |=
+          certifiable & (behind >= (sd + 0.5) * p.kappa - p.delta - p.eps);
+      slow_blocked |= certifiable & (ahead > (sd + 0.5) * p.kappa + p.delta +
+                                                 p.eps + mu * (1.0 + rho) * p.tau);
     }
     if (!member) break;  // neighbor sets are nested: higher levels are empty too
     if (fast_exists && !fast_blocked && !decision.fast) {

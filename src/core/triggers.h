@@ -16,17 +16,17 @@ inline constexpr int kAllLevels = 1 << 28;
 
 /// One neighbor as seen by the trigger evaluation at a fixed instant.
 struct LevelPeer {
-  /// Largest s such that the peer is in N^s_u (0 = discovery set only;
-  /// kAllLevels = fully inserted). Membership is nested: peer in N^s iff
-  /// s <= level_limit.
-  int level_limit = 0;
   double kappa = 0.0;  ///< κ_e (current value; time-varying for weight decay)
   double delta = 0.0;  ///< δ_e
   double eps = 0.0;    ///< ε_e
   double tau = 0.0;    ///< τ_e
-  bool has_estimate = false;
   /// L̃ᵥᵤ(t) − L_u(t); only meaningful if has_estimate.
   double est_minus_own = 0.0;
+  /// Largest s such that the peer is in N^s_u (0 = discovery set only;
+  /// kAllLevels = fully inserted). Membership is nested: peer in N^s iff
+  /// s <= level_limit.
+  int level_limit = 0;
+  bool has_estimate = false;
 };
 
 struct TriggerDecision {
@@ -40,7 +40,12 @@ struct TriggerDecision {
 /// at a data-driven bound: beyond s with s*kappa_min exceeding the largest
 /// observed discrepancy, neither existential condition can hold. A peer in
 /// N^s without an estimate conservatively blocks both universal conditions.
-TriggerDecision evaluate_triggers(const std::vector<LevelPeer>& peers, double mu,
-                                  double rho, int level_cap);
+/// The pointer form lets the hot caller stage peers on the stack.
+TriggerDecision evaluate_triggers(const LevelPeer* peers, std::size_t count,
+                                  double mu, double rho, int level_cap);
+inline TriggerDecision evaluate_triggers(const std::vector<LevelPeer>& peers,
+                                         double mu, double rho, int level_cap) {
+  return evaluate_triggers(peers.data(), peers.size(), mu, rho, level_cap);
+}
 
 }  // namespace gcs

@@ -13,20 +13,24 @@ OracleEstimateSource::OracleEstimateSource(DynamicGraph& graph,
 
 std::optional<ClockValue> OracleEstimateSource::estimate(NodeId u, NodeId v) {
   require(clocks_ != nullptr, "OracleEstimateSource: bind() not called");
-  if (!graph_.view_present(u, v)) return std::nullopt;
-  const double e = graph_.params(EdgeKey(u, v)).eps;
+  const NeighborView* nv = graph_.find_neighbor(u, v);
+  if (nv == nullptr) return std::nullopt;
+  return estimate_present(u, v, nv->params->eps);
+}
+
+ClockValue OracleEstimateSource::estimate_present(NodeId u, NodeId v, double eps) {
   const ClockValue truth = clocks_->true_logical(v);
   switch (policy_) {
     case OracleErrorPolicy::kZero:
       return truth;
     case OracleErrorPolicy::kUniform:
-      return truth + rng_.uniform(-e, e);
+      return truth + rng_.uniform(-eps, eps);
     case OracleErrorPolicy::kAdversarial: {
       // Shrink the perceived skew: report the neighbor ε closer to us than
       // it is (never crossing), which maximally delays trigger reactions.
       const ClockValue mine = clocks_->true_logical(u);
-      if (truth > mine) return std::max(mine, truth - e);
-      if (truth < mine) return std::min(mine, truth + e);
+      if (truth > mine) return std::max(mine, truth - eps);
+      if (truth < mine) return std::min(mine, truth + eps);
       return truth;
     }
   }
@@ -56,7 +60,7 @@ BeaconEstimateSource::BeaconEstimateSource(DynamicGraph& graph,
 
 std::optional<ClockValue> BeaconEstimateSource::estimate(NodeId u, NodeId v) {
   require(clocks_ != nullptr, "BeaconEstimateSource: bind() not called");
-  if (!graph_.view_present(u, v)) return std::nullopt;
+  if (graph_.find_neighbor(u, v) == nullptr) return std::nullopt;
   const auto it = entries_.find(key(u, v));
   if (it == entries_.end()) return std::nullopt;
   // Advance the snapshot at the receiver's own hardware rate: the estimate

@@ -44,8 +44,10 @@ class EstimateSource {
   /// The ε_e this source guarantees for edge e.
   [[nodiscard]] virtual double eps(const EdgeKey& e) const = 0;
 
-  /// Hooks driven by the engine.
+  /// Hooks driven by the engine. Sources that override on_beacon must also
+  /// override consumes_beacons (lets the engine skip the per-delivery call).
   virtual void on_beacon(const Delivery& d) { (void)d; }
+  [[nodiscard]] virtual bool consumes_beacons() const { return false; }
   virtual void on_edge_lost(NodeId u, NodeId peer) { (void)u, (void)peer; }
 
  protected:
@@ -66,6 +68,12 @@ class OracleEstimateSource final : public EstimateSource {
 
   std::optional<ClockValue> estimate(NodeId u, NodeId v) override;
   [[nodiscard]] double eps(const EdgeKey& e) const override;
+
+  /// Fast path for callers that already know v is in u's view and know the
+  /// edge's ε (the engine's algorithms cache both): skips the graph lookup.
+  /// Draws exactly the RNG stream estimate() would, so results are
+  /// identical when the preconditions hold.
+  ClockValue estimate_present(NodeId u, NodeId v, double eps);
 
  private:
   DynamicGraph& graph_;
@@ -88,6 +96,7 @@ class BeaconEstimateSource final : public EstimateSource {
   std::optional<ClockValue> estimate(NodeId u, NodeId v) override;
   [[nodiscard]] double eps(const EdgeKey& e) const override;
   void on_beacon(const Delivery& d) override;
+  [[nodiscard]] bool consumes_beacons() const override { return true; }
   void on_edge_lost(NodeId u, NodeId peer) override;
 
  private:

@@ -1,9 +1,19 @@
 #include "graph/dynamic_graph.h"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 
 namespace gcs {
+
+namespace {
+/// Position of `peer` in a sorted neighbor vector (or where it would go).
+std::vector<NeighborView>::const_iterator neighbor_lower_bound(
+    const std::vector<NeighborView>& vec, NodeId peer) {
+  return std::lower_bound(vec.begin(), vec.end(), peer,
+                          [](const NeighborView& nv, NodeId id) { return nv.id < id; });
+}
+}  // namespace
 
 DynamicGraph::DynamicGraph(Simulator& sim, int n, std::uint64_t seed)
     : sim_(sim), n_(n), rng_(seed) {
@@ -91,32 +101,42 @@ void DynamicGraph::set_view(const EdgeKey& e, Record& rec, NodeId endpoint,
   if (view.present == present) return;
   view.present = present;
   const NodeId peer = e.other(endpoint);
+  auto& vec = adjacency_[static_cast<std::size_t>(endpoint)];
+  const auto pos = neighbor_lower_bound(vec, peer);
   if (present) {
     view.since = sim_.now();
-    adjacency_[static_cast<std::size_t>(endpoint)].insert(peer);
+    vec.insert(vec.begin() + (pos - vec.cbegin()),
+               NeighborView{peer, view.since, &rec.params});
     if (listener_ != nullptr) listener_->on_edge_discovered(endpoint, peer);
   } else {
     view.since = -kTimeInf;
-    adjacency_[static_cast<std::size_t>(endpoint)].erase(peer);
+    vec.erase(vec.begin() + (pos - vec.cbegin()));
     if (listener_ != nullptr) listener_->on_edge_lost(endpoint, peer);
   }
 }
 
+const NeighborView* DynamicGraph::find_neighbor(NodeId u, NodeId peer) const {
+  if (u < 0 || u >= n_) return nullptr;
+  // Linear scan over the sorted view: typical degrees are single-digit, so
+  // this beats a binary search (fewer mispredicted branches).
+  for (const NeighborView& nv : adjacency_[static_cast<std::size_t>(u)]) {
+    if (nv.id >= peer) return nv.id == peer ? &nv : nullptr;
+  }
+  return nullptr;
+}
+
 bool DynamicGraph::view_present(NodeId u, NodeId peer) const {
-  const auto it = edges_.find(EdgeKey(u, peer));
-  if (it == edges_.end()) return false;
-  return (u == it->first.a ? it->second.view_a : it->second.view_b).present;
+  return find_neighbor(u, peer) != nullptr;
 }
 
 Time DynamicGraph::view_since(NodeId u, NodeId peer) const {
-  const auto it = edges_.find(EdgeKey(u, peer));
-  if (it == edges_.end()) return -kTimeInf;
-  const DirView& view = u == it->first.a ? it->second.view_a : it->second.view_b;
-  return view.present ? view.since : -kTimeInf;
+  const NeighborView* nv = find_neighbor(u, peer);
+  return nv != nullptr ? nv->since : -kTimeInf;
 }
 
-const std::unordered_set<NodeId>& DynamicGraph::view_neighbors(NodeId u) const {
-  return adjacency_.at(static_cast<std::size_t>(u));
+const std::vector<NeighborView>& DynamicGraph::view_neighbors(NodeId u) const {
+  require(u >= 0 && u < n_, "DynamicGraph: node out of range");
+  return adjacency_[static_cast<std::size_t>(u)];
 }
 
 bool DynamicGraph::both_views_present(const EdgeKey& e) const {
@@ -154,7 +174,11 @@ std::vector<EdgeKey> DynamicGraph::known_edges() const {
 
 const EdgeParams& DynamicGraph::params(const EdgeKey& e) const {
   const auto it = edges_.find(e);
-  require(it != edges_.end(), "DynamicGraph: unknown edge " + e.str());
+  // Build the message lazily: this lookup is on the hot path and an eager
+  // "unknown edge " + e.str() costs a malloc + int formatting per call.
+  if (it == edges_.end()) [[unlikely]] {
+    throw std::runtime_error("DynamicGraph: unknown edge " + e.str());
+  }
   return it->second.params;
 }
 

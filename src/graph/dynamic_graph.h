@@ -8,7 +8,6 @@
 #pragma once
 
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/edge_params.h"
@@ -17,6 +16,16 @@
 #include "util/rng.h"
 
 namespace gcs {
+
+/// One entry of a node's current neighbor view N_u(t). Entries are kept
+/// sorted by peer id, which makes every neighbor iteration (beacon fan-out,
+/// metrics) deterministic across standard libraries, and carry the edge
+/// params so hot paths (transport, estimate layer) need no hash lookup.
+struct NeighborView {
+  NodeId id = kNoNode;               ///< the peer
+  Time since = -kTimeInf;            ///< when this view became present
+  const EdgeParams* params = nullptr;  ///< stable: records are node-based
+};
 
 /// How endpoint detection delays are drawn on each adversary transition.
 enum class DetectionDelayMode {
@@ -65,8 +74,12 @@ class DynamicGraph {
   /// while view_present).
   [[nodiscard]] Time view_since(NodeId u, NodeId peer) const;
 
-  /// Neighbors in u's current view.
-  [[nodiscard]] const std::unordered_set<NodeId>& view_neighbors(NodeId u) const;
+  /// Neighbors in u's current view, sorted by peer id.
+  [[nodiscard]] const std::vector<NeighborView>& view_neighbors(NodeId u) const;
+
+  /// Fast path for the hot lookups: u's view entry for `peer`, or nullptr if
+  /// peer is not in N_u(t). The pointer is valid until u's view next changes.
+  [[nodiscard]] const NeighborView* find_neighbor(NodeId u, NodeId peer) const;
 
   /// True iff both endpoints currently see the edge ({u,v} in E(t)).
   [[nodiscard]] bool both_views_present(const EdgeKey& e) const;
@@ -119,7 +132,7 @@ class DynamicGraph {
   DetectionDelayMode delay_mode_ = DetectionDelayMode::kUniform;
   Listener* listener_ = nullptr;
   std::unordered_map<EdgeKey, Record, EdgeKeyHash> edges_;
-  std::vector<std::unordered_set<NodeId>> adjacency_;  // view-level
+  std::vector<std::vector<NeighborView>> adjacency_;  // view-level, sorted by id
 };
 
 }  // namespace gcs

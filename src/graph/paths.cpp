@@ -1,6 +1,7 @@
 #include "graph/paths.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <queue>
@@ -13,7 +14,10 @@ AdjacencyList build_adjacency(
   AdjacencyList adj(static_cast<std::size_t>(n));
   for (const auto& e : edges) {
     const double w = weight(e);
-    require(w > 0.0, "build_adjacency: non-positive edge weight on " + e.str());
+    if (w <= 0.0) [[unlikely]] {
+      throw std::runtime_error("build_adjacency: non-positive edge weight on " +
+                               e.str());
+    }
     adj[static_cast<std::size_t>(e.a)].push_back({e.b, w});
     adj[static_cast<std::size_t>(e.b)].push_back({e.a, w});
   }
@@ -59,8 +63,38 @@ std::vector<int> bfs_hops(const AdjacencyList& adj, NodeId src) {
   return dist;
 }
 
+namespace {
+
+NodeId farthest_node(const std::vector<double>& dist) {
+  NodeId best = 0;
+  for (NodeId v = 1; v < static_cast<NodeId>(dist.size()); ++v) {
+    if (dist[static_cast<std::size_t>(v)] > dist[static_cast<std::size_t>(best)]) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 double weighted_diameter(const AdjacencyList& adj) {
   if (adj.size() <= 1) return 0.0;
+  std::size_t degree_sum = 0;
+  for (const auto& nbrs : adj) degree_sum += nbrs.size();
+  if (degree_sum == 2 * (adj.size() - 1)) {
+    // n-1 undirected edges: connected => tree (disconnected shows up as +inf
+    // below either way). On a tree the classic double sweep finds the exact
+    // diameter with two Dijkstras instead of n: the farthest node from any
+    // start is a diameter endpoint. This keeps large-scenario construction
+    // (suggest_gtilde on line/tree topologies) out of O(n^2 log n).
+    const auto from_start = dijkstra(adj, 0);
+    const NodeId a = farthest_node(from_start);
+    if (!std::isfinite(from_start[static_cast<std::size_t>(a)])) {
+      return kTimeInf;
+    }
+    const auto from_a = dijkstra(adj, a);
+    return from_a[static_cast<std::size_t>(farthest_node(from_a))];
+  }
   double diameter = 0.0;
   for (NodeId u = 0; u < static_cast<NodeId>(adj.size()); ++u) {
     const auto dist = dijkstra(adj, u);

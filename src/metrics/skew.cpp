@@ -6,9 +6,10 @@
 namespace gcs {
 
 double metric_kappa(Engine& engine, const EdgeKey& e) {
-  EdgeParams params = engine.graph().params(e);
-  params.eps = engine.edge_eps(e);
-  return engine.params().edge_constants(params).kappa;
+  // Cached in the engine: per-sample recomputation (an EdgeParams copy plus
+  // re-derived edge constants for every edge on every snapshot) made
+  // recorder-heavy experiments pay O(edges) constant-folding per sample.
+  return engine.metric_kappa(e);
 }
 
 double live_kappa(Engine& engine, const EdgeKey& e) {

@@ -23,9 +23,11 @@ void Transport::clear_directional_delay(NodeId from, NodeId to) {
 }
 
 Duration Transport::pick_delay(NodeId from, NodeId to, const EdgeParams& params) {
-  const auto it = directional_override_.find(dir_key(from, to));
-  if (it != directional_override_.end()) {
-    return std::clamp(it->second, params.msg_delay_min, params.msg_delay_max);
+  if (!directional_override_.empty()) {  // adversarial runs only
+    const auto it = directional_override_.find(dir_key(from, to));
+    if (it != directional_override_.end()) {
+      return std::clamp(it->second, params.msg_delay_min, params.msg_delay_max);
+    }
   }
   switch (delay_mode_) {
     case DelayMode::kUniform:
@@ -37,33 +39,46 @@ Duration Transport::pick_delay(NodeId from, NodeId to, const EdgeParams& params)
 }
 
 bool Transport::send(NodeId from, NodeId to, Payload payload) {
-  if (!graph_.view_present(from, to)) return false;
-  const EdgeParams& params = graph_.params(EdgeKey(from, to));
-  const Duration delay = pick_delay(from, to, params);
-  const Time sent_at = sim_.now();
-  ++sent_;
-  sim_.schedule_after(delay, [this, from, to, sent_at, params,
-                              payload = std::move(payload)] {
-    // §3.1 delivery rule: guaranteed iff the edge existed in the receiver's
-    // view throughout the transit interval; we drop otherwise.
-    const bool continuously_present =
-        graph_.view_present(to, from) && graph_.view_since(to, from) <= sent_at;
-    if (!continuously_present) {
-      ++dropped_;
-      return;
-    }
-    ++delivered_;
-    if (!handler_) return;
-    Delivery d;
-    d.from = from;
-    d.to = to;
-    d.sent_at = sent_at;
-    d.delivered_at = sim_.now();
-    d.known_min_delay = params.msg_delay_min;
-    d.payload = std::move(payload);
-    handler_(d);
-  });
+  const NeighborView* nv = graph_.find_neighbor(from, to);
+  if (nv == nullptr) return false;
+  send_via(from, *nv, std::move(payload));
   return true;
+}
+
+void Transport::send_via(NodeId from, const NeighborView& to, Payload payload) {
+  const Duration delay = pick_delay(from, to.id, *to.params);
+  ++sent_;
+  sim_.schedule_event_after(
+      delay, SimEvent::delivery(this, from, to.id, sim_.now(), payload));
+}
+
+void Transport::dispatch(const SimEvent& ev) {
+  if (trace_ != nullptr) {
+    trace_->on_event_fired(sim_.now(), ev.node, EventKind::kDelivery);
+  }
+  // §3.1 delivery rule: guaranteed iff the edge existed in the receiver's
+  // view throughout the transit interval; we drop otherwise.
+  const NeighborView* back = graph_.find_neighbor(ev.node, ev.from);
+  if (back == nullptr || back->since > ev.sent_at) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  if (sink_ == nullptr && !handler_) return;
+  Delivery d;
+  d.from = ev.from;
+  d.to = ev.node;
+  d.sent_at = ev.sent_at;
+  d.delivered_at = sim_.now();
+  // Edge params are immutable after creation, so the receiver-known transit
+  // floor can be re-read here instead of riding in every event record.
+  d.known_min_delay = back->params->msg_delay_min;
+  d.payload = ev.payload;
+  if (sink_ != nullptr) {
+    sink_->on_delivery(d);
+  } else {
+    handler_(d);
+  }
 }
 
 }  // namespace gcs

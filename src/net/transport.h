@@ -12,6 +12,7 @@
 
 #include "graph/dynamic_graph.h"
 #include "net/message.h"
+#include "sim/event.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -23,14 +24,28 @@ enum class DelayMode {
   kMax,      ///< always msg_delay_max
 };
 
-class Transport {
+/// Receiver of delivered messages. An interface rather than a std::function
+/// so the per-delivery call is a plain virtual dispatch.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  virtual void on_delivery(const Delivery& d) = 0;
+};
+
+class Transport final : public EventDispatcher {
  public:
   using Handler = std::function<void(const Delivery&)>;
 
   Transport(Simulator& sim, DynamicGraph& graph, std::uint64_t seed = 23);
 
+  /// The engine's delivery path. A set sink takes precedence over the
+  /// closure handler (which remains for tests and ad-hoc probes).
+  void set_sink(DeliverySink* sink) { sink_ = sink; }
   void set_handler(Handler handler) { handler_ = std::move(handler); }
   void set_delay_mode(DelayMode mode) { delay_mode_ = mode; }
+
+  /// Probe of delivery firings (time, receiver, kDelivery); nullptr detaches.
+  void set_kernel_trace(KernelTraceSink* trace) { trace_ = trace; }
 
   /// Pin the delay of all future messages from `from` to `to` (clamped to
   /// the edge's [min,max]). Used by adversarial executions.
@@ -38,7 +53,15 @@ class Transport {
   void clear_directional_delay(NodeId from, NodeId to);
 
   /// Send if the edge exists in the sender's view; returns false otherwise.
+  /// Schedules a typed delivery event — no allocation per message.
   bool send(NodeId from, NodeId to, Payload payload);
+
+  /// Fan-out fast path: send along an entry of `from`'s own neighbor view
+  /// (skips the view lookup the caller has already done).
+  void send_via(NodeId from, const NeighborView& to, Payload payload);
+
+  /// Kernel callback for in-flight kDelivery events.
+  void dispatch(const SimEvent& ev) override;
 
   [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
@@ -50,7 +73,9 @@ class Transport {
   Simulator& sim_;
   DynamicGraph& graph_;
   Rng rng_;
+  DeliverySink* sink_ = nullptr;
   Handler handler_;
+  KernelTraceSink* trace_ = nullptr;
   DelayMode delay_mode_ = DelayMode::kUniform;
   std::unordered_map<std::uint64_t, Duration> directional_override_;
   std::uint64_t sent_ = 0;

@@ -1,0 +1,105 @@
+// Typed event records for the simulation kernel.
+//
+// The engine's recurring events (ticks, beacons, drift changes, max-estimate
+// catch-ups, logical-time targets) and the transport's message deliveries are
+// described by a compact tagged record instead of a type-erased closure, so
+// scheduling them allocates nothing: the record is stored inline in the
+// kernel's timer heap and dispatched by a switch in its owner. A closure arm
+// remains as the escape hatch for tests, adversaries and one-off scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.h"
+#include "util/common.h"
+
+namespace gcs {
+
+/// Discriminator of a scheduled event. The typed kinds cover every recurring
+/// event of the engine/transport hot path; everything else is kClosure.
+enum class EventKind : std::uint8_t {
+  kClosure = 0,    ///< type-erased callback (escape hatch)
+  kTick,           ///< periodic re-evaluation of one node
+  kBeacon,         ///< periodic beacon fan-out of one node
+  kDriftChange,    ///< hardware rate change of one node
+  kMLockCatch,     ///< L_u catches M_u (engine mlock event)
+  kLogicalTarget,  ///< a node's logical clock reaches a scheduled target
+  kDelivery,       ///< message arrival at a node
+  /// One periodic timer driving both the tick and the beacon duty when the
+  /// two cadences coincide (the default): halves the recurring event load.
+  /// Never traced as such — it reports its two duties as kTick + kBeacon.
+  kHeartbeat,
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kClosure: return "closure";
+    case EventKind::kTick: return "tick";
+    case EventKind::kBeacon: return "beacon";
+    case EventKind::kDriftChange: return "drift";
+    case EventKind::kMLockCatch: return "mlock";
+    case EventKind::kLogicalTarget: return "ltarget";
+    case EventKind::kDelivery: return "delivery";
+    case EventKind::kHeartbeat: return "heartbeat";
+  }
+  return "?";
+}
+
+struct SimEvent;
+
+/// Implemented by the engine and the transport: receives typed events back
+/// from the kernel when they fire.
+class EventDispatcher {
+ public:
+  virtual ~EventDispatcher() = default;
+  virtual void dispatch(const SimEvent& ev) = 0;
+};
+
+/// A scheduled event. Typed kinds are plain data dispatched through
+/// `target`. Wire payloads are stored inline (std::variant never
+/// heap-allocates) so the delivery path is allocation-free. Trivially
+/// copyable and exactly one cache line: the kernel copies these in and out
+/// of its slot storage on every fire. kClosure events keep their callback
+/// out-of-line in the kernel (Simulator::closures_), keyed by the same slot.
+/// (The receiver-known transit floor is not carried here: the delivery
+/// handler re-reads it from the edge's immutable params.)
+struct alignas(64) SimEvent {
+  EventKind kind = EventKind::kClosure;
+  EventDispatcher* target = nullptr;  ///< typed kinds only
+  NodeId node = kNoNode;              ///< acted-on node (receiver for kDelivery)
+  NodeId from = kNoNode;              ///< kDelivery: sender
+  Time sent_at = 0.0;                 ///< kDelivery: send time
+  Payload payload;                    ///< kDelivery: wire message
+
+  static SimEvent node_event(EventKind kind, EventDispatcher* target, NodeId node) {
+    SimEvent ev;
+    ev.kind = kind;
+    ev.target = target;
+    ev.node = node;
+    return ev;
+  }
+
+  static SimEvent delivery(EventDispatcher* target, NodeId from, NodeId to,
+                           Time sent_at, Payload payload) {
+    SimEvent ev;
+    ev.kind = EventKind::kDelivery;
+    ev.target = target;
+    ev.node = to;
+    ev.from = from;
+    ev.sent_at = sent_at;
+    ev.payload = payload;
+    return ev;
+  }
+};
+static_assert(sizeof(SimEvent) == 64, "SimEvent should stay one cache line");
+
+/// Passive probe of the kernel's fire sequence: called once per fired engine/
+/// transport event with (time, node, kind). Used by the dual-run equivalence
+/// harness (tests/test_kernel_trace.cpp) and available for ad-hoc debugging.
+class KernelTraceSink {
+ public:
+  virtual ~KernelTraceSink() = default;
+  virtual void on_event_fired(Time t, NodeId node, EventKind kind) = 0;
+};
+
+}  // namespace gcs

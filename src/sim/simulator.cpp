@@ -2,10 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace gcs {
 
-EventId Simulator::schedule_at(Time at, Callback fn) {
+Time Simulator::clamp_time(Time at) const {
   if (std::isnan(at)) throw std::invalid_argument("Simulator: NaN event time");
   if (at < now_) {
     // Tolerate tiny negative offsets caused by float round-off in rate
@@ -15,46 +16,201 @@ EventId Simulator::schedule_at(Time at, Callback fn) {
     }
     at = now_;
   }
+  // Times are non-negative (now_ starts at 0 and is monotone), which the
+  // heap's bit-pattern ordering relies on; normalize -0.0 to +0.0.
+  return at + 0.0;
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (meta_.size() >= kSlotMask) [[unlikely]] {
+    throw std::runtime_error("Simulator: too many pending events");
+  }
+  meta_.emplace_back();
+  events_.emplace_back();
+  closures_.emplace_back();
+  return static_cast<std::uint32_t>(meta_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  // Only a closure can own resources; typed payloads are plain data and may
+  // go stale in place (overwritten on reuse).
+  if (events_[slot].kind == EventKind::kClosure) closures_[slot] = nullptr;
+  SlotMeta& m = meta_[slot];
+  if (++m.gen == 0) m.gen = 1;  // invalidate stale handles (wrap skips 0)
+  free_slots_.push_back(slot);
+}
+
+std::uint32_t Simulator::resolve(EventId id) const {
+  if (!id.valid()) return kNoSlot;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (slot >= meta_.size() || meta_[slot].gen != gen) return kNoSlot;
+  return slot;  // a live generation always has a heap entry for the slot
+}
+
+void Simulator::sift_up(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!fires_before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  meta_[entry.slot()].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::sift_down(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const std::size_t n = heap_.size();
+  while (4 * pos + 1 < n) {
+    const std::size_t best = min_child(pos, n);
+    if (!fires_before(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = entry;
+  meta_[entry.slot()].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+std::size_t Simulator::min_child(std::size_t pos, std::size_t n) const {
+  const std::size_t first = 4 * pos + 1;
+  std::size_t best = first;
+  const std::size_t last = first + 4 < n ? first + 4 : n;
+#ifdef __SIZEOF_INT128__
+  // Branchless min-of-children: sift comparisons are data-dependent and
+  // mispredict ~50% of the time, so select via conditional moves.
+  unsigned __int128 best_key = order_key(heap_[first]);
+  for (std::size_t c = first + 1; c < last; ++c) {
+    const unsigned __int128 ck = order_key(heap_[c]);
+    const bool smaller = ck < best_key;
+    best = smaller ? c : best;
+    best_key = smaller ? ck : best_key;
+  }
+#else
+  for (std::size_t c = first + 1; c < last; ++c) {
+    if (fires_before(heap_[c], heap_[best])) best = c;
+  }
+#endif
+  return best;
+}
+
+void Simulator::restore_heap(std::size_t pos) {
+  if (pos > 0 && fires_before(heap_[pos], heap_[(pos - 1) / 4])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+}
+
+void Simulator::remove_heap_entry(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    heap_.pop_back();
+    restore_heap(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+EventId Simulator::schedule_event_at(Time at, const SimEvent& ev) {
+  at = clamp_time(at);
+  const std::uint32_t slot = acquire_slot();
+  events_[slot] = ev;
   const std::uint64_t seq = next_seq_++;
-  queue_.push(QueueEntry{at, seq});
-  callbacks_.emplace(seq, std::move(fn));
-  return EventId{seq};
+  if (seq >= (1ULL << (64 - kSlotBits))) [[unlikely]] {
+    throw std::runtime_error("Simulator: sequence space exhausted");
+  }
+  heap_.push_back(HeapEntry{std::bit_cast<std::uint64_t>(at), (seq << kSlotBits) | slot});
+  meta_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return make_id(slot, meta_[slot].gen);
+}
+
+EventId Simulator::schedule_at(Time at, Callback fn) {
+  const EventId id = schedule_event_at(at, SimEvent{});
+  // The slot index is the low EventId bits; park the callback beside it.
+  closures_[static_cast<std::uint32_t>(id.value)] = std::move(fn);
+  return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  return callbacks_.erase(id.value) > 0;  // heap entry becomes a tombstone
+  const std::uint32_t slot = resolve(id);
+  if (slot == kNoSlot) return false;
+  remove_heap_entry(meta_[slot].heap_pos);
+  release_slot(slot);
+  return true;
+}
+
+bool Simulator::reschedule(EventId id, Time at) {
+  const std::uint32_t slot = resolve(id);
+  if (slot == kNoSlot) return false;
+  const std::size_t pos = meta_[slot].heap_pos;
+  const std::uint64_t seq = next_seq_++;  // re-sequence: FIFO among equal times
+  if (seq >= (1ULL << (64 - kSlotBits))) [[unlikely]] {
+    throw std::runtime_error("Simulator: sequence space exhausted");
+  }
+  heap_[pos].time_bits = std::bit_cast<std::uint64_t>(clamp_time(at));
+  heap_[pos].key = (seq << kSlotBits) | slot;
+  restore_heap(pos);
+  return true;
+}
+
+void Simulator::pop_root() {
+  const std::size_t n = heap_.size() - 1;
+  if (n == 0) {
+    heap_.pop_back();
+    return;
+  }
+  // Floyd's variant: walk the hole down along min-children to the bottom,
+  // then drop the last element in and sift it up (it rarely moves far).
+  // Unlike the remove-and-restore path this needs no per-level "done yet"
+  // comparison against the displaced element.
+  std::size_t pos = 0;
+  while (4 * pos + 1 < n) {
+    const std::size_t best = min_child(pos, n);
+    heap_[pos] = heap_[best];
+    meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = heap_[n];
+  meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+  heap_.pop_back();
+  sift_up(pos);
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const QueueEntry top = queue_.top();
-    auto it = callbacks_.find(top.seq);
-    if (it == callbacks_.end()) {
-      queue_.pop();  // cancelled
-      continue;
-    }
-    queue_.pop();
-    now_ = top.time;
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    ++fired_;
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_[0];
+  pop_root();
+  const std::uint32_t slot = top.slot();
+  now_ = top.time();
+  ++fired_;
+  // Copy the event out of its slot before firing: the handler may schedule
+  // new events, growing events_ and invalidating references into it.
+  if (events_[slot].kind == EventKind::kClosure) {
+    const Callback fn = std::move(closures_[slot]);
+    release_slot(slot);
     fn();
-    return true;
+  } else {
+    const SimEvent ev = events_[slot];
+    release_slot(slot);
+    ev.target->dispatch(ev);
   }
-  return false;
+  return true;
 }
 
 void Simulator::run_until(Time t) {
-  while (!queue_.empty()) {
-    // Skip tombstones to see the true next event time.
-    const QueueEntry top = queue_.top();
-    if (callbacks_.count(top.seq) == 0) {
-      queue_.pop();
-      continue;
-    }
-    if (top.time > t) break;
-    step();
-  }
+  while (!heap_.empty() && heap_[0].time() <= t) step();
   if (now_ < t) now_ = t;
 }
 

@@ -2,20 +2,30 @@
 //
 // Events fire in non-decreasing time order; equal-time events fire in
 // scheduling (FIFO) order, which makes every execution reproducible.
-// Cancellation is O(1) (lazy tombstones cleaned on pop).
+//
+// The timer structure is a generation-tagged, index-tracked 4-ary min-heap:
+// every pending event lives in a stable slot (reused through a free list and
+// guarded against stale handles by a generation counter) and the heap keeps
+// each slot's position up to date, so cancel and reschedule are true
+// O(log n) operations with no hash lookups and no tombstones. Recurring
+// engine events are typed records (sim/event.h) stored inline in the slot,
+// so the steady-state schedule/fire/cancel cycle performs no allocation;
+// closures remain available as an escape hatch.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "sim/event.h"
 #include "util/common.h"
 
 namespace gcs {
 
 /// Opaque handle to a scheduled event; valid until it fires or is cancelled.
+/// Packs (slot index, slot generation); never 0 for a live event.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
@@ -42,11 +52,23 @@ class Simulator {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Schedule a typed event record (no allocation; one copy into the
+  /// kernel's slot storage). Same time rules.
+  EventId schedule_event_at(Time at, const SimEvent& ev);
+  EventId schedule_event_after(Duration delay, const SimEvent& ev) {
+    return schedule_event_at(now_ + delay, ev);
+  }
+
   /// Cancel a pending event. Returns false if already fired/cancelled.
   bool cancel(EventId id);
 
+  /// Move a pending event to a new time, keeping its payload and handle.
+  /// The event is re-sequenced as if freshly scheduled (FIFO among equal
+  /// times). Returns false if the event already fired/was cancelled.
+  bool reschedule(EventId id, Time at);
+
   /// True if the event is still pending.
-  [[nodiscard]] bool pending(EventId id) const { return callbacks_.count(id.value) > 0; }
+  [[nodiscard]] bool pending(EventId id) const { return resolve(id) != kNoSlot; }
 
   /// Fire the next event; returns false if the queue is empty.
   bool step();
@@ -58,24 +80,81 @@ class Simulator {
   /// Run until the queue is empty.
   void run();
 
-  [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
 
  private:
-  struct QueueEntry {
-    Time time;
-    std::uint64_t seq;  // FIFO tie-break + identity
-    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  // Slot index width inside a heap key: up to ~1M concurrently pending
+  // events; the remaining 44 bits of sequence number allow ~1.7e13 schedules
+  // per Simulator lifetime (both bounds checked).
+  static constexpr int kSlotBits = 20;
+  static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+
+  /// 16 bytes: fire time plus (seq << kSlotBits | slot). The sequence is
+  /// strictly increasing per schedule, so comparing keys realizes the FIFO
+  /// tie-break among equal times and the slot bits never influence order.
+  /// The time is stored as its raw bits — event times are always >= +0.0
+  /// (clamp_time enforces this, normalizing -0.0), and non-negative doubles
+  /// order identically to their bit patterns — so (time, seq) comparisons
+  /// compile to a single 128-bit unsigned compare instead of two
+  /// hard-to-predict branches (heap sifts are mispredict-bound).
+  struct HeapEntry {
+    std::uint64_t time_bits;
+    std::uint64_t key;
+    [[nodiscard]] Time time() const { return std::bit_cast<Time>(time_bits); }
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key & kSlotMask);
     }
   };
+  /// Compact per-slot bookkeeping, separate from the fat event records so
+  /// heap sifts touch only this 8-byte array.
+  struct SlotMeta {
+    std::uint32_t heap_pos = 0;
+    std::uint32_t gen = 1;  ///< bumped on release; 0 is never a live gen
+  };
+
+#ifdef __SIZEOF_INT128__
+  static unsigned __int128 order_key(const HeapEntry& e) {
+    return (static_cast<unsigned __int128>(e.time_bits) << 64) | e.key;
+  }
+  static bool fires_before(const HeapEntry& a, const HeapEntry& b) {
+    return order_key(a) < order_key(b);
+  }
+#else
+  static bool fires_before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time_bits != b.time_bits) return a.time_bits < b.time_bits;
+    return a.key < b.key;
+  }
+#endif
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return EventId{(static_cast<std::uint64_t>(gen) << 32) | slot};
+  }
+
+  /// Slot index for a live handle, or kNoSlot if stale/invalid.
+  static constexpr std::uint32_t kNoSlot = ~0U;
+  [[nodiscard]] std::uint32_t resolve(EventId id) const;
+
+  [[nodiscard]] Time clamp_time(Time at) const;
+  /// Index of the smallest child of `pos` in a heap of size n (pos must
+  /// have at least one child). Shared by sift_down and pop_root so the
+  /// selection logic cannot diverge.
+  [[nodiscard]] std::size_t min_child(std::size_t pos, std::size_t n) const;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void restore_heap(std::size_t pos);
+  void remove_heap_entry(std::size_t pos);
+  void pop_root();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<HeapEntry> heap_;     ///< 4-ary min-heap by (time, key)
+  std::vector<SlotMeta> meta_;      ///< parallel to events_
+  std::vector<SimEvent> events_;    ///< stable event storage by slot
+  std::vector<Callback> closures_;  ///< kClosure callbacks, same slot index
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace gcs

@@ -61,7 +61,13 @@ struct EdgeKeyHash {
   }
 };
 
-/// Throwing check used for precondition validation in non-hot paths.
+/// Throwing check used for precondition validation. The const char* overload
+/// binds to every string-literal call site, so passing checks never
+/// construct a std::string (a malloc per call on hot paths); the
+/// std::string overload serves callers that format a message.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw std::runtime_error(msg);
+}
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw std::runtime_error(msg);
 }

@@ -114,7 +114,8 @@ TEST_P(BeaconAccuracyTest, EstimateErrorWithinDerivedEps) {
   for (int step = 0; step < 400; ++step) {
     s.run_for(0.37);  // incommensurate with the beacon period
     for (NodeId u = 0; u < 4; ++u) {
-      for (NodeId v : s.graph().view_neighbors(u)) {
+      for (const NeighborView& nv : s.graph().view_neighbors(u)) {
+        const NodeId v = nv.id;
         const auto est = s.estimate_of(u, v);
         ASSERT_TRUE(est.has_value()) << "estimate missing after warmup";
         const double err = std::fabs(*est - s.engine().logical(v));

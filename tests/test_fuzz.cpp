@@ -140,7 +140,8 @@ void check_invariants(Scenario& s, std::vector<double>& prev_logical,
   if (s.spec().algo.kind != "aopt") return;
   for (NodeId u = 0; u < n; ++u) {
     ASSERT_FALSE(s.aopt(u).saw_trigger_conflict()) << "node " << u;
-    for (NodeId v : s.graph().view_neighbors(u)) {
+    for (const NeighborView& nv : s.graph().view_neighbors(u)) {
+      const NodeId v = nv.id;
       // Lemma 5.1 nesting.
       for (int level : {1, 2, 4, 8}) {
         if (s.aopt(u).edge_in_level(v, level + 1)) {

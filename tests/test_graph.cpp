@@ -66,7 +66,8 @@ TEST(DynamicGraph, InstantCreationVisibleToBothViews) {
   EXPECT_TRUE(g.view_present(1, 0));
   EXPECT_TRUE(g.both_views_present(EdgeKey(0, 1)));
   EXPECT_FALSE(g.view_present(0, 2));
-  EXPECT_EQ(g.view_neighbors(0).count(1), 1u);
+  ASSERT_EQ(g.view_neighbors(0).size(), 1u);
+  EXPECT_EQ(g.view_neighbors(0)[0].id, 1);
 }
 
 TEST(DynamicGraph, DetectionDelayBoundedByTau) {

@@ -1,0 +1,124 @@
+// Dual-run kernel equivalence harness.
+//
+// Records the engine/transport event-fire sequence (time, node, kind) of a
+// reference line-topology scenario that exercises every typed event kind
+// (ticks, beacons, deliveries, drift changes, mlock catch-ups and — via edge
+// churn handshakes — logical-target events), and compares it against a
+// committed golden trace.
+//
+// The golden file was generated from the PRE-REWRITE kernel (the
+// std::function + tombstone-priority_queue simulator) immediately before the
+// zero-allocation kernel landed, so this test is the proof that the rewrite
+// fires the exact same events at bit-identical times in the same order.
+// Regenerate deliberately with: GCS_REGEN_KERNEL_TRACE=1 ./test_kernel_trace
+//
+// Scope: the reference scenario uses beacon estimates on purpose. They draw
+// no per-estimate randomness, so the trace pins the kernel, engine, graph,
+// transport and beacon-estimate layers bit-exactly. Oracle-estimate runs are
+// NOT trajectory-identical to the pre-rewrite kernel: AOPT's peer walk moved
+// from unordered_map (stdlib hash order) to a sorted vector, deliberately
+// changing the order of oracle error draws once so runs stop depending on
+// the standard library. Runs remain deterministic for a given seed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.h"
+#include "sim/event.h"
+
+namespace gcs {
+namespace {
+
+struct TraceRecorder final : public KernelTraceSink {
+  std::ostringstream out;
+  std::size_t events = 0;
+  std::size_t kind_counts[8] = {};
+
+  void on_event_fired(Time t, NodeId node, EventKind kind) override {
+    // hexfloat is lossless, so "identical" below means bit-identical times.
+    out << std::hexfloat << t << ' ' << node << ' ' << to_string(kind) << '\n';
+    ++events;
+    ++kind_counts[static_cast<std::size_t>(kind)];
+  }
+};
+
+ScenarioSpec reference_spec() {
+  ScenarioSpec spec;
+  spec.name = "kernel-trace-reference";
+  spec.n = 12;
+  spec.topology = ComponentSpec("line");
+  spec.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
+  spec.aopt.rho = 1e-3;
+  spec.aopt.mu = 0.1;
+  spec.gtilde_auto = true;
+  spec.drift = ComponentSpec::parse("walk:period=5");
+  spec.estimates = ComponentSpec("beacon");
+  // keep_connected=false: on a line every removal disconnects, so a
+  // connectivity-preserving churn would never act. Transient partitions are
+  // fine here — they also exercise the transport's drop path.
+  spec.adversary = ComponentSpec::parse("churn:rate=0.6,start=5,keep_connected=false");
+  spec.seed = 20260728;
+  return spec;
+}
+
+std::string golden_path() {
+  return std::string(GCS_SOURCE_DIR) + "/tests/golden/kernel_trace_reference.txt";
+}
+
+TEST(KernelTrace, GoldenSequenceFromOldKernelIsReproduced) {
+  Scenario s(reference_spec());
+  TraceRecorder rec;
+  s.engine().set_kernel_trace(&rec);
+  s.transport().set_kernel_trace(&rec);
+  s.start();
+  s.run_until(30.0);
+  const std::string got = rec.out.str();
+
+  // The reference scenario must exercise every typed kind, or the
+  // equivalence claim is weaker than it looks.
+  for (const EventKind kind :
+       {EventKind::kTick, EventKind::kBeacon, EventKind::kDriftChange,
+        EventKind::kMLockCatch, EventKind::kLogicalTarget, EventKind::kDelivery}) {
+    EXPECT_GT(rec.kind_counts[static_cast<std::size_t>(kind)], 0u)
+        << "reference scenario fired no " << to_string(kind) << " events";
+  }
+
+  if (std::getenv("GCS_REGEN_KERNEL_TRACE") != nullptr) {
+    std::ofstream f(golden_path());
+    ASSERT_TRUE(f.good()) << "cannot write " << golden_path();
+    f << got;
+    GTEST_SKIP() << "regenerated golden trace (" << rec.events << " events)";
+  }
+
+  std::ifstream f(golden_path());
+  ASSERT_TRUE(f.good()) << "missing golden trace " << golden_path()
+                        << " — run with GCS_REGEN_KERNEL_TRACE=1 to create it";
+  std::ostringstream want;
+  want << f.rdbuf();
+
+  if (got != want.str()) {
+    // Pinpoint the first divergence instead of dumping half a megabyte.
+    std::istringstream got_s(got), want_s(want.str());
+    std::string got_line, want_line;
+    std::size_t line = 0;
+    while (true) {
+      ++line;
+      const bool got_ok = static_cast<bool>(std::getline(got_s, got_line));
+      const bool want_ok = static_cast<bool>(std::getline(want_s, want_line));
+      if (!got_ok || !want_ok) {
+        FAIL() << "event sequence length differs at line " << line
+               << (got_ok ? " (new kernel has extra events)"
+                          : " (new kernel is missing events)");
+      }
+      ASSERT_EQ(got_line, want_line) << "first divergence at event " << line;
+    }
+  }
+  SUCCEED() << rec.events << " events matched";
+}
+
+}  // namespace
+}  // namespace gcs

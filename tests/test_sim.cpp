@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace gcs {
 namespace {
@@ -114,6 +116,135 @@ TEST(Simulator, ManyCancellationsStayConsistent) {
   for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
   sim.run();
   EXPECT_EQ(fired, 500);
+}
+
+TEST(Simulator, RescheduleMovesFireTimeAndResequences) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId a = sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  // Moving `a` onto B's time re-sequences it: it now fires after B (FIFO
+  // among equal times, as if freshly scheduled).
+  EXPECT_TRUE(sim.reschedule(a, 2.0));
+  EXPECT_TRUE(sim.pending(a));  // handle survives a reschedule
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_FALSE(sim.reschedule(a, 3.0));  // already fired
+}
+
+TEST(Simulator, RescheduleEarlierFiresEarlier) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  const EventId a = sim.schedule_at(5.0, [&] { order.push_back(5); });
+  EXPECT_TRUE(sim.reschedule(a, 1.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{5, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, GenerationTagInvalidatesStaleHandlesAfterSlotReuse) {
+  Simulator sim;
+  bool old_fired = false;
+  const EventId stale = sim.schedule_at(1.0, [&] { old_fired = true; });
+  EXPECT_TRUE(sim.cancel(stale));
+  // The freed slot is reused by the next schedule; the stale handle must
+  // not alias the new event.
+  bool new_fired = false;
+  const EventId fresh = sim.schedule_at(1.0, [&] { new_fired = true; });
+  EXPECT_NE(stale.value, fresh.value);
+  EXPECT_FALSE(sim.pending(stale));
+  EXPECT_TRUE(sim.pending(fresh));
+  EXPECT_FALSE(sim.cancel(stale));       // stale handle: no-op
+  EXPECT_FALSE(sim.reschedule(stale, 2.0));
+  sim.run();
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+  // Handles of fired events are stale too, across further slot reuse.
+  EXPECT_FALSE(sim.pending(fresh));
+  sim.schedule_at(sim.now() + 1.0, [] {});
+  EXPECT_FALSE(sim.cancel(fresh));
+  sim.run();
+}
+
+// Randomized schedule/cancel/reschedule interleavings, checked against a
+// naive reference queue implementing the documented ordering contract:
+// events fire in (time, sequence) order, where every schedule AND every
+// reschedule draws the next sequence number.
+TEST(Simulator, RandomizedOpsMatchNaiveReferenceQueue) {
+  struct RefEvent {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    int tag = 0;
+  };
+  Rng rng(0xDECADE);
+  Simulator sim;
+  std::vector<int> fired;                      // tags in kernel fire order
+  std::vector<RefEvent> ref;                   // naive pending list
+  std::vector<std::pair<EventId, int>> live;   // kernel handle -> tag
+  std::uint64_t ref_seq = 0;
+  int next_tag = 0;
+
+  const auto schedule = [&](double at) {
+    const int tag = next_tag++;
+    live.emplace_back(sim.schedule_at(at, [&fired, tag] { fired.push_back(tag); }),
+                      tag);
+    ref.push_back(RefEvent{at, ++ref_seq, tag});
+  };
+  const auto ref_erase = [&](int tag) {
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (ref[i].tag == tag) {
+        ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    FAIL() << "tag missing from reference";
+  };
+
+  for (int round = 0; round < 4000; ++round) {
+    const double roll = rng.uniform01();
+    if (roll < 0.45 || live.empty()) {
+      schedule(sim.now() + rng.uniform(0.0, 10.0));
+    } else if (roll < 0.65) {
+      const std::size_t pick = static_cast<std::size_t>(rng.below(live.size()));
+      ASSERT_TRUE(sim.cancel(live[pick].first));
+      ref_erase(live[pick].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < 0.85) {
+      const std::size_t pick = static_cast<std::size_t>(rng.below(live.size()));
+      const double at = sim.now() + rng.uniform(0.0, 10.0);
+      ASSERT_TRUE(sim.reschedule(live[pick].first, at));
+      for (RefEvent& e : ref) {
+        if (e.tag == live[pick].second) {
+          e.time = at;
+          e.seq = ++ref_seq;  // reschedule re-sequences, like a fresh schedule
+        }
+      }
+    } else {
+      // Fire the next event; drop it from both views.
+      if (sim.step()) {
+        ASSERT_FALSE(fired.empty());
+        const int tag = fired.back();
+        ref_erase(tag);
+        std::erase_if(live, [tag](const auto& kv) { return kv.second == tag; });
+      }
+    }
+    ASSERT_EQ(sim.pending_count(), ref.size()) << "round " << round;
+  }
+
+  // Drain: the kernel must fire the remaining events in exactly the
+  // reference order.
+  std::stable_sort(ref.begin(), ref.end(), [](const RefEvent& a, const RefEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  const std::size_t already_fired = fired.size();
+  sim.run();
+  ASSERT_EQ(fired.size(), already_fired + ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(fired[already_fired + i], ref[i].tag) << "drain position " << i;
+  }
+  EXPECT_EQ(sim.pending_count(), 0u);
 }
 
 }  // namespace
