@@ -118,17 +118,32 @@ BENCHMARK(BM_BeaconScenarioSimulation)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace gcs
 
-// BENCHMARK_MAIN, plus a default JSON report: unless the caller passes
-// --benchmark_out, results land in BENCH_kernel.json (google-benchmark's
-// default out format is already json), so every run leaves a comparable
-// artifact. Compare runs with benchmark's tools/compare.py.
+// BENCHMARK_MAIN with explicit-only JSON artifacts. A plain run writes no
+// file (it used to silently overwrite BENCH_kernel.json in the CWD);
+// --benchmark_out=FILE is passed through untouched, and the convenience flag
+//   --baseline_out[=NAME]
+// records the run under the repo's committed baseline directory
+// (bench/baselines/NAME, default BENCH_kernel.json — google-benchmark's
+// default out format is already json). Compare runs with benchmark's
+// tools/compare.py.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string default_out = "--benchmark_out=BENCH_kernel.json";
-  const bool has_out = std::any_of(args.begin(), args.end(), [](const char* a) {
-    return std::string_view(a).starts_with("--benchmark_out=");
-  });
-  if (!has_out) args.push_back(default_out.data());
+  std::vector<char*> args;
+  std::vector<std::string> rewritten;  // owns rewritten flags (argv stability)
+  rewritten.reserve(static_cast<std::size_t>(argc));
+  for (char* arg : std::vector<char*>(argv, argv + argc)) {
+    const std::string_view view(arg);
+    if (view == "--baseline_out" || view.starts_with("--baseline_out=")) {
+      std::string name = "BENCH_kernel.json";
+      if (const auto eq = view.find('='); eq != std::string_view::npos) {
+        name = std::string(view.substr(eq + 1));
+      }
+      rewritten.push_back("--benchmark_out=" GCS_SOURCE_DIR "/bench/baselines/" +
+                          name);
+      args.push_back(rewritten.back().data());
+    } else {
+      args.push_back(arg);
+    }
+  }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;

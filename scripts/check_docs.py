@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Documentation checks run by the CI docs job.
+
+1. Relative-link integrity: every markdown link in README.md and docs/*.md
+   whose target is a relative path must point at an existing file or
+   directory in the repository (fragments are stripped; http(s)/mailto and
+   pure-anchor links are ignored).
+
+2. Registry coverage: every component name printed by `simulate_cli --list`
+   (topologies, algorithms, drift models, estimate sources, global-skew
+   estimators, adversaries) must be mentioned in docs/SCENARIOS.md, so the
+   scenario catalogue can never silently fall behind the registries.
+
+Exit status is non-zero iff any check fails; findings are printed one per
+line, prefixed with the failing check.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images is unnecessary: image targets must exist
+# too. Nested parens in URLs are not used in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# "  name — description" lines of `simulate_cli --list` (two-space indent;
+# deeper-indented lines are per-component parameter docs).
+COMPONENT_RE = re.compile(r"^  (\S+) — ", re.MULTILINE)
+
+
+def doc_files():
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links():
+    failures = []
+    for doc in doc_files():
+        for lineno, line in enumerate(doc.read_text(encoding="utf-8").splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"broken-link: {doc.relative_to(REPO)}:{lineno}: {target}"
+                    )
+    return failures
+
+
+def check_registry_coverage(cli):
+    out = subprocess.run(
+        [cli, "--list"], check=True, capture_output=True, text=True
+    ).stdout
+    components = COMPONENT_RE.findall("".join(line + "\n" for line in out.splitlines()))
+    if not components:
+        return [f"registry-coverage: no components parsed from `{cli} --list`"]
+    scenarios = REPO / "docs" / "SCENARIOS.md"
+    if not scenarios.exists():
+        return ["registry-coverage: docs/SCENARIOS.md is missing"]
+    text = scenarios.read_text(encoding="utf-8")
+    return [
+        f"registry-coverage: component `{name}` (from --list) is not mentioned "
+        "in docs/SCENARIOS.md"
+        for name in components
+        if not re.search(rf"(?<![\w-]){re.escape(name)}(?![\w-])", text)
+    ]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cli",
+        default=None,
+        help="path to simulate_cli; registry coverage is skipped when omitted",
+    )
+    args = parser.parse_args()
+
+    failures = check_links()
+    if args.cli:
+        failures.extend(check_registry_coverage(args.cli))
+    else:
+        print("note: --cli not given, skipping registry coverage check")
+
+    for failure in failures:
+        print(failure)
+    if failures:
+        print(f"{len(failures)} documentation check(s) failed")
+        return 1
+    print("documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ AoptNode::Peer& AoptNode::peer_slot(NodeId id) {
 }
 
 void AoptNode::on_edge_discovered(NodeId peer) {
+  hot_dirty_ = true;
   Peer& p = peer_slot(peer);
   p.present = true;
   ++p.gen;
@@ -122,6 +123,7 @@ void AoptNode::follower_check(NodeId peer, std::uint64_t gen, InsertEdgeMsg msg)
 }
 
 void AoptNode::compute_insertion_times(Peer& p, ClockValue l_ins, double gtilde) {
+  hot_dirty_ = true;  // t0 / insertion duration feed the cached level state
   p.gtilde = gtilde;
   switch (params_.insertion) {
     case InsertionPolicy::kStagedStatic:
@@ -154,6 +156,7 @@ void AoptNode::compute_insertion_times(Peer& p, ClockValue l_ins, double gtilde)
 void AoptNode::on_edge_lost(NodeId peer) {
   Peer* found = find_peer(peer);
   if (found == nullptr) return;
+  hot_dirty_ = true;
   Peer& p = *found;
   // Listing 1 lines 15-18: leave all neighbor sets, T_s := ⊥.
   p.present = false;
@@ -162,28 +165,35 @@ void AoptNode::on_edge_lost(NodeId peer) {
   p.insertion_duration = 0.0;
 }
 
-int AoptNode::level_limit(const Peer& p, ClockValue own_logical) const {
-  if (!p.present) return -1;
-  if (p.t0 == kTimeInf) return 0;
-  if (own_logical < p.t0) return 0;
+AoptNode::LevelState AoptNode::level_state(const Peer& p,
+                                           ClockValue own_logical) const {
+  // The limit is piecewise constant in own-logical time; `next` is the exact
+  // boundary of the current piece, so a caller that re-queries only when
+  // own_logical crosses it sees bit-identical limits to recomputing always.
+  if (p.t0 == kTimeInf) return {0, kTimeInf};  // changes only via structure
+  if (own_logical < p.t0) return {0, p.t0};
   if (params_.insertion == InsertionPolicy::kWeightDecay ||
       params_.insertion == InsertionPolicy::kImmediate) {
-    return kAllLevels;  // all levels at once (κ may still be decaying)
+    return {kAllLevels, kTimeInf};  // all levels at once (κ may still decay)
   }
   if (p.insertion_duration <= 0.0 ||
       own_logical >= p.t0 + p.insertion_duration) {
-    return kAllLevels;
+    return {kAllLevels, kTimeInf};
   }
   // Largest s >= 1 with T_s = T0 + (1 − 2^{1−s})·I <= L. The loop evaluates
   // the same float expression used elsewhere, so membership is consistent.
   int s = 1;
+  double next = p.t0 + p.insertion_duration;  // full insertion flips the limit
   while (s < params_.level_cap) {
     const double ts_next =
         p.t0 + (1.0 - std::exp2(-static_cast<double>(s))) * p.insertion_duration;
-    if (own_logical < ts_next) break;
+    if (own_logical < ts_next) {
+      next = ts_next;
+      break;
+    }
     ++s;
   }
-  return s;
+  return {s, next};
 }
 
 double AoptNode::current_kappa(const Peer& p, ClockValue own_logical) const {
@@ -229,30 +239,109 @@ void AoptNode::report_trigger_conflict() {
   GCS_ERROR << "node " << api_->id() << ": fast and slow triggers both hold";
 }
 
-void AoptNode::reevaluate() {
-  const ClockValue own = api_->logical();
-
-  // Scratch member: reevaluate runs on every event touching this node, so a
-  // fresh vector here would be the hottest allocation in the engine.
-  std::vector<LevelPeer>& level_peers = reevaluate_scratch_;
-  level_peers.clear();
-  for (const Peer& p : peers_) {
+void AoptNode::rebuild_hot(ClockValue own) {
+  hot_.clear();
+  level_peers_.clear();
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const Peer& p = peers_[i];
     if (!p.present) continue;
-    const int limit = level_limit(p, own);
-    if (limit < 1) continue;  // discovery-set-only edges play no trigger role
+    const LevelState ls = level_state(p, own);
+    HotPeer h;
+    h.id = p.id;
+    h.peer_index = static_cast<int>(i);
+    h.level_next = ls.next;
     LevelPeer lp;
-    lp.level_limit = limit;
-    lp.kappa = current_kappa(p, own);
+    lp.level_limit = ls.limit;
+    lp.kappa = p.kappa;  // weight decay refreshes this per scan
     lp.delta = p.delta;
     lp.eps = p.eps;
     lp.tau = p.tau;
-    const auto est = api_->neighbor_estimate_present(p.id, p.eps);
-    lp.has_estimate = est.has_value();
-    lp.est_minus_own = est.has_value() ? *est - own : 0.0;
-    level_peers.push_back(lp);
+    hot_.push_back(h);
+    level_peers_.push_back(lp);
+  }
+  hot_dirty_ = false;
+}
+
+void AoptNode::on_estimate_dirty(NodeId peer) {
+  if (hot_dirty_) return;  // the pending rebuild drops every snapshot anyway
+  for (HotPeer& h : hot_) {
+    if (h.id == peer) {
+      h.est_cached = false;
+      return;
+    }
+  }
+}
+
+void AoptNode::reevaluate() {
+  const ClockValue own = api_->logical();
+
+  // Incremental scan (see the HotPeer comment in the header): membership and
+  // per-edge constants come from the cached mirror; levels refresh only at
+  // their precomputed thresholds; estimates are evaluated fresh — they move
+  // with the clocks — but through the inline fast paths, reading and drawing
+  // exactly what the virtual estimate path would. `own < last_own_` catches
+  // logical-clock regression (fault injection), where the piecewise-constant
+  // level caching assumption breaks.
+  bool agg_stale = false;
+  if (hot_dirty_ || own < last_own_) {
+    rebuild_hot(own);
+    agg_stale = true;
+  }
+  last_own_ = own;
+
+  OracleEstimateSource* const oracle = api_->oracle_source();
+  BeaconEstimateSource* const beacon = api_->beacon_source();
+  const bool decay = params_.insertion == InsertionPolicy::kWeightDecay;
+  const ClockValue own_hw = beacon != nullptr ? api_->own_hardware_value() : 0.0;
+  const std::size_t count = hot_.size();
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    HotPeer& h = hot_[i];
+    LevelPeer& lp = level_peers_[i];
+    if (own >= h.level_next) {
+      const LevelState ls = level_state(peers_[static_cast<std::size_t>(h.peer_index)], own);
+      agg_stale |= (lp.level_limit < 1) != (ls.limit < 1);
+      lp.level_limit = ls.limit;
+      h.level_next = ls.next;
+    }
+    if (lp.level_limit < 1) {
+      // Discovery-set-only edges play no trigger role; their estimate is
+      // not read (keeps the oracle RNG stream identical to the full scan).
+      lp.has_estimate = false;
+      continue;
+    }
+    if (decay) {
+      lp.kappa = current_kappa(peers_[static_cast<std::size_t>(h.peer_index)], own);
+    }
+    bool have;
+    double est = 0.0;
+    if (oracle != nullptr) {
+      est = oracle->perturb(api_->peer_true_logical(h.id), own, lp.eps);
+      have = true;
+    } else if (beacon != nullptr) {
+      if (!h.est_cached) {
+        h.has_entry = beacon->snapshot(api_->id(), h.id, h.entry);
+        h.est_cached = true;
+      }
+      have = h.has_entry;
+      if (have) est = h.entry.base + (own_hw - h.entry.recv_hw);
+    } else {
+      const auto opt = api_->neighbor_estimate_present(h.id, lp.eps);
+      have = opt.has_value();
+      if (have) est = *opt;
+    }
+    lp.has_estimate = have;
+    lp.est_minus_own = have ? est - own : 0.0;
+    if (have) {
+      const double abs_d = std::fabs(lp.est_minus_own);
+      max_abs = abs_d > max_abs ? abs_d : max_abs;
+    }
+  }
+  if (agg_stale || decay) {
+    agg_ = compute_trigger_aggregates(level_peers_.data(), count);
   }
 
-  last_decision_ = evaluate_triggers(level_peers.data(), level_peers.size(),
+  last_decision_ = evaluate_triggers(level_peers_.data(), count, agg_, max_abs,
                                      params_.mu, params_.rho, params_.level_cap);
   if (last_decision_.fast && last_decision_.slow) [[unlikely]] {
     report_trigger_conflict();

@@ -28,6 +28,7 @@ class AoptNode final : public Algorithm {
   void on_edge_discovered(NodeId peer) override;
   void on_edge_lost(NodeId peer) override;
   void on_insert_edge_msg(NodeId from, const InsertEdgeMsg& msg) override;
+  void on_estimate_dirty(NodeId peer) override;
   void reevaluate() override;
 
   [[nodiscard]] bool edge_in_level(NodeId peer, int s) const override;
@@ -79,6 +80,41 @@ class AoptNode final : public Algorithm {
     double kappa_init = 0.0;  ///< weight-decay start value
   };
 
+  /// Incremental re-evaluation state: a compact mirror of the *present*
+  /// peers, parallel to a persistent LevelPeer staging array. reevaluate()
+  /// runs after every event touching this node, so instead of re-deriving
+  /// every input per scan, each input is refreshed only when its own
+  /// invalidation condition fires:
+  ///   - membership / handshake state (t0, I, per-edge constants): rebuild
+  ///     on hot_dirty_, set by discovery, loss and insertion agreement;
+  ///   - level_limit: recomputed only when the own logical clock crosses
+  ///     level_next (the exact next T_s threshold), which reproduces the
+  ///     full recomputation bit-for-bit because limits are piecewise
+  ///     constant in own-logical time;
+  ///   - beacon estimate snapshots: re-fetched only after on_estimate_dirty
+  ///     (the engine's dirty-peer notification on beacon consumption);
+  ///   - κ and the structural trigger aggregates: constant per edge except
+  ///     under weight decay, which downgrades to per-scan recomputation.
+  /// Estimates themselves are still *evaluated* every scan (they move
+  /// continuously with the clocks), but through the inline fast paths
+  /// (NodeApi::peer_true_logical + OracleEstimateSource::perturb, or the
+  /// cached beacon snapshot), reading/drawing exactly what the virtual
+  /// estimate path would.
+  struct HotPeer {
+    NodeId id = kNoNode;
+    int peer_index = 0;            ///< into peers_ (stable since last rebuild)
+    double level_next = kTimeInf;  ///< own-logical threshold to refresh level
+    BeaconEstimateSource::Entry entry;  ///< cached beacon snapshot
+    bool est_cached = false;       ///< snapshot valid (beacon mode only)
+    bool has_entry = false;        ///< snapshot exists (beacon mode only)
+  };
+  /// level_limit plus the own-logical threshold at which the cached value
+  /// must be recomputed (kTimeInf when only structure can change it).
+  struct LevelState {
+    int limit = 0;
+    double next = kTimeInf;
+  };
+
   [[nodiscard]] bool is_leader_of(NodeId peer) const { return api_->id() < peer; }
   /// The peer record for `id`, or nullptr if never seen. Peers live in a
   /// sorted flat vector: iteration order is then stdlib-independent (an
@@ -93,16 +129,26 @@ class AoptNode final : public Algorithm {
   void leader_check(NodeId peer, std::uint64_t gen);
   void follower_check(NodeId peer, std::uint64_t gen, InsertEdgeMsg msg);
   void compute_insertion_times(Peer& p, ClockValue l_ins, double gtilde);
+  [[nodiscard]] LevelState level_state(const Peer& p, ClockValue own_logical) const;
   /// Largest level the peer currently belongs to (0 = discovery set only).
-  [[nodiscard]] int level_limit(const Peer& p, ClockValue own_logical) const;
+  [[nodiscard]] int level_limit(const Peer& p, ClockValue own_logical) const {
+    if (!p.present) return -1;
+    return level_state(p, own_logical).limit;
+  }
   [[nodiscard]] double current_kappa(const Peer& p, ClockValue own_logical) const;
+  /// Rebuild hot_/level_peers_ from the present peers (membership changed).
+  void rebuild_hot(ClockValue own);
   /// Lemma 5.3 violation reporting, off the reevaluate hot path (the log
   /// machinery would otherwise bloat its stack frame).
   [[gnu::cold]] [[gnu::noinline]] void report_trigger_conflict();
 
   AlgoParams params_;
   std::vector<Peer> peers_;  ///< sorted by id; entries persist across edge loss
-  std::vector<LevelPeer> reevaluate_scratch_;
+  std::vector<HotPeer> hot_;         ///< present peers, scan order (= id order)
+  std::vector<LevelPeer> level_peers_;  ///< parallel to hot_
+  TriggerAggregates agg_;            ///< cached structural fold over level_peers_
+  bool hot_dirty_ = true;            ///< membership/handshake changed
+  ClockValue last_own_ = -kTimeInf;  ///< guards against logical-clock regression
   TriggerDecision last_decision_;
   long long mode_switches_ = 0;
   bool saw_conflict_ = false;

@@ -9,13 +9,7 @@ namespace gcs {
 
 // ----------------------------------------------------------------- NodeApi
 
-Time NodeApi::now() const { return engine_.sim_.now(); }
 const AlgoParams& NodeApi::algo_params() const { return engine_.params_; }
-ClockValue NodeApi::logical() { return engine_.logical(id_); }
-ClockValue NodeApi::hardware() { return engine_.hardware(id_); }
-ClockValue NodeApi::max_estimate() { return engine_.max_estimate(id_); }
-bool NodeApi::max_locked() const { return engine_.max_locked(id_); }
-double NodeApi::rate_multiplier() const { return engine_.rate_multiplier(id_); }
 void NodeApi::set_rate_multiplier(double mult) {
   engine_.set_rate_multiplier(id_, mult);
 }
@@ -101,6 +95,7 @@ Engine::Engine(Simulator& sim, DynamicGraph& graph, Transport& transport,
   }
   estimates_.bind(this);
   oracle_estimates_ = dynamic_cast<OracleEstimateSource*>(&estimates_);
+  beacon_estimates_ = dynamic_cast<BeaconEstimateSource*>(&estimates_);
   estimates_consume_beacons_ = estimates_.consumes_beacons();
   graph_.set_listener(this);
   transport_.set_sink(this);
@@ -133,39 +128,8 @@ void Engine::start() {
   }
 }
 
-void Engine::advance(NodeId u) {
-  NodeState& n = node(u);
-  const Time t = sim_.now();
-  // Most events advance the same node several times at one instant
-  // (delivery -> max candidate -> reevaluate); integrating is idempotent,
-  // so skip the repeat work.
-  if (n.clocks.last == t) return;
-  n.clocks.advance(t);
-}
-
 double Engine::unlocked_max_rate(const NodeState& n) const {
   return (1.0 - params_.rho) / (1.0 + params_.rho) * n.clocks.rate[NodeClocks::kHw];
-}
-
-ClockValue Engine::logical(NodeId u) {
-  advance(u);
-  return node(u).clocks.value[NodeClocks::kLog];
-}
-
-ClockValue Engine::hardware(NodeId u) {
-  advance(u);
-  return node(u).clocks.value[NodeClocks::kHw];
-}
-
-ClockValue Engine::max_estimate(NodeId u) {
-  advance(u);
-  NodeState& n = node(u);
-  return n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax];
-}
-
-ClockValue Engine::min_estimate(NodeId u) {
-  advance(u);
-  return node(u).clocks.value[NodeClocks::kMin];
 }
 
 bool Engine::max_locked(NodeId u) const { return node(u).m_locked; }
@@ -324,9 +288,7 @@ void Engine::fire_beacon(NodeId u) {
                       n.clocks.value[NodeClocks::kMin]};
   // view_neighbors is sorted by id, so the fan-out order — and with it the
   // sequence of RNG-drawn transport delays — is stdlib-independent.
-  for (const NeighborView& nv : graph_.view_neighbors(u)) {
-    transport_.send_via(u, nv, beacon);
-  }
+  transport_.send_fanout(u, graph_.view_neighbors(u), beacon);
   if (merged_heartbeat_) {
     sim_.schedule_event_after(config_.beacon_period,
                               SimEvent::node_event(EventKind::kHeartbeat, this, u));
@@ -492,7 +454,12 @@ void Engine::reevaluate(NodeId u) {
 void Engine::on_delivery(const Delivery& d) {
   advance(d.to);
   if (const auto* beacon = std::get_if<Beacon>(&d.payload)) {
-    if (estimates_consume_beacons_) estimates_.on_beacon(d);
+    if (estimates_consume_beacons_) {
+      estimates_.on_beacon(d);
+      // Dirty-peer notification: the discrete estimate state for (to, from)
+      // just changed; incremental scans drop their cached snapshot of it.
+      node(d.to).algo->on_estimate_dirty(d.from);
+    }
     // Max-estimate flooding (Condition 4.3): the receiver may add the
     // drift-discounted known transit lower bound.
     const ClockValue candidate =

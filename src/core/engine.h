@@ -78,6 +78,21 @@ class NodeApi {
   /// Run `fn` after `dt` real time.
   void schedule_after(Duration dt, std::function<void()> fn);
 
+  // ---- incremental re-evaluation fast paths (defined after Engine) ----
+  /// The engine's estimate source, downcast to a built-in type, or nullptr.
+  /// A non-null pointer licenses the corresponding inline read path below;
+  /// both null means the algorithm must use neighbor_estimate (generic).
+  [[nodiscard]] OracleEstimateSource* oracle_source() const;
+  [[nodiscard]] BeaconEstimateSource* beacon_source() const;
+  /// True logical clock of a peer, advanced exactly as the oracle source's
+  /// ClockAccess read would (mutating v's lazy integration state — call it
+  /// precisely where estimate_present would have been called).
+  ClockValue peer_true_logical(NodeId v);
+  /// Own hardware clock value, without re-advancing: valid inside
+  /// Algorithm::reevaluate(), which the engine always enters with this
+  /// node's clocks integrated to now().
+  [[nodiscard]] ClockValue own_hardware_value() const;
+
  private:
   Engine& engine_;
   NodeId id_;
@@ -99,6 +114,10 @@ class Algorithm {
   virtual void on_insert_edge_msg(NodeId from, const InsertEdgeMsg& msg) {
     (void)from, (void)msg;
   }
+  /// The *discrete* state behind `peer`'s estimate changed (a beacon from
+  /// `peer` was consumed by the estimate layer). Incremental algorithms use
+  /// this to invalidate cached estimate snapshots; a reevaluate() follows.
+  virtual void on_estimate_dirty(NodeId peer) { (void)peer; }
 
   /// Re-decide the mode (rate multiplier). Called after every event
   /// affecting this node and on every tick.
@@ -172,6 +191,8 @@ class Engine final : public DynamicGraph::Listener,
   [[nodiscard]] const AlgoParams& params() const { return params_; }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
+  // Clock reads are defined inline (after the class): they run several
+  // times per event inside the re-evaluation scan.
   ClockValue logical(NodeId u);
   ClockValue hardware(NodeId u);
   ClockValue max_estimate(NodeId u);
@@ -328,10 +349,13 @@ class Engine final : public DynamicGraph::Listener,
   Transport& transport_;
   DriftModel& drift_;
   EstimateSource& estimates_;
-  /// Devirtualization fast path: non-null iff estimates_ is the oracle
-  /// source (the default for large sweeps). Calling through the final class
-  /// lets the whole estimate inline into the re-evaluation loop.
+  /// Devirtualization fast paths: non-null iff estimates_ is the matching
+  /// built-in source (oracle is the default for large sweeps). Calling
+  /// through the final class lets the whole estimate inline into the
+  /// re-evaluation loop; AoptNode's incremental scan uses the same pointers
+  /// via NodeApi::oracle_source()/beacon_source().
   OracleEstimateSource* oracle_estimates_ = nullptr;
+  BeaconEstimateSource* beacon_estimates_ = nullptr;
   bool estimates_consume_beacons_ = false;
   GlobalSkewEstimator& gskew_;
   AlgoParams params_;
@@ -349,5 +373,71 @@ class Engine final : public DynamicGraph::Listener,
   bool started_ = false;
   bool merged_heartbeat_ = false;  ///< tick+beacon share one timer (see start())
 };
+
+// ---------------------------------------------------------------------------
+// Engine hot-path inlines (clock reads used several times per event).
+
+inline void Engine::advance(NodeId u) {
+  NodeState& n = node(u);
+  const Time t = sim_.now();
+  // Most events advance the same node several times at one instant
+  // (delivery -> max candidate -> reevaluate); integrating is idempotent,
+  // so skip the repeat work.
+  if (n.clocks.last == t) return;
+  n.clocks.advance(t);
+}
+
+inline ClockValue Engine::logical(NodeId u) {
+  advance(u);
+  return node(u).clocks.value[NodeClocks::kLog];
+}
+
+inline ClockValue Engine::hardware(NodeId u) {
+  advance(u);
+  return node(u).clocks.value[NodeClocks::kHw];
+}
+
+inline ClockValue Engine::max_estimate(NodeId u) {
+  advance(u);
+  NodeState& n = node(u);
+  return n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax];
+}
+
+inline ClockValue Engine::min_estimate(NodeId u) {
+  advance(u);
+  return node(u).clocks.value[NodeClocks::kMin];
+}
+
+// ---------------------------------------------------------------------------
+// NodeApi hot-path inlines (need the full Engine definition). These exist so
+// the incremental re-evaluation scan does not depend on LTO to flatten the
+// NodeApi -> Engine -> estimate-source call chain.
+
+inline Time NodeApi::now() const { return engine_.sim_.now(); }
+inline ClockValue NodeApi::logical() { return engine_.logical(id_); }
+inline ClockValue NodeApi::hardware() { return engine_.hardware(id_); }
+inline ClockValue NodeApi::max_estimate() { return engine_.max_estimate(id_); }
+inline bool NodeApi::max_locked() const { return engine_.max_locked(id_); }
+inline double NodeApi::rate_multiplier() const { return engine_.node(id_).mult; }
+
+inline OracleEstimateSource* NodeApi::oracle_source() const {
+  return engine_.oracle_estimates_;
+}
+
+inline BeaconEstimateSource* NodeApi::beacon_source() const {
+  return engine_.beacon_estimates_;
+}
+
+inline ClockValue NodeApi::peer_true_logical(NodeId v) {
+  // Exactly Engine::logical(v): the advance mutates the peer's lazy clock
+  // state on purpose — skipping it would change the float accumulation path
+  // of later reads.
+  return engine_.logical(v);
+}
+
+inline ClockValue NodeApi::own_hardware_value() const {
+  return engine_.nodes_[static_cast<std::size_t>(id_)]
+      .clocks.value[Engine::NodeClocks::kHw];
+}
 
 }  // namespace gcs

@@ -5,31 +5,41 @@
 
 namespace gcs {
 
-TriggerDecision evaluate_triggers(const LevelPeer* peers, std::size_t count,
-                                  double mu, double rho, int level_cap) {
-  TriggerDecision decision;
-
-  // Data-driven level bound (see header).
-  double max_abs = 0.0;
-  double max_eps = 0.0;
-  double max_delta = 0.0;
-  double kappa_min = kTimeInf;
-  bool any = false;
+TriggerAggregates compute_trigger_aggregates(const LevelPeer* peers,
+                                             std::size_t count) {
+  TriggerAggregates agg;
   for (std::size_t i = 0; i < count; ++i) {
     const LevelPeer& p = peers[i];
     if (p.level_limit < 1) continue;
-    any = true;
-    kappa_min = std::min(kappa_min, p.kappa);
-    max_eps = std::max(max_eps, p.eps);
-    max_delta = std::max(max_delta, p.delta);
-    if (p.has_estimate) max_abs = std::max(max_abs, std::fabs(p.est_minus_own));
+    agg.any = true;
+    agg.kappa_min = std::min(agg.kappa_min, p.kappa);
+    agg.max_eps = std::max(agg.max_eps, p.eps);
+    agg.max_delta = std::max(agg.max_delta, p.delta);
   }
-  if (!any || kappa_min <= 0.0) return decision;
+  return agg;
+}
 
+TriggerDecision evaluate_triggers(const LevelPeer* peers, std::size_t count,
+                                  const TriggerAggregates& agg, double max_abs,
+                                  double mu, double rho, int level_cap) {
+  TriggerDecision decision;
+  if (!agg.any || agg.kappa_min <= 0.0) return decision;
+
+  const double ratio = (max_abs + agg.max_eps + agg.max_delta) / agg.kappa_min;
+  // Quick rejection, the steady-state common case: with
+  // max_abs + max ε + max δ < κ_min, no peer can satisfy either existential
+  // condition at any level s >= 1 —
+  //   ahead  <= max_abs < κ_min − max ε − max δ <= s·κ_e − ε_e, and
+  //   behind <= max_abs < κ_min − max ε − max δ <= (s+0.5)·κ_e − δ_e − ε_e —
+  // and without an existential witness neither trigger fires regardless of
+  // the blocking clauses, so the per-level scan would find nothing. The
+  // threshold keeps a 1e-9 relative margin so the handful of roundings in
+  // `ratio` can never disagree with the scan's own rounded comparisons;
+  // ratios inside the margin just take the full scan.
+  if (ratio < 1.0 - 1e-9) return decision;
   // floor() via integer truncation: the ratio is non-negative, where the two
   // agree — and std::floor is a libm CALL at baseline x86-64, once per
   // re-evaluation. Huge ratios (corrupt clocks) saturate to level_cap.
-  const double ratio = (max_abs + max_eps + max_delta) / kappa_min;
   const long long whole =
       ratio < 1e18 ? static_cast<long long>(ratio) : (1LL << 60);
   const int s_stop = std::min<long long>(level_cap, whole + 2);
@@ -77,6 +87,19 @@ TriggerDecision evaluate_triggers(const LevelPeer* peers, std::size_t count,
     if (decision.fast && decision.slow) break;  // Lemma 5.3 violation; caller asserts
   }
   return decision;
+}
+
+TriggerDecision evaluate_triggers(const LevelPeer* peers, std::size_t count,
+                                  double mu, double rho, int level_cap) {
+  const TriggerAggregates agg = compute_trigger_aggregates(peers, count);
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const LevelPeer& p = peers[i];
+    if (p.level_limit >= 1 && p.has_estimate) {
+      max_abs = std::max(max_abs, std::fabs(p.est_minus_own));
+    }
+  }
+  return evaluate_triggers(peers, count, agg, max_abs, mu, rho, level_cap);
 }
 
 }  // namespace gcs

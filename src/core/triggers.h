@@ -3,6 +3,28 @@
 // Extracted from AoptNode so the trigger semantics — including the mutual
 // exclusion guaranteed by Lemma 5.3 — can be unit- and property-tested in
 // isolation from the engine.
+//
+// ## Invariants of the incremental (split) form
+//
+// The scan factors into two parts with different change cadences:
+//
+//  * TriggerAggregates — max ε, max δ, min κ and membership over the
+//    level-(>=1) peers. These depend only on *structure* (which edges are
+//    inserted at which level, their per-edge constants), so a caller may
+//    cache them across re-evaluations and recompute only when membership or
+//    a level changes (AoptNode does; weight-decay κ forces a recompute every
+//    scan because κ_e itself is time-varying there). The aggregates are
+//    order-independent (pure max/min folds), so caching cannot change the
+//    result vs. the one-pass form.
+//  * max_abs — the largest observed |L̃ᵥᵤ − L_u|, which moves with every
+//    estimate refresh and is recomputed each scan by the caller.
+//
+// Both feed the data-driven level bound: beyond s with s·κ_min exceeding
+// max_abs + max ε + max δ, neither existential condition can hold, so the
+// per-level loop terminates after O(discrepancy/κ) levels. Entries with
+// level_limit < 1 may be present in the array; they are inert in every
+// condition (membership tests are `level_limit >= s`) and must carry
+// has_estimate = false only if their estimate was genuinely not read.
 #pragma once
 
 #include <vector>
@@ -29,6 +51,19 @@ struct LevelPeer {
   bool has_estimate = false;
 };
 
+/// Structural fold over the level-(>=1) peers (see the header comment):
+/// cacheable between re-evaluations while membership and κ are unchanged.
+struct TriggerAggregates {
+  double max_eps = 0.0;
+  double max_delta = 0.0;
+  double kappa_min = kTimeInf;
+  bool any = false;  ///< at least one peer with level_limit >= 1
+};
+
+/// One-pass computation of the aggregates (reference for cached callers).
+TriggerAggregates compute_trigger_aggregates(const LevelPeer* peers,
+                                             std::size_t count);
+
 struct TriggerDecision {
   bool fast = false;
   bool slow = false;
@@ -36,11 +71,15 @@ struct TriggerDecision {
   int slow_level = 0;  ///< a level s witnessing the slow trigger (if slow)
 };
 
-/// Evaluate both triggers over all levels s in {1, ..}. The scan terminates
-/// at a data-driven bound: beyond s with s*kappa_min exceeding the largest
-/// observed discrepancy, neither existential condition can hold. A peer in
-/// N^s without an estimate conservatively blocks both universal conditions.
-/// The pointer form lets the hot caller stage peers on the stack.
+/// Evaluate both triggers over all levels s in {1, ..} given precomputed
+/// structural aggregates and the current max |discrepancy|. A peer in N^s
+/// without an estimate conservatively blocks both universal conditions.
+TriggerDecision evaluate_triggers(const LevelPeer* peers, std::size_t count,
+                                  const TriggerAggregates& agg, double max_abs,
+                                  double mu, double rho, int level_cap);
+
+/// Self-contained form: computes the aggregates and max_abs itself, then
+/// delegates. The pointer form lets the hot caller stage peers on the stack.
 TriggerDecision evaluate_triggers(const LevelPeer* peers, std::size_t count,
                                   double mu, double rho, int level_cap);
 inline TriggerDecision evaluate_triggers(const std::vector<LevelPeer>& peers,

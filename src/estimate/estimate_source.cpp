@@ -20,21 +20,13 @@ std::optional<ClockValue> OracleEstimateSource::estimate(NodeId u, NodeId v) {
 
 ClockValue OracleEstimateSource::estimate_present(NodeId u, NodeId v, double eps) {
   const ClockValue truth = clocks_->true_logical(v);
-  switch (policy_) {
-    case OracleErrorPolicy::kZero:
-      return truth;
-    case OracleErrorPolicy::kUniform:
-      return truth + rng_.uniform(-eps, eps);
-    case OracleErrorPolicy::kAdversarial: {
-      // Shrink the perceived skew: report the neighbor ε closer to us than
-      // it is (never crossing), which maximally delays trigger reactions.
-      const ClockValue mine = clocks_->true_logical(u);
-      if (truth > mine) return std::max(mine, truth - eps);
-      if (truth < mine) return std::min(mine, truth + eps);
-      return truth;
-    }
-  }
-  return truth;
+  // true_logical(u) advances u's lazy clock state; only the adversarial
+  // policy may read it (perturb ignores `mine` otherwise, and an eager read
+  // here would perturb the engine's float accumulation order).
+  const ClockValue mine = policy_ == OracleErrorPolicy::kAdversarial
+                              ? clocks_->true_logical(u)
+                              : 0.0;
+  return perturb(truth, mine, eps);
 }
 
 double OracleEstimateSource::eps(const EdgeKey& e) const {

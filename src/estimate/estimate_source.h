@@ -9,6 +9,7 @@
 //    beacon_eps() and the guarantee is asserted in tests, not assumed.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -75,6 +76,29 @@ class OracleEstimateSource final : public EstimateSource {
   /// identical when the preconditions hold.
   ClockValue estimate_present(NodeId u, NodeId v, double eps);
 
+  /// The error application of estimate_present, split out so an incremental
+  /// scan that already holds the true clock values can skip the ClockAccess
+  /// virtual hops. `mine` is the caller's own current logical clock; it is
+  /// read only by the adversarial policy (where estimate_present would have
+  /// fetched true_logical(u), the same value at scan time). Consumes exactly
+  /// the RNG stream estimate_present would: one uniform draw per call under
+  /// kUniform, none otherwise.
+  ClockValue perturb(ClockValue truth, ClockValue mine, double eps) {
+    switch (policy_) {
+      case OracleErrorPolicy::kZero:
+        return truth;
+      case OracleErrorPolicy::kUniform:
+        return truth + rng_.uniform(-eps, eps);
+      case OracleErrorPolicy::kAdversarial:
+        // Shrink the perceived skew: report the neighbor ε closer to us than
+        // it is (never crossing), which maximally delays trigger reactions.
+        if (truth > mine) return std::max(mine, truth - eps);
+        if (truth < mine) return std::min(mine, truth + eps);
+        return truth;
+    }
+    return truth;
+  }
+
  private:
   DynamicGraph& graph_;
   OracleErrorPolicy policy_;
@@ -88,6 +112,17 @@ double beacon_eps(const EdgeParams& e, double beacon_period, double rho, double 
 
 class BeaconEstimateSource final : public EstimateSource {
  public:
+  /// The discrete part of one edge's estimate state: rewritten on every
+  /// beacon receipt, constant in between. estimate() extrapolates it with
+  /// the receiver's hardware clock only, so an incremental scan may cache a
+  /// snapshot until the engine reports the peer dirty (a new beacon arrived
+  /// or the entry was evicted) and evaluate `base + (H_u(t) − recv_hw)`
+  /// itself — the exact expression estimate() uses.
+  struct Entry {
+    ClockValue base = 0.0;       ///< L_msg + (1−ρ)·known_min_delay
+    ClockValue recv_hw = 0.0;    ///< receiver hardware clock at receipt
+  };
+
   /// `rho`/`mu` are needed to (a) apply the conservative (1−ρ) transit
   /// compensation and (b) report ε via beacon_eps.
   BeaconEstimateSource(DynamicGraph& graph, double beacon_period, double rho,
@@ -99,11 +134,18 @@ class BeaconEstimateSource final : public EstimateSource {
   [[nodiscard]] bool consumes_beacons() const override { return true; }
   void on_edge_lost(NodeId u, NodeId peer) override;
 
+  /// Incremental-scan support: copy out the discrete state for (u, v).
+  /// False if no beacon from v has been received (no estimate exists yet).
+  /// The caller is responsible for the graph-presence precondition that
+  /// estimate() checks itself.
+  [[nodiscard]] bool snapshot(NodeId u, NodeId v, Entry& out) const {
+    const auto it = entries_.find(key(u, v));
+    if (it == entries_.end()) return false;
+    out = it->second;
+    return true;
+  }
+
  private:
-  struct Entry {
-    ClockValue base = 0.0;       ///< L_msg + (1−ρ)·known_min_delay
-    ClockValue recv_hw = 0.0;    ///< receiver hardware clock at receipt
-  };
   static std::uint64_t key(NodeId owner, NodeId peer) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner)) << 32) |
            static_cast<std::uint32_t>(peer);

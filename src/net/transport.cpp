@@ -52,6 +52,18 @@ void Transport::send_via(NodeId from, const NeighborView& to, Payload payload) {
       delay, SimEvent::delivery(this, from, to.id, sim_.now(), payload));
 }
 
+void Transport::send_fanout(NodeId from, const std::vector<NeighborView>& views,
+                            const Payload& payload) {
+  if (views.empty()) return;
+  SimEvent ev = SimEvent::delivery(this, from, kNoNode, sim_.now(), payload);
+  for (const NeighborView& nv : views) {
+    const Duration delay = pick_delay(from, nv.id, *nv.params);
+    ++sent_;
+    ev.node = nv.id;
+    sim_.schedule_event_after(delay, ev);
+  }
+}
+
 void Transport::dispatch(const SimEvent& ev) {
   if (trace_ != nullptr) {
     trace_->on_event_fired(sim_.now(), ev.node, EventKind::kDelivery);

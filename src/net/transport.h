@@ -60,6 +60,14 @@ class Transport final : public EventDispatcher {
   /// (skips the view lookup the caller has already done).
   void send_via(NodeId from, const NeighborView& to, Payload payload);
 
+  /// Broadcast fast path for the engine's beacon duty: one delivery record
+  /// is constructed and re-targeted per view entry (only the receiver and
+  /// the per-edge sampled delay differ), saving a payload construction per
+  /// edge. Behaviorally identical — including the RNG delay-draw order — to
+  /// calling send_via for each entry of `views` in order.
+  void send_fanout(NodeId from, const std::vector<NeighborView>& views,
+                   const Payload& payload);
+
   /// Kernel callback for in-flight kDelivery events.
   void dispatch(const SimEvent& ev) override;
 

@@ -4,8 +4,30 @@
 // catch-ups, logical-time targets) and the transport's message deliveries are
 // described by a compact tagged record instead of a type-erased closure, so
 // scheduling them allocates nothing: the record is stored inline in the
-// kernel's timer heap and dispatched by a switch in its owner. A closure arm
-// remains as the escape hatch for tests, adversaries and one-off scheduling.
+// kernel's slot storage and dispatched by a switch in its owner. A closure
+// arm remains as the escape hatch for tests, adversaries and one-off
+// scheduling.
+//
+// ## Lifecycle invariants (see docs/ARCHITECTURE.md for the full table)
+//
+//  * A record is copied INTO the kernel at schedule time and copied OUT
+//    again at fire time, before its slot is released — handlers may schedule
+//    freely without invalidating the record they are handling. Records are
+//    trivially copyable, exactly one cache line, and carry no owned state;
+//    only kClosure events own resources (kept out-of-line in the kernel,
+//    keyed by the same slot).
+//  * Between schedule and fire, a record may migrate between the kernel's
+//    timer tiers (wheel bucket -> sorted run / overlay heap); migration
+//    copies the 16-byte ordering entry only, never the record, and cannot
+//    change fire order (simulator.h documents why).
+//  * One-shot kinds (kMLockCatch, kLogicalTarget) are RESCHEDULED in place
+//    by the engine when clock rates change — the EventId handle survives,
+//    the FIFO sequence is re-drawn. Periodic kinds (kTick/kBeacon/
+//    kHeartbeat) re-arm by scheduling a fresh event from their handler.
+//  * kHeartbeat exists only as a scheduling optimization: when tick and
+//    beacon cadence coincide it drives both duties and reports itself to
+//    trace sinks as kTick followed by kBeacon, so traces are identical to
+//    the split-cadence event sequence.
 #pragma once
 
 #include <cstdint>

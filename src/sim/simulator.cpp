@@ -1,10 +1,18 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace gcs {
+
+Simulator::Simulator(double bucket_width) {
+  if (!(bucket_width > 0.0) || std::isinf(bucket_width)) {
+    throw std::invalid_argument("Simulator: bucket_width must be positive");
+  }
+  inv_bucket_width_ = 1.0 / bucket_width;
+}
 
 Time Simulator::clamp_time(Time at) const {
   if (std::isnan(at)) throw std::invalid_argument("Simulator: NaN event time");
@@ -50,7 +58,7 @@ std::uint32_t Simulator::resolve(EventId id) const {
   const std::uint32_t slot = static_cast<std::uint32_t>(id.value);
   const std::uint32_t gen = static_cast<std::uint32_t>(id.value >> 32);
   if (slot >= meta_.size() || meta_[slot].gen != gen) return kNoSlot;
-  return slot;  // a live generation always has a heap entry for the slot
+  return slot;  // a live generation always has an entry in some tier
 }
 
 void Simulator::sift_up(std::size_t pos) {
@@ -59,11 +67,11 @@ void Simulator::sift_up(std::size_t pos) {
     const std::size_t parent = (pos - 1) / 4;
     if (!fires_before(entry, heap_[parent])) break;
     heap_[pos] = heap_[parent];
-    meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    meta_[heap_[pos].slot()].loc = static_cast<std::uint32_t>(pos);
     pos = parent;
   }
   heap_[pos] = entry;
-  meta_[entry.slot()].heap_pos = static_cast<std::uint32_t>(pos);
+  meta_[entry.slot()].loc = static_cast<std::uint32_t>(pos);
 }
 
 void Simulator::sift_down(std::size_t pos) {
@@ -73,11 +81,11 @@ void Simulator::sift_down(std::size_t pos) {
     const std::size_t best = min_child(pos, n);
     if (!fires_before(heap_[best], entry)) break;
     heap_[pos] = heap_[best];
-    meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    meta_[heap_[pos].slot()].loc = static_cast<std::uint32_t>(pos);
     pos = best;
   }
   heap_[pos] = entry;
-  meta_[entry.slot()].heap_pos = static_cast<std::uint32_t>(pos);
+  meta_[entry.slot()].loc = static_cast<std::uint32_t>(pos);
 }
 
 std::size_t Simulator::min_child(std::size_t pos, std::size_t n) const {
@@ -114,12 +122,181 @@ void Simulator::remove_heap_entry(std::size_t pos) {
   const std::size_t last = heap_.size() - 1;
   if (pos != last) {
     heap_[pos] = heap_[last];
-    meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    meta_[heap_[pos].slot()].loc = static_cast<std::uint32_t>(pos);
     heap_.pop_back();
     restore_heap(pos);
   } else {
     heap_.pop_back();
   }
+}
+
+void Simulator::push_heap_entry(const HeapEntry& e) {
+  heap_.push_back(e);
+  meta_[e.slot()].loc = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+}
+
+std::vector<Simulator::HeapEntry>& Simulator::tier_vec(std::uint32_t tier,
+                                                       std::uint32_t bucket) {
+  return tier == kTierL1 ? l1_[bucket] : tier == kTierL2 ? l2_[bucket] : far_;
+}
+
+void Simulator::bucket_push(std::uint32_t tier, std::uint32_t bucket,
+                            const HeapEntry& e) {
+  std::vector<HeapEntry>& v = tier_vec(tier, bucket);
+  meta_[e.slot()].loc = pack_loc(tier, bucket, static_cast<std::uint32_t>(v.size()));
+  v.push_back(e);
+  ++wheel_count_;
+}
+
+void Simulator::bucket_remove(std::uint32_t tier, std::uint32_t bucket,
+                              std::uint32_t pos) {
+  std::vector<HeapEntry>& v = tier_vec(tier, bucket);
+  const std::uint32_t last = static_cast<std::uint32_t>(v.size()) - 1;
+  if (pos != last) {
+    v[pos] = v[last];
+    meta_[v[pos].slot()].loc = pack_loc(tier, bucket, pos);
+  }
+  v.pop_back();
+  --wheel_count_;
+}
+
+void Simulator::insert_entry(const HeapEntry& e) {
+  const std::uint64_t ep = epoch_of(e.time());
+  if (ep <= cur_epoch_) {
+    push_heap_entry(e);
+    return;
+  }
+  const std::uint64_t block = ep >> kL1Bits;
+  const std::uint64_t cur_block = cur_epoch_ >> kL1Bits;
+  if (block == cur_block) {
+    bucket_push(kTierL1, static_cast<std::uint32_t>(ep & kL1Mask), e);
+  } else if (block - cur_block <= kL2Count) {
+    bucket_push(kTierL2, static_cast<std::uint32_t>(block & (kL2Count - 1)), e);
+  } else {
+    bucket_push(kTierFar, 0, e);
+    far_min_coarse_ = std::min(far_min_coarse_, block);
+  }
+}
+
+Simulator::HeapEntry Simulator::detach_entry(std::uint32_t slot) {
+  const std::uint32_t loc = meta_[slot].loc;
+  const std::uint32_t tier = loc >> 30;
+  if (tier == kTierNear) {
+    if (((loc >> 24) & 0x3f) == kRunBucket) {
+      // Erase from the sorted run, preserving order; refresh the positions
+      // of the shifted tail. Rare (see the header comment) and O(run).
+      const std::uint32_t pos = loc & kPosMask;
+      const HeapEntry e = run_[pos];
+      run_.erase(run_.begin() + static_cast<std::ptrdiff_t>(pos));
+      for (std::size_t i = pos; i < run_.size(); ++i) {
+        meta_[run_[i].slot()].loc =
+            pack_loc(kTierNear, kRunBucket, static_cast<std::uint32_t>(i));
+      }
+      return e;
+    }
+    const HeapEntry e = heap_[loc];
+    remove_heap_entry(loc);
+    return e;
+  }
+  const std::uint32_t bucket = (loc >> 24) & 0x3f;
+  const std::uint32_t pos = loc & kPosMask;
+  const HeapEntry e = tier_vec(tier, bucket)[pos];
+  bucket_remove(tier, bucket, pos);
+  return e;
+}
+
+void Simulator::drain_far() {
+  const std::uint64_t cur_block = cur_epoch_ >> kL1Bits;
+  if (far_.empty() || far_min_coarse_ > cur_block + kL2Count) return;
+  std::size_t w = 0;
+  std::uint64_t remaining_min = kEpochSat;
+  for (std::size_t i = 0; i < far_.size(); ++i) {
+    const HeapEntry e = far_[i];
+    const std::uint64_t block = epoch_of(e.time()) >> kL1Bits;
+    if (block <= cur_block + kL2Count) {
+      --wheel_count_;  // leaving the far list; insert_entry re-counts it
+      insert_entry(e);
+    } else {
+      far_[w] = e;
+      meta_[e.slot()].loc = pack_loc(kTierFar, 0, static_cast<std::uint32_t>(w));
+      ++w;
+      remaining_min = std::min(remaining_min, block);
+    }
+  }
+  far_.resize(w);
+  far_min_coarse_ = remaining_min;
+}
+
+void Simulator::drain_l2_block(std::uint64_t block) {
+  std::vector<HeapEntry>& v = l2_[block & (kL2Count - 1)];
+  wheel_count_ -= v.size();
+  for (const HeapEntry& e : v) insert_entry(e);
+  v.clear();
+}
+
+void Simulator::advance_wheel() {
+  // 1) The remainder of the current coarse block: promote the next
+  //    non-empty fine bucket wholesale into the (empty) heap.
+  const std::uint64_t block_end = (cur_epoch_ >> kL1Bits << kL1Bits) | kL1Mask;
+  for (std::uint64_t e = cur_epoch_ + 1; e <= block_end; ++e) {
+    std::vector<HeapEntry>& b = l1_[e & kL1Mask];
+    if (b.empty()) continue;
+    cur_epoch_ = e;
+    wheel_count_ -= b.size();
+    // The near tier is empty here, so the bucket is adopted wholesale as
+    // the new run: one sort, then every pop is a sequential O(1) read.
+    run_.clear();
+    run_.swap(b);
+    run_head_ = 0;
+    std::sort(run_.begin(), run_.end(),
+              [](const HeapEntry& x, const HeapEntry& y) { return fires_before(x, y); });
+    for (std::size_t pos = 0; pos < run_.size(); ++pos) {
+      meta_[run_[pos].slot()].loc =
+          pack_loc(kTierNear, kRunBucket, static_cast<std::uint32_t>(pos));
+    }
+    return;
+  }
+  // 2) Jump to the next coarse block holding events (L2 window or far
+  //    list), slide the windows, and let the next prepare_next() iteration
+  //    promote within it.
+  const std::uint64_t cur_block = cur_epoch_ >> kL1Bits;
+  std::uint64_t target = kEpochSat;
+  for (std::uint64_t i = 1; i <= kL2Count; ++i) {
+    if (!l2_[(cur_block + i) & (kL2Count - 1)].empty()) {
+      target = cur_block + i;
+      break;
+    }
+  }
+  if (!far_.empty()) {
+    // far_min_coarse_ is a conservative (possibly stale-low) bound; take the
+    // exact minimum so the jump always lands on a block with events.
+    std::uint64_t fmin = kEpochSat;
+    for (const HeapEntry& e : far_) {
+      fmin = std::min(fmin, epoch_of(e.time()) >> kL1Bits);
+    }
+    far_min_coarse_ = fmin;
+    target = std::min(target, fmin);
+  }
+  // wheel_count_ > 0 with L1 exhausted means L2 or far holds something, and
+  // saturated epochs still map to a finite block (kEpochSat >> kL1Bits).
+  require(target != kEpochSat, "Simulator: wheel accounting corrupted");
+  cur_epoch_ = target << kL1Bits;
+  // Drain the target block BEFORE the far list: far entries for block
+  // target + kL2Count share the target's L2 bucket (residue collision), so
+  // the bucket must be empty when they arrive.
+  drain_l2_block(target);
+  drain_far();
+  // Entries at the block-start epoch landed in the heap directly; the rest
+  // are distributed over this block's L1 buckets for step 1 to find.
+}
+
+bool Simulator::prepare_next() {
+  while (run_head_ >= run_.size() && heap_.empty()) {
+    if (wheel_count_ == 0) return false;
+    advance_wheel();
+  }
+  return true;
 }
 
 EventId Simulator::schedule_event_at(Time at, const SimEvent& ev) {
@@ -130,9 +307,7 @@ EventId Simulator::schedule_event_at(Time at, const SimEvent& ev) {
   if (seq >= (1ULL << (64 - kSlotBits))) [[unlikely]] {
     throw std::runtime_error("Simulator: sequence space exhausted");
   }
-  heap_.push_back(HeapEntry{std::bit_cast<std::uint64_t>(at), (seq << kSlotBits) | slot});
-  meta_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
-  sift_up(heap_.size() - 1);
+  insert_entry(HeapEntry{std::bit_cast<std::uint64_t>(at), (seq << kSlotBits) | slot});
   return make_id(slot, meta_[slot].gen);
 }
 
@@ -146,7 +321,7 @@ EventId Simulator::schedule_at(Time at, Callback fn) {
 bool Simulator::cancel(EventId id) {
   const std::uint32_t slot = resolve(id);
   if (slot == kNoSlot) return false;
-  remove_heap_entry(meta_[slot].heap_pos);
+  (void)detach_entry(slot);
   release_slot(slot);
   return true;
 }
@@ -154,14 +329,22 @@ bool Simulator::cancel(EventId id) {
 bool Simulator::reschedule(EventId id, Time at) {
   const std::uint32_t slot = resolve(id);
   if (slot == kNoSlot) return false;
-  const std::size_t pos = meta_[slot].heap_pos;
+  at = clamp_time(at);
   const std::uint64_t seq = next_seq_++;  // re-sequence: FIFO among equal times
   if (seq >= (1ULL << (64 - kSlotBits))) [[unlikely]] {
     throw std::runtime_error("Simulator: sequence space exhausted");
   }
-  heap_[pos].time_bits = std::bit_cast<std::uint64_t>(clamp_time(at));
-  heap_[pos].key = (seq << kSlotBits) | slot;
-  restore_heap(pos);
+  const HeapEntry entry{std::bit_cast<std::uint64_t>(at), (seq << kSlotBits) | slot};
+  const std::uint32_t loc = meta_[slot].loc;
+  if (loc <= kPosMask && epoch_of(at) <= cur_epoch_) {
+    // Overlay-heap entry staying in the near horizon (loc <= kPosMask means
+    // tier 0, bucket 0): update in place, one restore instead of two sifts.
+    heap_[loc] = entry;
+    restore_heap(loc);
+    return true;
+  }
+  (void)detach_entry(slot);
+  insert_entry(entry);
   return true;
 }
 
@@ -179,19 +362,16 @@ void Simulator::pop_root() {
   while (4 * pos + 1 < n) {
     const std::size_t best = min_child(pos, n);
     heap_[pos] = heap_[best];
-    meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    meta_[heap_[pos].slot()].loc = static_cast<std::uint32_t>(pos);
     pos = best;
   }
   heap_[pos] = heap_[n];
-  meta_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+  meta_[heap_[pos].slot()].loc = static_cast<std::uint32_t>(pos);
   heap_.pop_back();
   sift_up(pos);
 }
 
-bool Simulator::step() {
-  if (heap_.empty()) return false;
-  const HeapEntry top = heap_[0];
-  pop_root();
+void Simulator::fire_entry(const HeapEntry& top) {
   const std::uint32_t slot = top.slot();
   now_ = top.time();
   ++fired_;
@@ -206,11 +386,40 @@ bool Simulator::step() {
     release_slot(slot);
     ev.target->dispatch(ev);
   }
+}
+
+bool Simulator::step() {
+  if (!prepare_next()) return false;
+  if (next_is_run()) {
+    const HeapEntry top = run_[run_head_++];
+    fire_entry(top);
+  } else {
+    const HeapEntry top = heap_[0];
+    pop_root();
+    fire_entry(top);
+  }
   return true;
 }
 
 void Simulator::run_until(Time t) {
-  while (!heap_.empty() && heap_[0].time() <= t) step();
+  while (prepare_next()) {
+    if (next_is_run()) {
+      const HeapEntry top = run_[run_head_];
+      if (top.time() > t) break;
+      ++run_head_;
+      if (run_head_ < run_.size()) {
+        // The next event's slot storage is known one pop ahead — pull its
+        // (randomly scattered) record line in while this event runs.
+        __builtin_prefetch(&events_[run_[run_head_].slot()]);
+      }
+      fire_entry(top);
+    } else {
+      const HeapEntry top = heap_[0];
+      if (top.time() > t) break;
+      pop_root();
+      fire_entry(top);
+    }
+  }
   if (now_ < t) now_ = t;
 }
 

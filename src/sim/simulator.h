@@ -3,14 +3,59 @@
 // Events fire in non-decreasing time order; equal-time events fire in
 // scheduling (FIFO) order, which makes every execution reproducible.
 //
-// The timer structure is a generation-tagged, index-tracked 4-ary min-heap:
-// every pending event lives in a stable slot (reused through a free list and
-// guarded against stale handles by a generation counter) and the heap keeps
-// each slot's position up to date, so cancel and reschedule are true
-// O(log n) operations with no hash lookups and no tombstones. Recurring
-// engine events are typed records (sim/event.h) stored inline in the slot,
-// so the steady-state schedule/fire/cancel cycle performs no allocation;
-// closures remain available as an escape hatch.
+// ## Timer structure: hierarchical timing wheel in front of a 4-ary heap
+//
+// Pending events live in one of four tiers:
+//
+//   near   the near horizon: every event whose fine epoch (floor(time / W),
+//          W = `bucket_width`) is <= the wheel's current epoch. Split into
+//          two structures ordered by the packed (time, seq) key:
+//            run     the promoted bucket, sorted once at promotion and then
+//                    consumed front-to-back (O(1) pops, sequential memory);
+//            overlay a generation-tagged, index-tracked 4-ary min-heap for
+//                    events that land in the near horizon *after* the
+//                    promotion (zero-delay self-schedules and the like).
+//          The next event is whichever of run-front/overlay-root fires
+//          first — one key comparison.
+//   L1     the remainder of the current coarse block: 64 fine buckets, one
+//          per epoch (aligned, so a bucket never mixes epochs).
+//   L2     the next 64 coarse blocks (64 fine epochs each): one bucket per
+//          block; entries are redistributed into L1 when their block starts.
+//   far    everything beyond the L2 window (more than 64*64 fine epochs
+//          ahead), an unsorted list rescanned when the L2 window slides.
+//
+// Bucket insertion and removal are O(1) (append / swap-remove); sorting
+// cost is paid once per bucket at promotion, and far-future timers (mlock
+// catch-ups, drift changes, periodic heartbeats) stop inflating every
+// comparison on the hot pop path.
+//
+// ### Invariants the implementation relies on
+//
+//  * Wheel -> near promotion preserves order exactly: epoch assignment
+//    floor(time / W) is monotone in time, so every event in a bucket fires
+//    strictly after every event currently in the near horizon; the packed
+//    (time_bits, seq) key is a total order (seq is unique), so the sorted
+//    run realizes global FIFO order no matter in which order the bucket was
+//    filled. Promotion happens lazily, only when the near horizon runs
+//    empty (`prepare_next`), and never moves `now`.
+//  * Every pending event occupies a stable slot (reused through a free list,
+//    guarded against stale handles by a generation counter). The slot's
+//    8-byte metadata packs (tier, bucket, position) into one word whose
+//    overlay-heap encoding is the plain heap position, so heap sifts touch
+//    exactly the same bytes a heap-only kernel would.
+//  * Cancel and reschedule work in any tier: O(1) in a wheel bucket,
+//    O(log n) in the overlay heap, O(run length) in the sorted run (erase
+//    keeps it sorted; runs are one bucket long and such cancels are rare —
+//    recurring far-future timers live in the wheel, not the run).
+//    A reschedule re-sequences the event (fresh seq number) exactly as if
+//    it had been cancelled and scheduled anew, wherever the new time lands.
+//  * Times are non-negative and compared as raw IEEE-754 bit patterns (see
+//    HeapEntry); epochs saturate for astronomically far times, which simply
+//    parks those events in the far list forever (correct, just unsorted).
+//
+// Recurring engine events are typed records (sim/event.h) stored inline in
+// the slot, so the steady-state schedule/fire/cancel cycle performs no
+// allocation; closures remain available as an escape hatch.
 #pragma once
 
 #include <bit>
@@ -36,7 +81,11 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  /// `bucket_width` is the wheel's fine-epoch width W (simulated time units).
+  /// The default suits the engine's sub-second cadences; any positive value
+  /// is correct (only performance changes). Powers of two keep the epoch
+  /// boundaries exact.
+  explicit Simulator(double bucket_width = 0.03125);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -80,7 +129,9 @@ class Simulator {
   /// Run until the queue is empty.
   void run();
 
-  [[nodiscard]] std::size_t pending_count() const { return heap_.size(); }
+  [[nodiscard]] std::size_t pending_count() const {
+    return heap_.size() + (run_.size() - run_head_) + wheel_count_;
+  }
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
 
  private:
@@ -89,6 +140,25 @@ class Simulator {
   // per Simulator lifetime (both bounds checked).
   static constexpr int kSlotBits = 20;
   static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+
+  // Wheel geometry: 64 fine buckets per coarse block, 64 coarse buckets.
+  static constexpr int kL1Bits = 6;
+  static constexpr std::uint64_t kL1Count = 1ULL << kL1Bits;
+  static constexpr std::uint64_t kL1Mask = kL1Count - 1;
+  static constexpr std::uint64_t kL2Count = 64;
+  /// Epochs saturate here (times beyond ~1e15 * W land in the far list
+  /// forever, degrading gracefully to the unsorted-list + heap behavior).
+  static constexpr std::uint64_t kEpochSat = 1ULL << 62;
+
+  // Slot location tiers, packed into SlotMeta::loc (see below). The near
+  // tier (0) has two sub-containers distinguished by the bucket field:
+  // bucket 0 = overlay heap (loc is then the raw heap position, which keeps
+  // sift writes single-store), bucket 1 = sorted run.
+  static constexpr std::uint32_t kTierNear = 0;
+  static constexpr std::uint32_t kTierL1 = 1;
+  static constexpr std::uint32_t kTierL2 = 2;
+  static constexpr std::uint32_t kTierFar = 3;
+  static constexpr std::uint32_t kRunBucket = 1;
 
   /// 16 bytes: fire time plus (seq << kSlotBits | slot). The sequence is
   /// strictly increasing per schedule, so comparing keys realizes the FIFO
@@ -107,11 +177,18 @@ class Simulator {
     }
   };
   /// Compact per-slot bookkeeping, separate from the fat event records so
-  /// heap sifts touch only this 8-byte array.
+  /// heap sifts touch only this 8-byte array. `loc` packs
+  /// (tier << 30 | bucket << 24 | position); the heap tier is 0, so for heap
+  /// entries `loc` IS the heap position and sifts write it directly.
   struct SlotMeta {
-    std::uint32_t heap_pos = 0;
+    std::uint32_t loc = 0;
     std::uint32_t gen = 1;  ///< bumped on release; 0 is never a live gen
   };
+  static constexpr std::uint32_t kPosMask = (1U << 24) - 1;
+  static constexpr std::uint32_t pack_loc(std::uint32_t tier, std::uint32_t bucket,
+                                          std::uint32_t pos) {
+    return (tier << 30) | (bucket << 24) | pos;
+  }
 
 #ifdef __SIZEOF_INT128__
   static unsigned __int128 order_key(const HeapEntry& e) {
@@ -135,6 +212,11 @@ class Simulator {
   [[nodiscard]] std::uint32_t resolve(EventId id) const;
 
   [[nodiscard]] Time clamp_time(Time at) const;
+  /// Fine epoch of a time (saturating; monotone in `at`).
+  [[nodiscard]] std::uint64_t epoch_of(Time at) const {
+    const double scaled = at * inv_bucket_width_;
+    return scaled >= 4.5e15 ? kEpochSat : static_cast<std::uint64_t>(scaled);
+  }
   /// Index of the smallest child of `pos` in a heap of size n (pos must
   /// have at least one child). Shared by sift_down and pop_root so the
   /// selection logic cannot diverge.
@@ -147,13 +229,53 @@ class Simulator {
   void remove_heap_entry(std::size_t pos);
   void pop_root();
 
+  // ---- wheel machinery (see the class comment for the tier invariants)
+  /// The container a wheel tier lives in (kTierL1/kTierL2/kTierFar only).
+  [[nodiscard]] std::vector<HeapEntry>& tier_vec(std::uint32_t tier,
+                                                 std::uint32_t bucket);
+  void push_heap_entry(const HeapEntry& e);
+  /// Route a new/moved entry to its tier based on epoch vs. cur_epoch_.
+  void insert_entry(const HeapEntry& e);
+  void bucket_push(std::uint32_t tier, std::uint32_t bucket, const HeapEntry& e);
+  /// Swap-remove from a bucket/far list, fixing the displaced slot's meta.
+  void bucket_remove(std::uint32_t tier, std::uint32_t bucket, std::uint32_t pos);
+  /// Detach a live entry from whatever tier holds it, returning it.
+  HeapEntry detach_entry(std::uint32_t slot);
+  /// Ensure some near-tier event exists (run front or overlay root),
+  /// promoting wheel buckets as needed. False iff nothing is pending.
+  bool prepare_next();
+  /// True if the next event to fire is the run front (else: overlay root).
+  /// Pre: prepare_next() returned true.
+  [[nodiscard]] bool next_is_run() const {
+    return run_head_ < run_.size() &&
+           (heap_.empty() || fires_before(run_[run_head_], heap_[0]));
+  }
+  /// Fire one event already detached from its container.
+  void fire_entry(const HeapEntry& top);
+  /// Advance cur_epoch_ to the next epoch holding events and promote its
+  /// bucket as the new sorted run. Pre: near tier empty, wheel_count_ > 0.
+  void advance_wheel();
+  /// Move every entry of the L2 bucket for coarse block `block` into L1.
+  void drain_l2_block(std::uint64_t block);
+  /// Pull far-list entries that now fit the L2/L1 windows (or the heap).
+  void drain_far();
+
   Time now_ = 0.0;
+  double inv_bucket_width_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
-  std::vector<HeapEntry> heap_;     ///< 4-ary min-heap by (time, key)
-  std::vector<SlotMeta> meta_;      ///< parallel to events_
-  std::vector<SimEvent> events_;    ///< stable event storage by slot
-  std::vector<Callback> closures_;  ///< kClosure callbacks, same slot index
+  std::uint64_t cur_epoch_ = 0;      ///< near tier covers fine epochs <= this
+  std::size_t wheel_count_ = 0;      ///< entries in l1_ + l2_ + far_
+  std::uint64_t far_min_coarse_ = kEpochSat;  ///< conservative lower bound
+  std::vector<HeapEntry> run_;       ///< promoted bucket, sorted ascending
+  std::size_t run_head_ = 0;         ///< first unconsumed run entry
+  std::vector<HeapEntry> heap_;      ///< overlay 4-ary min-heap by (time, key)
+  std::vector<HeapEntry> l1_[kL1Count];
+  std::vector<HeapEntry> l2_[kL2Count];
+  std::vector<HeapEntry> far_;
+  std::vector<SlotMeta> meta_;       ///< parallel to events_
+  std::vector<SimEvent> events_;     ///< stable event storage by slot
+  std::vector<Callback> closures_;   ///< kClosure callbacks, same slot index
   std::vector<std::uint32_t> free_slots_;
 };
 

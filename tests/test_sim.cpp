@@ -167,6 +167,127 @@ TEST(Simulator, GenerationTagInvalidatesStaleHandlesAfterSlotReuse) {
   sim.run();
 }
 
+// ---------------------------------------------------------------------------
+// Timing-wheel-specific stress cases. Default geometry: bucket width 1/32,
+// 64 fine buckets per coarse block, 64 coarse blocks — so one L1 rotation
+// spans 2 time units and the L2 window ends 128 time units out; anything
+// beyond that lives in the far list until the window slides.
+
+TEST(SimulatorWheel, EventsBeyondOneWheelRotationFireInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  // One event per tier: current epoch, L1, L2, far — scheduled shuffled.
+  sim.schedule_at(300.0, [&] { order.push_back(4); });  // far (> 128)
+  sim.schedule_at(0.01, [&] { order.push_back(1); });   // current epoch
+  sim.schedule_at(50.0, [&] { order.push_back(3); });   // L2 window
+  sim.schedule_at(1.0, [&] { order.push_back(2); });    // L1 block
+  EXPECT_EQ(sim.pending_count(), 4u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(sim.now(), 300.0);
+}
+
+TEST(SimulatorWheel, ManyRotationsWithRecurringEvents) {
+  // A self-rescheduling chain crossing hundreds of L1 rotations and several
+  // L2 windows, interleaved with far-future one-shots.
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    ++chain;
+    if (chain < 1000) sim.schedule_after(0.7, tick);
+  };
+  sim.schedule_after(0.7, tick);
+  std::vector<double> far_fired;
+  for (int i = 1; i <= 5; ++i) {
+    const double at = 130.0 * i;  // each beyond the L2 window at schedule time
+    sim.schedule_at(at, [&far_fired, at] { far_fired.push_back(at); });
+  }
+  sim.run();
+  EXPECT_EQ(chain, 1000);
+  EXPECT_EQ(far_fired, (std::vector<double>{130.0, 260.0, 390.0, 520.0, 650.0}));
+}
+
+TEST(SimulatorWheel, FifoTiesWithinOneBucket) {
+  // Many events at the exact same far-future time land in one wheel bucket;
+  // they must fire in scheduling order after promotion (the sorted run
+  // orders by the packed (time, seq) key, and seq is the schedule order).
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(77.25, [&order, i] { order.push_back(i); });
+  }
+  // Same time, scheduled later, from a different tier history: rescheduled
+  // from near to far — must still fire last (reschedule re-sequences).
+  const EventId moved = sim.schedule_at(0.5, [&order] { order.push_back(100); });
+  ASSERT_TRUE(sim.reschedule(moved, 77.25));
+  sim.run();
+  ASSERT_EQ(order.size(), 101u);
+  for (int i = 0; i <= 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorWheel, CancelAndRescheduleAcrossPromotionBoundary) {
+  Simulator sim;
+  std::vector<int> order;
+  // Far event pulled into the near horizon, near event pushed beyond the
+  // wheel window, and a bucket event cancelled after its neighbors fired.
+  const EventId far_in = sim.schedule_at(200.0, [&] { order.push_back(1); });
+  const EventId near_out = sim.schedule_at(0.5, [&] { order.push_back(2); });
+  const EventId doomed = sim.schedule_at(10.0, [&] { order.push_back(3); });
+  sim.schedule_at(10.0, [&] { order.push_back(4); });
+  // Pins the wheel: when run_until drains past 5.0 the lazy promotion stops
+  // at this event's bucket, so the 10.0 bucket is provably still unpromoted
+  // when the cancel below runs (exercising the wheel-bucket removal path).
+  sim.schedule_at(6.0, [&] { order.push_back(5); });
+  EXPECT_TRUE(sim.reschedule(far_in, 1.0));    // far -> L1
+  EXPECT_TRUE(sim.reschedule(near_out, 400.0));  // near -> far
+  sim.run_until(5.0);  // fires far_in (at 1.0); 10.0 bucket not yet promoted
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_TRUE(sim.cancel(doomed));  // cancel inside an unpromoted bucket
+  EXPECT_FALSE(sim.pending(doomed));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5, 4, 2}));
+}
+
+TEST(SimulatorWheel, CancelWithinActiveSortedRun) {
+  // Cancel an event whose bucket was already promoted (it sits in the
+  // sorted run): the remaining run entries keep firing in order and their
+  // handles stay valid.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sim.schedule_at(5.0 + 0.001 * i, [&order, i] { order.push_back(i); }));
+  }
+  // Fire the first two; the run for that bucket is now active.
+  sim.step();
+  sim.step();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(sim.cancel(ids[3]));      // erase from the middle of the run
+  EXPECT_TRUE(sim.reschedule(ids[5], 6.5));  // move out of the run
+  EXPECT_TRUE(sim.cancel(ids[7]));      // erase the run's tail
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 4, 6, 5}));
+}
+
+TEST(SimulatorWheel, IdleGapsPromoteLazily) {
+  // Long idle stretches between events: run_until across empty windows must
+  // advance time without losing far events, and pending bookkeeping must
+  // stay consistent.
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(1000.0, [&] { fired.push_back(1000.0); });
+  sim.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  sim.run_until(500.0);
+  EXPECT_EQ(fired, std::vector<double>{1.0});
+  EXPECT_EQ(sim.pending_count(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 500.0);
+  // Scheduling relative to the advanced now still interleaves correctly
+  // with the parked far event.
+  sim.schedule_at(600.0, [&] { fired.push_back(600.0); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 600.0, 1000.0}));
+}
+
 // Randomized schedule/cancel/reschedule interleavings, checked against a
 // naive reference queue implementing the documented ordering contract:
 // events fire in (time, sequence) order, where every schedule AND every
@@ -184,6 +305,13 @@ TEST(Simulator, RandomizedOpsMatchNaiveReferenceQueue) {
   std::vector<std::pair<EventId, int>> live;   // kernel handle -> tag
   std::uint64_t ref_seq = 0;
   int next_tag = 0;
+
+  // Mostly near-horizon offsets, with a fat tail reaching through the L1
+  // block, the L2 window and into the far list (window ends 128 out), so
+  // cancels/reschedules hit every wheel tier.
+  const auto draw_offset = [&] {
+    return rng.chance(0.25) ? rng.uniform(0.0, 400.0) : rng.uniform(0.0, 10.0);
+  };
 
   const auto schedule = [&](double at) {
     const int tag = next_tag++;
@@ -204,7 +332,7 @@ TEST(Simulator, RandomizedOpsMatchNaiveReferenceQueue) {
   for (int round = 0; round < 4000; ++round) {
     const double roll = rng.uniform01();
     if (roll < 0.45 || live.empty()) {
-      schedule(sim.now() + rng.uniform(0.0, 10.0));
+      schedule(sim.now() + draw_offset());
     } else if (roll < 0.65) {
       const std::size_t pick = static_cast<std::size_t>(rng.below(live.size()));
       ASSERT_TRUE(sim.cancel(live[pick].first));
@@ -212,7 +340,7 @@ TEST(Simulator, RandomizedOpsMatchNaiveReferenceQueue) {
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
     } else if (roll < 0.85) {
       const std::size_t pick = static_cast<std::size_t>(rng.below(live.size()));
-      const double at = sim.now() + rng.uniform(0.0, 10.0);
+      const double at = sim.now() + draw_offset();
       ASSERT_TRUE(sim.reschedule(live[pick].first, at));
       for (RefEvent& e : ref) {
         if (e.tag == live[pick].second) {
