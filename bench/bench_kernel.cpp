@@ -30,6 +30,60 @@ void BM_SimulatorScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorScheduleFire);
 
+/// Measures the SoA tag path + devirtualized channel dispatch in isolation:
+/// typed node events through a registered channel, no closures, batch-drained
+/// by run(). Compare against BM_SimulatorScheduleFire (closure arm).
+void BM_SimulatorScheduleFireTyped(benchmark::State& state) {
+  struct Counter final : public EventDispatcher {
+    std::uint64_t fired = 0;
+    void dispatch(const SimEvent& ev) override { fired += static_cast<std::uint64_t>(ev.node); }
+  };
+  for (auto _ : state) {
+    Simulator sim;
+    Counter counter;
+    const std::uint8_t ch =
+        sim.register_dispatch_channel(&counter, [](void* self, const SimEvent& ev) {
+          static_cast<Counter*>(self)->dispatch(ev);
+        });
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_event_at(static_cast<Time>(i % 37),
+                            SimEvent::node_event(EventKind::kTick, ch, i & 15));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter.fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorScheduleFireTyped);
+
+/// Far-tier stress: every event is scheduled beyond the L2 window (> 64*64
+/// fine epochs = 128 time units with the default bucket width), so the
+/// kernel pays the full far-list -> L2 -> L1 -> sorted-run migration chain
+/// before each fire. Measures wheel bookkeeping, not dispatch.
+void BM_SimulatorScheduleFireFar(benchmark::State& state) {
+  struct Counter final : public EventDispatcher {
+    std::uint64_t fired = 0;
+    void dispatch(const SimEvent&) override { ++fired; }
+  };
+  for (auto _ : state) {
+    Simulator sim;
+    Counter counter;
+    const std::uint8_t ch =
+        sim.register_dispatch_channel(&counter, [](void* self, const SimEvent& ev) {
+          static_cast<Counter*>(self)->dispatch(ev);
+        });
+    for (int i = 0; i < 1024; ++i) {
+      // 140..143360 time units out: all far-tier at schedule time.
+      sim.schedule_event_at(140.0 * (1 + i % 1024),
+                            SimEvent::node_event(EventKind::kTick, ch, 0));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter.fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorScheduleFireFar);
+
 void BM_TriggerEvaluation(benchmark::State& state) {
   const auto peers = static_cast<int>(state.range(0));
   Rng rng(11);
@@ -114,6 +168,25 @@ void BM_BeaconScenarioSimulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * 50);
 }
 BENCHMARK(BM_BeaconScenarioSimulation)->Arg(16)->Arg(64);
+
+/// High fan-out beacon traffic (complete graph, degree n-1): the regime the
+/// message arena is built for — ONE payload construction per broadcast is
+/// shared by every in-flight delivery instead of being copied per edge.
+/// Compare against BM_ScenarioSimulation (line, degree 2), where payload
+/// sharing cannot pay for its bookkeeping.
+void BM_DenseScenarioSimulation(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto spec = kernel_spec(n);
+    spec.topology = ComponentSpec("complete");
+    Scenario s(spec);
+    s.start();
+    s.run_until(50.0);
+    benchmark::DoNotOptimize(s.sim().fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 50);
+}
+BENCHMARK(BM_DenseScenarioSimulation)->Arg(32)->Arg(64);
 
 }  // namespace
 }  // namespace gcs

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare two Google Benchmark JSON files.
+
+Prints a per-benchmark table of before/after times and the speedup ratio
+(before / after: > 1 means the second file is faster). Optionally enforces
+regression gates: with one or more --check NAME arguments, the script exits
+nonzero if any named benchmark's after-time exceeds its before-time by more
+than --max-regression (a ratio, default 1.10 = 10% slower).
+
+Usage:
+  scripts/compare_bench.py BEFORE.json AFTER.json
+  scripts/compare_bench.py BEFORE.json AFTER.json \
+      --check BM_ScenarioSimulation/1024 --max-regression 1.10
+  scripts/compare_bench.py BEFORE.json AFTER.json --report-out compare.txt
+
+Benchmarks present in only one file are listed but never gate. Aggregate
+rows (mean/median/stddev from --benchmark_repetitions) are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str, metric: str) -> dict[str, float]:
+    """Map benchmark name -> time (in nanoseconds) from one JSON file.
+
+    Plain iteration rows are preferred; files recorded with
+    --benchmark_report_aggregates_only carry only aggregate rows, so the
+    `_mean` aggregates (stripped back to the canonical name) fill the gaps.
+    """
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    plain: dict[str, float] = {}
+    means: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench["name"]
+        value = float(bench[metric])
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            raise SystemExit(f"{path}: unknown time_unit {unit!r} for {name}")
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "mean" and name.endswith("_mean"):
+                means[name[: -len("_mean")]] = value * scale
+        else:
+            plain[name] = value * scale
+    return means | plain  # plain rows win when both exist
+
+
+def format_ns(ns: float) -> str:
+    for limit, unit in ((1e9, "s"), (1e6, "ms"), (1e3, "us")):
+        if ns >= limit:
+            return f"{ns / limit:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("before", help="baseline benchmark JSON")
+    parser.add_argument("after", help="candidate benchmark JSON")
+    parser.add_argument(
+        "--metric",
+        default="real_time",
+        choices=["real_time", "cpu_time"],
+        help="which per-iteration time to compare (default: real_time)",
+    )
+    parser.add_argument(
+        "--check",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="benchmark name that must not regress (repeatable); "
+        "an unknown name fails the gate",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.10,
+        metavar="RATIO",
+        help="fail a checked benchmark when after > before * RATIO "
+        "(default 1.10)",
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="FILE",
+        help="also write the comparison table to FILE",
+    )
+    args = parser.parse_args()
+
+    before = load_benchmarks(args.before, args.metric)
+    after = load_benchmarks(args.after, args.metric)
+
+    names = sorted(before.keys() | after.keys())
+    width = max((len(n) for n in names), default=4)
+    lines = [
+        f"# {args.metric}: {args.before} -> {args.after}",
+        f"{'benchmark':<{width}}  {'before':>10}  {'after':>10}  {'speedup':>8}",
+    ]
+    for name in names:
+        b, a = before.get(name), after.get(name)
+        if b is None or a is None:
+            side = "after only" if b is None else "before only"
+            lines.append(f"{name:<{width}}  {'--':>10}  {'--':>10}  [{side}]")
+            continue
+        ratio = b / a if a > 0 else float("inf")
+        lines.append(
+            f"{name:<{width}}  {format_ns(b):>10}  {format_ns(a):>10}  {ratio:>7.2f}x"
+        )
+
+    failures = []
+    for name in args.check:
+        b, a = before.get(name), after.get(name)
+        if b is None or a is None:
+            failures.append(f"{name}: missing from {'before' if b is None else 'after'} file")
+            continue
+        if a > b * args.max_regression:
+            failures.append(
+                f"{name}: {format_ns(a)} vs {format_ns(b)} baseline "
+                f"({a / b:.2f}x > allowed {args.max_regression:.2f}x)"
+            )
+    if failures:
+        lines.append("")
+        lines.append("REGRESSIONS:")
+        lines.extend(f"  {f}" for f in failures)
+    elif args.check:
+        lines.append("")
+        lines.append(f"All {len(args.check)} checked benchmark(s) within bounds.")
+
+    report = "\n".join(lines)
+    print(report)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,11 @@ Engine::Engine(Simulator& sim, DynamicGraph& graph, Transport& transport,
       gskew_(gskew),
       params_(params),
       config_(config) {
+  // Channel dispatch: the thunk's static_cast call devirtualizes (Engine is
+  // final), so fired typed events skip the vtable entirely.
+  channel_ = sim_.register_dispatch_channel(this, [](void* self, const SimEvent& ev) {
+    static_cast<Engine*>(self)->dispatch(ev);
+  });
   const auto validation = params_.validate();
   require(validation.ok(), "Engine: invalid AlgoParams:\n" + validation.str());
   require(config_.tick_period > 0.0 && config_.beacon_period > 0.0,
@@ -76,19 +81,21 @@ Engine::Engine(Simulator& sim, DynamicGraph& graph, Transport& transport,
   // Sized exactly once: algorithms hold pointers into this vector, so it
   // must never reallocate after this loop.
   nodes_.reserve(static_cast<std::size_t>(n));
+  hot_.resize(static_cast<std::size_t>(n));
   const Time t0 = sim_.now();
   for (NodeId u = 0; u < n; ++u) {
     NodeState& state = nodes_.emplace_back(*this, u);
+    NodeHot& h = hot(u);
     const double h_rate = drift_.rate_at(u, t0);
-    state.clocks.last = t0;
-    state.clocks.rate[NodeClocks::kHw] = h_rate;
-    state.clocks.rate[NodeClocks::kLog] = h_rate;  // mult=1 initially
-    state.clocks.rate[NodeClocks::kMax] = h_rate;
+    h.clocks.last = t0;
+    h.clocks.rate[NodeClocks::kHw] = h_rate;
+    h.clocks.rate[NodeClocks::kLog] = h_rate;  // mult=1 initially
+    h.clocks.rate[NodeClocks::kMax] = h_rate;
     // The min estimate starts at the true minimum (0) and advances at the
     // safe rate (1-rho)/(1+rho)*h, which cannot overtake any logical clock.
-    state.clocks.rate[NodeClocks::kMin] =
+    h.clocks.rate[NodeClocks::kMin] =
         (1.0 - params_.rho) / (1.0 + params_.rho) * h_rate;
-    state.m_locked = true;
+    h.m_locked = true;
     state.algo = factory(u);
     require(state.algo != nullptr, "Engine: factory returned null algorithm");
     state.algo->attach(&state.api);
@@ -119,7 +126,7 @@ void Engine::start() {
     if (merged_heartbeat_) {
       sim_.schedule_event_after(
           config_.tick_period * phase,
-          SimEvent::node_event(EventKind::kHeartbeat, this, u));
+          SimEvent::node_event(EventKind::kHeartbeat, channel_, u));
     } else {
       schedule_tick(u, config_.tick_period * phase);
       if (config_.enable_beacons) schedule_beacon(u, config_.beacon_period * phase);
@@ -128,13 +135,13 @@ void Engine::start() {
   }
 }
 
-double Engine::unlocked_max_rate(const NodeState& n) const {
+double Engine::unlocked_max_rate(const NodeHot& n) const {
   return (1.0 - params_.rho) / (1.0 + params_.rho) * n.clocks.rate[NodeClocks::kHw];
 }
 
-bool Engine::max_locked(NodeId u) const { return node(u).m_locked; }
-double Engine::rate_multiplier(NodeId u) const { return node(u).mult; }
-double Engine::hardware_rate(NodeId u) const { return node(u).clocks.rate[NodeClocks::kHw]; }
+bool Engine::max_locked(NodeId u) const { return hot(u).m_locked; }
+double Engine::rate_multiplier(NodeId u) const { return hot(u).mult; }
+double Engine::hardware_rate(NodeId u) const { return hot(u).clocks.rate[NodeClocks::kHw]; }
 Algorithm& Engine::algorithm(NodeId u) { return *node(u).algo; }
 
 double Engine::true_global_skew() {
@@ -150,15 +157,16 @@ double Engine::true_global_skew() {
 
 void Engine::corrupt_logical(NodeId u, ClockValue value) {
   advance(u);
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
+  NodeState& st = node(u);
   const ClockValue m_before = n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax];
   n.clocks.set_value(sim_.now(), NodeClocks::kLog, value);
   if (n.clocks.value[NodeClocks::kMin] > value) n.clocks.set_value(sim_.now(), NodeClocks::kMin, value);
   if (value >= m_before) {
     // The paper's invariant M_u >= L_u (eq. 4) must keep holding.
     n.m_locked = true;
-    if (n.mlock_event.valid()) sim_.cancel(n.mlock_event);
-    n.mlock_event = EventId{};
+    if (st.mlock_event.valid()) sim_.cancel(st.mlock_event);
+    st.mlock_event = EventId{};
   } else if (n.m_locked) {
     // L dropped below the old M: keep M at its former value, now unlocked.
     n.m_locked = false;
@@ -174,12 +182,13 @@ void Engine::corrupt_logical(NodeId u, ClockValue value) {
 
 void Engine::corrupt_max_estimate(NodeId u, ClockValue value) {
   advance(u);
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
+  NodeState& st = node(u);
   const ClockValue l = n.clocks.value[NodeClocks::kLog];
   if (value <= l) {
     n.m_locked = true;
-    if (n.mlock_event.valid()) sim_.cancel(n.mlock_event);
-    n.mlock_event = EventId{};
+    if (st.mlock_event.valid()) sim_.cancel(st.mlock_event);
+    st.mlock_event = EventId{};
   } else {
     n.m_locked = false;
     n.clocks.set_value(sim_.now(), NodeClocks::kMax, value);
@@ -215,7 +224,7 @@ void Engine::on_edge_lost(NodeId u, NodeId peer) {
 
 void Engine::apply_drift(NodeId u) {
   advance(u);
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
   const double h_rate = drift_.rate_at(u, sim_.now());
   n.clocks.set_rate(sim_.now(), NodeClocks::kHw, h_rate);
   n.clocks.set_rate(sim_.now(), NodeClocks::kLog, n.mult * h_rate);
@@ -268,21 +277,21 @@ void Engine::schedule_drift(NodeId u) {
   const Time next = drift_.next_change_after(u, sim_.now());
   if (next == kTimeInf) return;
   sim_.schedule_event_at(next,
-                         SimEvent::node_event(EventKind::kDriftChange, this, u));
+                         SimEvent::node_event(EventKind::kDriftChange, channel_, u));
 }
 
 void Engine::schedule_tick(NodeId u, Duration delay) {
-  sim_.schedule_event_after(delay, SimEvent::node_event(EventKind::kTick, this, u));
+  sim_.schedule_event_after(delay, SimEvent::node_event(EventKind::kTick, channel_, u));
 }
 
 void Engine::schedule_beacon(NodeId u, Duration delay) {
   sim_.schedule_event_after(delay,
-                            SimEvent::node_event(EventKind::kBeacon, this, u));
+                            SimEvent::node_event(EventKind::kBeacon, channel_, u));
 }
 
 void Engine::fire_beacon(NodeId u) {
   advance(u);
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
   const Beacon beacon{n.clocks.value[NodeClocks::kLog],
                       n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax],
                       n.clocks.value[NodeClocks::kMin]};
@@ -291,7 +300,7 @@ void Engine::fire_beacon(NodeId u) {
   transport_.send_fanout(u, graph_.view_neighbors(u), beacon);
   if (merged_heartbeat_) {
     sim_.schedule_event_after(config_.beacon_period,
-                              SimEvent::node_event(EventKind::kHeartbeat, this, u));
+                              SimEvent::node_event(EventKind::kHeartbeat, channel_, u));
   } else {
     schedule_beacon(u, config_.beacon_period);
   }
@@ -316,11 +325,12 @@ void Engine::reschedule_logical_event(NodeId u) {
     }
     return;
   }
-  n.clocks.advance(sim_.now());
-  const Time fire_at = n.clocks.time_of_value(NodeClocks::kLog, n.logical_targets.front().at);
+  NodeClocks& clocks = hot(u).clocks;
+  clocks.advance(sim_.now());
+  const Time fire_at = clocks.time_of_value(NodeClocks::kLog, n.logical_targets.front().at);
   if (n.logical_event.valid() && sim_.reschedule(n.logical_event, fire_at)) return;
   n.logical_event = sim_.schedule_event_at(
-      fire_at, SimEvent::node_event(EventKind::kLogicalTarget, this, u));
+      fire_at, SimEvent::node_event(EventKind::kLogicalTarget, channel_, u));
 }
 
 void Engine::fire_logical_targets(NodeId u) {
@@ -328,7 +338,7 @@ void Engine::fire_logical_targets(NodeId u) {
   NodeState& n = node(u);
   n.logical_event = EventId{};
   // Fire every target at or (within float fuzz) below the current L.
-  const ClockValue l = n.clocks.value[NodeClocks::kLog];
+  const ClockValue l = hot(u).clocks.value[NodeClocks::kLog];
   const ClockValue fuzz = 1e-9 * (std::fabs(l) + 1.0);
   // Collect the due targets before running any (they may schedule more).
   // The scratch buffer is moved out for the duration of the calls so a
@@ -350,11 +360,12 @@ void Engine::fire_logical_targets(NodeId u) {
 }
 
 void Engine::reschedule_mlock(NodeId u) {
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
+  NodeState& st = node(u);
   if (n.m_locked) {
-    if (n.mlock_event.valid()) {
-      sim_.cancel(n.mlock_event);
-      n.mlock_event = EventId{};
+    if (st.mlock_event.valid()) {
+      sim_.cancel(st.mlock_event);
+      st.mlock_event = EventId{};
     }
     return;
   }
@@ -364,9 +375,9 @@ void Engine::reschedule_mlock(NodeId u) {
       n.clocks.value_at(NodeClocks::kLog, sim_.now());
   if (gap <= 0.0) {
     // Degenerate (value corruption): lock immediately.
-    if (n.mlock_event.valid()) {
-      sim_.cancel(n.mlock_event);
-      n.mlock_event = EventId{};
+    if (st.mlock_event.valid()) {
+      sim_.cancel(st.mlock_event);
+      st.mlock_event = EventId{};
     }
     advance(u);
     n.m_locked = true;
@@ -374,22 +385,21 @@ void Engine::reschedule_mlock(NodeId u) {
   }
   require(l_rate > m_rate, "Engine: logical rate must exceed unlocked M rate");
   const Time fire_at = sim_.now() + gap / (l_rate - m_rate);
-  if (n.mlock_event.valid() && sim_.reschedule(n.mlock_event, fire_at)) return;
-  n.mlock_event = sim_.schedule_event_at(
-      fire_at, SimEvent::node_event(EventKind::kMLockCatch, this, u));
+  if (st.mlock_event.valid() && sim_.reschedule(st.mlock_event, fire_at)) return;
+  st.mlock_event = sim_.schedule_event_at(
+      fire_at, SimEvent::node_event(EventKind::kMLockCatch, channel_, u));
 }
 
 void Engine::fire_mlock(NodeId u) {
   advance(u);
-  NodeState& n = node(u);
-  n.mlock_event = EventId{};
-  n.m_locked = true;  // from now on M_u tracks L_u exactly
+  node(u).mlock_event = EventId{};
+  hot(u).m_locked = true;  // from now on M_u tracks L_u exactly
   reevaluate(u);
 }
 
 void Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
   advance(u);
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
   const ClockValue l = n.clocks.value[NodeClocks::kLog];
   if (n.m_locked) {
     if (candidate > l) {
@@ -414,7 +424,7 @@ void Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
 
 void Engine::set_rate_multiplier(NodeId u, double mult) {
   require(mult > 0.0, "Engine: rate multiplier must be positive");
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
   if (n.mult == mult) return;
   advance(u);
   if (observer_ != nullptr) observer_->on_mode_change(sim_.now(), u, n.mult, mult);
@@ -426,7 +436,7 @@ void Engine::set_rate_multiplier(NodeId u, double mult) {
 
 void Engine::set_logical_value(NodeId u, ClockValue v) {
   advance(u);
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
   const ClockValue m_before = n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax];
   if (observer_ != nullptr) {
     observer_->on_logical_jump(sim_.now(), u, n.clocks.value[NodeClocks::kLog], v);
@@ -434,8 +444,9 @@ void Engine::set_logical_value(NodeId u, ClockValue v) {
   n.clocks.set_value(sim_.now(), NodeClocks::kLog, v);
   if (v >= m_before) {
     n.m_locked = true;
-    if (n.mlock_event.valid()) sim_.cancel(n.mlock_event);
-    n.mlock_event = EventId{};
+    NodeState& st = node(u);
+    if (st.mlock_event.valid()) sim_.cancel(st.mlock_event);
+    st.mlock_event = EventId{};
   } else {
     reschedule_mlock(u);
   }
@@ -453,7 +464,7 @@ void Engine::reevaluate(NodeId u) {
 
 void Engine::on_delivery(const Delivery& d) {
   advance(d.to);
-  if (const auto* beacon = std::get_if<Beacon>(&d.payload)) {
+  if (const auto* beacon = std::get_if<Beacon>(d.payload)) {
     if (estimates_consume_beacons_) {
       estimates_.on_beacon(d);
       // Dirty-peer notification: the discrete estimate state for (to, from)
@@ -467,13 +478,13 @@ void Engine::on_delivery(const Delivery& d) {
     apply_max_candidate(d.to, candidate);
     // Min-estimate flooding: the sender's lower bound, advanced by the
     // drift-discounted transit floor, is still a lower bound on min_v L_v.
-    NodeState& receiver = node(d.to);
+    NodeHot& receiver = hot(d.to);
     const ClockValue min_candidate =
         beacon->min_estimate + (1.0 - params_.rho) * d.known_min_delay;
     if (min_candidate > receiver.clocks.value[NodeClocks::kMin]) {
       receiver.clocks.set_value(sim_.now(), NodeClocks::kMin, min_candidate);
     }
-  } else if (const auto* ins = std::get_if<InsertEdgeMsg>(&d.payload)) {
+  } else if (const auto* ins = std::get_if<InsertEdgeMsg>(d.payload)) {
     node(d.to).algo->on_insert_edge_msg(d.from, *ins);
   }
   reevaluate(d.to);

@@ -233,7 +233,9 @@ class Engine final : public DynamicGraph::Listener,
 
   // ------------------------------------------------------- EventDispatcher
   /// Typed-event switch: the kernel hands back Tick/Beacon/DriftChange/
-  /// MLockCatch/LogicalTarget records scheduled by this engine.
+  /// MLockCatch/LogicalTarget records scheduled by this engine. Hot events
+  /// arrive through the registered dispatch channel (a direct call — Engine
+  /// is final); this virtual override remains as the escape-hatch arm.
   void dispatch(const SimEvent& ev) override;
 
  private:
@@ -300,15 +302,24 @@ class Engine final : public DynamicGraph::Listener,
     }
   };
 
-  /// Per-node state, stored contiguously by value (nodes_ is sized once in
-  /// the constructor and never resized: NodeApi/algorithm pointers into it
-  /// must stay stable).
+  /// The hot per-node record: the four clocks plus the two scalars read on
+  /// every clock access, stored in a DENSE array separate from the cold
+  /// NodeState. Every event advances the clocks of several nodes (receiver
+  /// plus scanned peers), so packing them 96 bytes apart instead of inside
+  /// the ~180-byte NodeState roughly halves the cache lines that scan
+  /// touches — the engine-side counterpart of the kernel's SoA slots.
+  struct NodeHot {
+    NodeClocks clocks;
+    double mult = 1.0;
+    bool m_locked = true;  ///< M_u == L_u
+  };
+
+  /// Per-node cold state, stored contiguously by value (nodes_ is sized once
+  /// in the constructor and never resized: NodeApi/algorithm pointers into
+  /// it must stay stable).
   struct NodeState {
     NodeState(Engine& engine, NodeId u) : api(engine, u) {}
 
-    NodeClocks clocks;
-    bool m_locked = true;  ///< M_u == L_u
-    double mult = 1.0;
     NodeApi api;
     std::unique_ptr<Algorithm> algo;
     std::vector<LogicalTarget> logical_targets;  ///< min-heap, see above
@@ -317,17 +328,21 @@ class Engine final : public DynamicGraph::Listener,
     bool in_reevaluate = false;  ///< reentrancy guard
   };
 
-  // Unchecked on purpose: node() runs several times per event, and every
-  // caller passes an id that came from the engine/graph (0 <= u < size()).
+  // Unchecked on purpose: node()/hot() run several times per event, and
+  // every caller passes an id that came from the engine/graph (0 <= u < size()).
   NodeState& node(NodeId u) { return nodes_[static_cast<std::size_t>(u)]; }
   [[nodiscard]] const NodeState& node(NodeId u) const {
     return nodes_[static_cast<std::size_t>(u)];
+  }
+  NodeHot& hot(NodeId u) { return hot_[static_cast<std::size_t>(u)]; }
+  [[nodiscard]] const NodeHot& hot(NodeId u) const {
+    return hot_[static_cast<std::size_t>(u)];
   }
 
   /// Integrate all three clocks of u up to now.
   void advance(NodeId u);
   /// M_u rate while unlocked: (1-rho)/(1+rho) * h_u (paper §4.2).
-  [[nodiscard]] double unlocked_max_rate(const NodeState& n) const;
+  [[nodiscard]] double unlocked_max_rate(const NodeHot& n) const;
   void apply_drift(NodeId u);
   void schedule_drift(NodeId u);
   void schedule_tick(NodeId u, Duration delay);
@@ -364,6 +379,8 @@ class Engine final : public DynamicGraph::Listener,
     if (trace_ != nullptr) trace_->on_event_fired(sim_.now(), u, kind);
   }
 
+  std::uint8_t channel_ = kNoChannel;  ///< registered dispatch channel
+  std::vector<NodeHot> hot_;      ///< dense per-node clocks (see NodeHot)
   std::vector<NodeState> nodes_;  ///< contiguous; fixed size after ctor
   std::unordered_map<EdgeKey, double, EdgeKeyHash> kappa_cache_;  ///< see metric_kappa
   std::uint64_t next_target_seq_ = 1;
@@ -378,7 +395,7 @@ class Engine final : public DynamicGraph::Listener,
 // Engine hot-path inlines (clock reads used several times per event).
 
 inline void Engine::advance(NodeId u) {
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
   const Time t = sim_.now();
   // Most events advance the same node several times at one instant
   // (delivery -> max candidate -> reevaluate); integrating is idempotent,
@@ -389,23 +406,23 @@ inline void Engine::advance(NodeId u) {
 
 inline ClockValue Engine::logical(NodeId u) {
   advance(u);
-  return node(u).clocks.value[NodeClocks::kLog];
+  return hot(u).clocks.value[NodeClocks::kLog];
 }
 
 inline ClockValue Engine::hardware(NodeId u) {
   advance(u);
-  return node(u).clocks.value[NodeClocks::kHw];
+  return hot(u).clocks.value[NodeClocks::kHw];
 }
 
 inline ClockValue Engine::max_estimate(NodeId u) {
   advance(u);
-  NodeState& n = node(u);
+  NodeHot& n = hot(u);
   return n.m_locked ? n.clocks.value[NodeClocks::kLog] : n.clocks.value[NodeClocks::kMax];
 }
 
 inline ClockValue Engine::min_estimate(NodeId u) {
   advance(u);
-  return node(u).clocks.value[NodeClocks::kMin];
+  return hot(u).clocks.value[NodeClocks::kMin];
 }
 
 // ---------------------------------------------------------------------------
@@ -418,7 +435,7 @@ inline ClockValue NodeApi::logical() { return engine_.logical(id_); }
 inline ClockValue NodeApi::hardware() { return engine_.hardware(id_); }
 inline ClockValue NodeApi::max_estimate() { return engine_.max_estimate(id_); }
 inline bool NodeApi::max_locked() const { return engine_.max_locked(id_); }
-inline double NodeApi::rate_multiplier() const { return engine_.node(id_).mult; }
+inline double NodeApi::rate_multiplier() const { return engine_.hot(id_).mult; }
 
 inline OracleEstimateSource* NodeApi::oracle_source() const {
   return engine_.oracle_estimates_;
@@ -436,7 +453,7 @@ inline ClockValue NodeApi::peer_true_logical(NodeId v) {
 }
 
 inline ClockValue NodeApi::own_hardware_value() const {
-  return engine_.nodes_[static_cast<std::size_t>(id_)]
+  return engine_.hot_[static_cast<std::size_t>(id_)]
       .clocks.value[Engine::NodeClocks::kHw];
 }
 

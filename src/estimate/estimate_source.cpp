@@ -68,7 +68,7 @@ double BeaconEstimateSource::eps(const EdgeKey& e) const {
 
 void BeaconEstimateSource::on_beacon(const Delivery& d) {
   require(clocks_ != nullptr, "BeaconEstimateSource: bind() not called");
-  const auto* beacon = std::get_if<Beacon>(&d.payload);
+  const auto* beacon = std::get_if<Beacon>(d.payload);
   if (beacon == nullptr) return;
   Entry entry;
   entry.base = beacon->logical + (1.0 - rho_) * d.known_min_delay;

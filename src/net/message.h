@@ -26,7 +26,10 @@ struct InsertEdgeMsg {
 
 using Payload = std::variant<Beacon, InsertEdgeMsg>;
 
-/// A message delivered to a node.
+/// A message delivered to a node. Zero-copy: `payload` points into the
+/// transport's message arena (net/arena.h) and is valid only for the
+/// duration of the on_delivery call — consumers that keep a message must
+/// copy the Payload (or the fields they need) out.
 struct Delivery {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
@@ -36,7 +39,7 @@ struct Delivery {
   /// what the receiver may safely add, scaled by (1−ρ), to clock values in
   /// the payload (paper §3.1, "causality" relation).
   Duration known_min_delay = 0.0;
-  Payload payload;
+  const Payload* payload = nullptr;
 };
 
 }  // namespace gcs

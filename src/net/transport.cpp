@@ -12,7 +12,13 @@ std::uint64_t dir_key(NodeId from, NodeId to) {
 }  // namespace
 
 Transport::Transport(Simulator& sim, DynamicGraph& graph, std::uint64_t seed)
-    : sim_(sim), graph_(graph), rng_(seed) {}
+    : sim_(sim), graph_(graph), rng_(seed) {
+  // Channel dispatch: the thunk's static_cast call devirtualizes (Transport
+  // is final), so fired deliveries skip the vtable entirely.
+  channel_ = sim_.register_dispatch_channel(this, [](void* self, const SimEvent& ev) {
+    static_cast<Transport*>(self)->dispatch(ev);
+  });
+}
 
 void Transport::set_directional_delay(NodeId from, NodeId to, Duration delay) {
   directional_override_[dir_key(from, to)] = delay;
@@ -45,17 +51,22 @@ bool Transport::send(NodeId from, NodeId to, Payload payload) {
   return true;
 }
 
-void Transport::send_via(NodeId from, const NeighborView& to, Payload payload) {
+void Transport::send_via(NodeId from, const NeighborView& to, Payload&& payload) {
+  const std::uint64_t ref = arena_.put(std::move(payload), 1);
   const Duration delay = pick_delay(from, to.id, *to.params);
   ++sent_;
   sim_.schedule_event_after(
-      delay, SimEvent::delivery(this, from, to.id, sim_.now(), payload));
+      delay, SimEvent::delivery(channel_, from, to.id, sim_.now(), ref));
 }
 
 void Transport::send_fanout(NodeId from, const std::vector<NeighborView>& views,
-                            const Payload& payload) {
+                            Payload payload) {
   if (views.empty()) return;
-  SimEvent ev = SimEvent::delivery(this, from, kNoNode, sim_.now(), payload);
+  // One arena payload for the whole neighborhood; every delivery holds a
+  // reference, the last firing (or drop) reclaims the slot.
+  const std::uint64_t ref =
+      arena_.put(std::move(payload), static_cast<std::uint32_t>(views.size()));
+  SimEvent ev = SimEvent::delivery(channel_, from, kNoNode, sim_.now(), ref);
   for (const NeighborView& nv : views) {
     const Duration delay = pick_delay(from, nv.id, *nv.params);
     ++sent_;
@@ -65,6 +76,10 @@ void Transport::send_fanout(NodeId from, const std::vector<NeighborView>& views,
 }
 
 void Transport::dispatch(const SimEvent& ev) {
+  const std::uint64_t ref = ev.payload_ref;
+  // The payload line has been cold since send time; start pulling it in now
+  // so the miss overlaps the graph lookup below.
+  MessageArena::prefetch(ref);
   if (trace_ != nullptr) {
     trace_->on_event_fired(sim_.now(), ev.node, EventKind::kDelivery);
   }
@@ -73,24 +88,31 @@ void Transport::dispatch(const SimEvent& ev) {
   const NeighborView* back = graph_.find_neighbor(ev.node, ev.from);
   if (back == nullptr || back->since > ev.sent_at) {
     ++dropped_;
+    arena_.release(ref);
     return;
   }
   ++delivered_;
-  if (sink_ == nullptr && !handler_) return;
-  Delivery d;
-  d.from = ev.from;
-  d.to = ev.node;
-  d.sent_at = ev.sent_at;
-  d.delivered_at = sim_.now();
-  // Edge params are immutable after creation, so the receiver-known transit
-  // floor can be re-read here instead of riding in every event record.
-  d.known_min_delay = back->params->msg_delay_min;
-  d.payload = ev.payload;
-  if (sink_ != nullptr) {
-    sink_->on_delivery(d);
-  } else {
-    handler_(d);
+  if (sink_ != nullptr || handler_) {
+    Delivery d;
+    d.from = ev.from;
+    d.to = ev.node;
+    d.sent_at = ev.sent_at;
+    d.delivered_at = sim_.now();
+    // Edge params are immutable after creation, so the receiver-known
+    // transit floor can be re-read here instead of riding in every event.
+    d.known_min_delay = back->params->msg_delay_min;
+    // Zero-copy: hand the consumer a pointer into the arena. This event's
+    // own reference keeps the slot live until the release below, and arena
+    // slots are address-stable, so handlers may send new messages while
+    // reading this payload.
+    d.payload = arena_.peek(ref);
+    if (sink_ != nullptr) {
+      sink_->on_delivery(d);
+    } else {
+      handler_(d);
+    }
   }
+  arena_.release(ref);
 }
 
 }  // namespace gcs

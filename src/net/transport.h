@@ -9,8 +9,10 @@
 
 #include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "graph/dynamic_graph.h"
+#include "net/arena.h"
 #include "net/message.h"
 #include "sim/event.h"
 #include "sim/simulator.h"
@@ -53,23 +55,30 @@ class Transport final : public EventDispatcher {
   void clear_directional_delay(NodeId from, NodeId to);
 
   /// Send if the edge exists in the sender's view; returns false otherwise.
-  /// Schedules a typed delivery event — no allocation per message.
+  /// The payload is moved into the message arena exactly once; the scheduled
+  /// delivery event carries only its 8-byte ref (no allocation, no copy).
   bool send(NodeId from, NodeId to, Payload payload);
 
   /// Fan-out fast path: send along an entry of `from`'s own neighbor view
-  /// (skips the view lookup the caller has already done).
-  void send_via(NodeId from, const NeighborView& to, Payload payload);
+  /// (skips the view lookup the caller has already done). Takes the payload
+  /// by rvalue reference — the whole chain down to the arena is move-only.
+  void send_via(NodeId from, const NeighborView& to, Payload&& payload);
 
-  /// Broadcast fast path for the engine's beacon duty: one delivery record
-  /// is constructed and re-targeted per view entry (only the receiver and
-  /// the per-edge sampled delay differ), saving a payload construction per
-  /// edge. Behaviorally identical — including the RNG delay-draw order — to
-  /// calling send_via for each entry of `views` in order.
+  /// Broadcast fast path for the engine's beacon duty: ONE payload is moved
+  /// into the arena for the whole neighborhood and every scheduled delivery
+  /// references it (reclaimed when the last one fires or drops) — zero
+  /// per-edge payload construction. Behaviorally identical — including the
+  /// RNG delay-draw order — to calling send_via for each entry of `views`
+  /// in order.
   void send_fanout(NodeId from, const std::vector<NeighborView>& views,
-                   const Payload& payload);
+                   Payload payload);
 
-  /// Kernel callback for in-flight kDelivery events.
+  /// Kernel callback for in-flight kDelivery events (also reachable through
+  /// the registered dispatch channel, which devirtualizes the call).
   void dispatch(const SimEvent& ev) override;
+
+  /// The in-flight payload store (exposed for tests and diagnostics).
+  [[nodiscard]] const MessageArena& arena() const { return arena_; }
 
   [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
@@ -80,6 +89,8 @@ class Transport final : public EventDispatcher {
 
   Simulator& sim_;
   DynamicGraph& graph_;
+  MessageArena arena_;
+  std::uint8_t channel_ = kNoChannel;  ///< registered dispatch channel
   Rng rng_;
   DeliverySink* sink_ = nullptr;
   Handler handler_;

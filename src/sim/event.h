@@ -2,23 +2,42 @@
 //
 // The engine's recurring events (ticks, beacons, drift changes, max-estimate
 // catch-ups, logical-time targets) and the transport's message deliveries are
-// described by a compact tagged record instead of a type-erased closure, so
-// scheduling them allocates nothing: the record is stored inline in the
-// kernel's slot storage and dispatched by a switch in its owner. A closure
-// arm remains as the escape hatch for tests, adversaries and one-off
-// scheduling.
+// described by a compact 32-byte record instead of a type-erased closure, so
+// scheduling them allocates nothing. The record is the kernel's per-slot hot
+// storage, copied in and out as one aligned block; only the ordering
+// metadata, the escape-hatch dispatcher pointer and closures live in
+// separate side arrays — see the SoA slot layout in simulator.h. Wire
+// payloads do not ride in the record at all: the transport keeps them in its
+// generation-tagged message arena (net/arena.h) and the record carries an
+// opaque 64-bit reference, which is also why this header no longer depends
+// on net/message.h.
+//
+// ## Dispatch channels
+//
+// A fired typed event is handed back to its owner in one of two ways:
+//
+//  * channel dispatch (hot): the owner registered itself with
+//    Simulator::register_dispatch_channel(self, fn) and stamps the returned
+//    channel id into its records. The kernel calls the registered plain
+//    function pointer, whose body is a direct (devirtualized) call into the
+//    `final` owner class — no vtable load on the fire path.
+//  * virtual dispatch (cold escape hatch): records built with an
+//    EventDispatcher* (channel = kNoChannel) go through the classic virtual
+//    call. Tests, adversaries and one-off scheduling use this arm.
 //
 // ## Lifecycle invariants (see docs/ARCHITECTURE.md for the full table)
 //
-//  * A record is copied INTO the kernel at schedule time and copied OUT
-//    again at fire time, before its slot is released — handlers may schedule
-//    freely without invalidating the record they are handling. Records are
-//    trivially copyable, exactly one cache line, and carry no owned state;
-//    only kClosure events own resources (kept out-of-line in the kernel,
-//    keyed by the same slot).
-//  * Between schedule and fire, a record may migrate between the kernel's
+//  * A record is copied INTO the kernel's slot storage at schedule time and
+//    copied OUT again at fire time, before its slot is released — handlers
+//    may schedule freely without invalidating the record they are handling.
+//    Records are trivially copyable and carry no owned state; only kClosure
+//    events own resources (kept out-of-line in the kernel, keyed by the same
+//    slot), and arena payload refs are owned by the transport, not the
+//    kernel (cancelling a delivery event strands its ref until the arena
+//    dies with the scenario — the transport never cancels deliveries).
+//  * Between schedule and fire, an event may migrate between the kernel's
 //    timer tiers (wheel bucket -> sorted run / overlay heap); migration
-//    copies the 16-byte ordering entry only, never the record, and cannot
+//    copies the 16-byte ordering entry only, never the slot data, and cannot
 //    change fire order (simulator.h documents why).
 //  * One-shot kinds (kMLockCatch, kLogicalTarget) are RESCHEDULED in place
 //    by the engine when clock rates change — the EventId handle survives,
@@ -32,7 +51,6 @@
 
 #include <cstdint>
 
-#include "net/message.h"
 #include "util/common.h"
 
 namespace gcs {
@@ -67,53 +85,65 @@ enum class EventKind : std::uint8_t {
   return "?";
 }
 
+/// "No registered dispatch channel": the event dispatches through its
+/// EventDispatcher* target (the virtual escape hatch).
+inline constexpr std::uint8_t kNoChannel = 0xFF;
+
 struct SimEvent;
 
-/// Implemented by the engine and the transport: receives typed events back
-/// from the kernel when they fire.
+/// Implemented by owners that receive typed events back through the virtual
+/// escape hatch (tests, ad-hoc dispatchers). The engine and the transport
+/// also implement it, but their hot events travel through a registered
+/// dispatch channel instead (see the header comment).
 class EventDispatcher {
  public:
   virtual ~EventDispatcher() = default;
   virtual void dispatch(const SimEvent& ev) = 0;
 };
 
-/// A scheduled event. Typed kinds are plain data dispatched through
-/// `target`. Wire payloads are stored inline (std::variant never
-/// heap-allocates) so the delivery path is allocation-free. Trivially
-/// copyable and exactly one cache line: the kernel copies these in and out
-/// of its slot storage on every fire. kClosure events keep their callback
-/// out-of-line in the kernel (Simulator::closures_), keyed by the same slot.
-/// (The receiver-known transit floor is not carried here: the delivery
-/// handler re-reads it from the edge's immutable params.)
-struct alignas(64) SimEvent {
+/// A scheduled event, as handed to Simulator::schedule_event_at and handed
+/// back to the owner at fire time. This IS the kernel's per-slot hot record:
+/// exactly 32 aligned bytes (half the old 64-byte record, which also dragged
+/// an inline std::variant payload along), copied in and out as one aligned
+/// block — field-wise repacking measurably loses to the straight struct copy.
+/// Note there is no dispatcher pointer here: channel dispatch needs only the
+/// one-byte channel id, and the virtual escape hatch parks its
+/// EventDispatcher* in the kernel's cold side array (see
+/// Simulator::schedule_event_at's target overload).
+///
+/// `payload_ref` is fully opaque to the kernel — it is stored and handed
+/// back untouched. The transport packs a MessageArena ref there (slot
+/// address in the low 48 bits, generation tag above) and prefetches the
+/// payload line from it at dispatch entry; other kinds leave it 0.
+struct alignas(32) SimEvent {
   EventKind kind = EventKind::kClosure;
-  EventDispatcher* target = nullptr;  ///< typed kinds only
+  std::uint8_t channel = kNoChannel;  ///< dispatch channel, or kNoChannel
   NodeId node = kNoNode;              ///< acted-on node (receiver for kDelivery)
   NodeId from = kNoNode;              ///< kDelivery: sender
   Time sent_at = 0.0;                 ///< kDelivery: send time
-  Payload payload;                    ///< kDelivery: wire message
+  std::uint64_t payload_ref = 0;      ///< kDelivery: opaque arena ref
 
-  static SimEvent node_event(EventKind kind, EventDispatcher* target, NodeId node) {
+  static SimEvent node_event(EventKind kind, std::uint8_t channel, NodeId node) {
     SimEvent ev;
     ev.kind = kind;
-    ev.target = target;
+    ev.channel = channel;
     ev.node = node;
     return ev;
   }
 
-  static SimEvent delivery(EventDispatcher* target, NodeId from, NodeId to,
-                           Time sent_at, Payload payload) {
+  static SimEvent delivery(std::uint8_t channel, NodeId from, NodeId to,
+                           Time sent_at, std::uint64_t payload_ref) {
     SimEvent ev;
     ev.kind = EventKind::kDelivery;
-    ev.target = target;
+    ev.channel = channel;
     ev.node = to;
     ev.from = from;
     ev.sent_at = sent_at;
-    ev.payload = payload;
+    ev.payload_ref = payload_ref;
     return ev;
   }
 };
-static_assert(sizeof(SimEvent) == 64, "SimEvent should stay one cache line");
+static_assert(sizeof(SimEvent) == 32, "SimEvent is the kernel's hot record");
 
 /// Passive probe of the kernel's fire sequence: called once per fired engine/
 /// transport event with (time, node, kind). Used by the dual-run equivalence

@@ -14,6 +14,13 @@ Simulator::Simulator(double bucket_width) {
   inv_bucket_width_ = 1.0 / bucket_width;
 }
 
+std::uint8_t Simulator::register_dispatch_channel(void* self, DispatchFn fn) {
+  require(self != nullptr && fn != nullptr, "Simulator: null dispatch channel");
+  require(channels_.size() < kNoChannel, "Simulator: too many dispatch channels");
+  channels_.push_back(Channel{self, fn});
+  return static_cast<std::uint8_t>(channels_.size() - 1);
+}
+
 Time Simulator::clamp_time(Time at) const {
   if (std::isnan(at)) throw std::invalid_argument("Simulator: NaN event time");
   if (at < now_) {
@@ -39,15 +46,16 @@ std::uint32_t Simulator::acquire_slot() {
     throw std::runtime_error("Simulator: too many pending events");
   }
   meta_.emplace_back();
-  events_.emplace_back();
+  recs_.emplace_back();
+  targets_.emplace_back();
   closures_.emplace_back();
   return static_cast<std::uint32_t>(meta_.size() - 1);
 }
 
-void Simulator::release_slot(std::uint32_t slot) {
-  // Only a closure can own resources; typed payloads are plain data and may
-  // go stale in place (overwritten on reuse).
-  if (events_[slot].kind == EventKind::kClosure) closures_[slot] = nullptr;
+void Simulator::release_slot(std::uint32_t slot, EventKind kind) {
+  // Only a closure can own resources; typed slot data is plain and may go
+  // stale in place (overwritten on reuse).
+  if (kind == EventKind::kClosure) closures_[slot] = nullptr;
   SlotMeta& m = meta_[slot];
   if (++m.gen == 0) m.gen = 1;  // invalidate stale handles (wrap skips 0)
   free_slots_.push_back(slot);
@@ -302,13 +310,24 @@ bool Simulator::prepare_next() {
 EventId Simulator::schedule_event_at(Time at, const SimEvent& ev) {
   at = clamp_time(at);
   const std::uint32_t slot = acquire_slot();
-  events_[slot] = ev;
+  // One aligned 32-byte block copy: for node events the delivery fields are
+  // dead weight, but they live in the same cache line, and the straight
+  // struct copy beats any field-wise repacking.
+  recs_[slot] = ev;
   const std::uint64_t seq = next_seq_++;
   if (seq >= (1ULL << (64 - kSlotBits))) [[unlikely]] {
     throw std::runtime_error("Simulator: sequence space exhausted");
   }
   insert_entry(HeapEntry{std::bit_cast<std::uint64_t>(at), (seq << kSlotBits) | slot});
   return make_id(slot, meta_[slot].gen);
+}
+
+EventId Simulator::schedule_event_at(Time at, SimEvent ev, EventDispatcher* target) {
+  require(target != nullptr, "Simulator: null dispatch target");
+  ev.channel = kNoChannel;  // route the fire through the virtual arm
+  const EventId id = schedule_event_at(at, ev);
+  targets_[static_cast<std::uint32_t>(id.value)] = target;
+  return id;
 }
 
 EventId Simulator::schedule_at(Time at, Callback fn) {
@@ -322,7 +341,7 @@ bool Simulator::cancel(EventId id) {
   const std::uint32_t slot = resolve(id);
   if (slot == kNoSlot) return false;
   (void)detach_entry(slot);
-  release_slot(slot);
+  release_slot(slot, recs_[slot].kind);
   return true;
 }
 
@@ -375,16 +394,27 @@ void Simulator::fire_entry(const HeapEntry& top) {
   const std::uint32_t slot = top.slot();
   now_ = top.time();
   ++fired_;
-  // Copy the event out of its slot before firing: the handler may schedule
-  // new events, growing events_ and invalidating references into it.
-  if (events_[slot].kind == EventKind::kClosure) {
+  // One aligned 32-byte copy out of the slot, so the handler may schedule
+  // freely (growing recs_) without invalidating the record it was handed.
+  const SimEvent ev = recs_[slot];
+  if (ev.kind == EventKind::kClosure) {
+    // Move the callback out before firing: the handler may schedule new
+    // events, growing closures_ and invalidating references into it.
     const Callback fn = std::move(closures_[slot]);
-    release_slot(slot);
+    release_slot(slot, EventKind::kClosure);
     fn();
+    return;
+  }
+  if (ev.channel != kNoChannel) [[likely]] {
+    release_slot(slot, ev.kind);
+    // Channel dispatch: one indirect call through a plain function pointer
+    // whose body is a direct call into the final owner class.
+    const Channel ch = channels_[ev.channel];
+    ch.fn(ch.self, ev);
   } else {
-    const SimEvent ev = events_[slot];
-    release_slot(slot);
-    ev.target->dispatch(ev);
+    EventDispatcher* const target = targets_[slot];  // cold escape arm
+    release_slot(slot, ev.kind);
+    target->dispatch(ev);
   }
 }
 
@@ -403,22 +433,35 @@ bool Simulator::step() {
 
 void Simulator::run_until(Time t) {
   while (prepare_next()) {
-    if (next_is_run()) {
+    // Batch-drain the sorted run: while the run front is the next event,
+    // pop-and-fire in this tight loop without re-entering wheel bookkeeping.
+    // Events scheduled during the drain can only land in the overlay heap
+    // (insert_entry never appends to the run), and the run front is compared
+    // against the overlay root before every pop, so a later-scheduled but
+    // earlier-firing event still preempts the run — order is preserved.
+    while (run_head_ < run_.size() &&
+           (heap_.empty() || fires_before(run_[run_head_], heap_[0]))) {
       const HeapEntry top = run_[run_head_];
-      if (top.time() > t) break;
+      if (top.time() > t) {
+        if (now_ < t) now_ = t;  // idle up to the horizon; run front is beyond it
+        return;
+      }
       ++run_head_;
       if (run_head_ < run_.size()) {
-        // The next event's slot storage is known one pop ahead — pull its
-        // (randomly scattered) record line in while this event runs.
-        __builtin_prefetch(&events_[run_[run_head_].slot()]);
+        // The next event's slot record is known one pop ahead — pull its
+        // (randomly scattered) line in while this event runs.
+        __builtin_prefetch(&recs_[run_[run_head_].slot()]);
       }
       fire_entry(top);
-    } else {
+    }
+    if (!heap_.empty()) {
       const HeapEntry top = heap_[0];
       if (top.time() > t) break;
       pop_root();
       fire_entry(top);
     }
+    // Near tier exhausted: loop back into prepare_next to promote the next
+    // wheel bucket (or detect an empty queue).
   }
   if (now_ < t) now_ = t;
 }

@@ -53,9 +53,41 @@
 //    HeapEntry); epochs saturate for astronomically far times, which simply
 //    parks those events in the far list forever (correct, just unsorted).
 //
-// Recurring engine events are typed records (sim/event.h) stored inline in
-// the slot, so the steady-state schedule/fire/cancel cycle performs no
-// allocation; closures remain available as an escape hatch.
+// ## SoA slot storage
+//
+// A slot's data is split structure-of-arrays so the schedule/fire round trip
+// moves the minimum number of bytes per event:
+//
+//   meta_   8 B   (tier location, generation) — the only bytes heap sifts
+//                 and wheel migrations write
+//   recs_  32 B   the hot record (SimEvent: kind, dispatch channel, node,
+//                 sender, send time, payload ref) — half the old 64-byte
+//                 record and aligned, so schedule-in/fire-out touches ONE
+//                 line per event and compiles to straight 16-byte block
+//                 copies (field-wise repacking measurably loses to this)
+//   targets_      escape-hatch EventDispatcher*, written/read ONLY for
+//                 virtual-dispatch typed events (channel == kNoChannel)
+//   closures_     out-of-line std::function, kClosure slots only
+//
+// The ordering key (16-byte HeapEntry) is what migrates between timer tiers;
+// slot data never moves after schedule time. Payload bytes never enter the
+// kernel at all: deliveries carry an opaque arena reference (see
+// net/arena.h).
+//
+// ## Fire path: batch drain + devirtualized dispatch
+//
+// run_until consumes the sorted run in one tight loop: while the run front
+// is the next event, it releases the slot and dispatches without re-entering
+// wheel bookkeeping (prepare_next/advance_wheel run only when the near tier
+// empties). This cannot reorder events: anything scheduled DURING the drain
+// lands in the overlay heap (never in the run — insert_entry only ever
+// appends to the heap or a wheel bucket), and the drain compares the run
+// front against the overlay root before every pop, so a later-scheduled but
+// earlier-firing event still preempts the run. Typed events dispatch through
+// a registered channel: a plain function pointer whose body makes a direct
+// call into the `final` owner (Engine/Transport) — no vtable load; records
+// built with an EventDispatcher* keep the virtual call as the cold escape
+// hatch. The steady-state schedule/fire/cancel cycle performs no allocation.
 #pragma once
 
 #include <bit>
@@ -80,6 +112,9 @@ struct EventId {
 class Simulator {
  public:
   using Callback = std::function<void()>;
+  /// A registered dispatch channel's fire hook. Implementations are expected
+  /// to be one direct (devirtualized) call into the registering object.
+  using DispatchFn = void (*)(void* self, const SimEvent& ev);
 
   /// `bucket_width` is the wheel's fine-epoch width W (simulated time units).
   /// The default suits the engine's sub-second cadences; any positive value
@@ -88,6 +123,11 @@ class Simulator {
   explicit Simulator(double bucket_width = 0.03125);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Register a typed-event dispatcher for channel dispatch (see event.h).
+  /// The returned id is stamped into SimEvent::channel by the owner; `fn`
+  /// must outlive every event scheduled with it. At most 255 channels.
+  std::uint8_t register_dispatch_channel(void* self, DispatchFn fn);
 
   /// Current simulated time.
   [[nodiscard]] Time now() const { return now_; }
@@ -101,11 +141,20 @@ class Simulator {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Schedule a typed event record (no allocation; one copy into the
-  /// kernel's slot storage). Same time rules.
+  /// Schedule a typed event record (no allocation; one aligned 32-byte copy
+  /// into the kernel's slot storage). Same time rules. The event's channel
+  /// must be a registered dispatch channel (unchecked on this hot path) —
+  /// use the `target` overload for the virtual escape hatch.
   EventId schedule_event_at(Time at, const SimEvent& ev);
   EventId schedule_event_after(Duration delay, const SimEvent& ev) {
     return schedule_event_at(now_ + delay, ev);
+  }
+  /// Virtual escape hatch: dispatch the fired event through `target` instead
+  /// of a registered channel (tests, adversaries, ad-hoc dispatchers). The
+  /// pointer lives in a cold side array, not the hot record.
+  EventId schedule_event_at(Time at, SimEvent ev, EventDispatcher* target);
+  EventId schedule_event_after(Duration delay, SimEvent ev, EventDispatcher* target) {
+    return schedule_event_at(now_ + delay, ev, target);
   }
 
   /// Cancel a pending event. Returns false if already fired/cancelled.
@@ -176,13 +225,17 @@ class Simulator {
       return static_cast<std::uint32_t>(key & kSlotMask);
     }
   };
-  /// Compact per-slot bookkeeping, separate from the fat event records so
+  /// Compact per-slot bookkeeping, separate from the event payload arrays so
   /// heap sifts touch only this 8-byte array. `loc` packs
   /// (tier << 30 | bucket << 24 | position); the heap tier is 0, so for heap
   /// entries `loc` IS the heap position and sifts write it directly.
   struct SlotMeta {
     std::uint32_t loc = 0;
     std::uint32_t gen = 1;  ///< bumped on release; 0 is never a live gen
+  };
+  struct Channel {
+    void* self = nullptr;
+    DispatchFn fn = nullptr;
   };
   static constexpr std::uint32_t kPosMask = (1U << 24) - 1;
   static constexpr std::uint32_t pack_loc(std::uint32_t tier, std::uint32_t bucket,
@@ -222,7 +275,8 @@ class Simulator {
   /// selection logic cannot diverge.
   [[nodiscard]] std::size_t min_child(std::size_t pos, std::size_t n) const;
   std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t slot);
+  /// `kind` is passed in because every caller already holds the tag word.
+  void release_slot(std::uint32_t slot, EventKind kind);
   void sift_up(std::size_t pos);
   void sift_down(std::size_t pos);
   void restore_heap(std::size_t pos);
@@ -273,10 +327,12 @@ class Simulator {
   std::vector<HeapEntry> l1_[kL1Count];
   std::vector<HeapEntry> l2_[kL2Count];
   std::vector<HeapEntry> far_;
-  std::vector<SlotMeta> meta_;       ///< parallel to events_
-  std::vector<SimEvent> events_;     ///< stable event storage by slot
+  std::vector<SlotMeta> meta_;       ///< parallel to recs_/targets_/closures_
+  std::vector<SimEvent> recs_;       ///< hot 32-byte event records by slot
+  std::vector<EventDispatcher*> targets_;  ///< virtual escape hatch only
   std::vector<Callback> closures_;   ///< kClosure callbacks, same slot index
   std::vector<std::uint32_t> free_slots_;
+  std::vector<Channel> channels_;    ///< registered typed-event dispatchers
 };
 
 }  // namespace gcs

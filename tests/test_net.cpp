@@ -14,6 +14,7 @@ struct Fixture {
   DynamicGraph graph{sim, 4, 7};
   Transport transport{sim, graph, 9};
   std::vector<Delivery> deliveries;
+  std::vector<Payload> payloads;  ///< copied out: d.payload dies with the call
 
   explicit Fixture(double delay_min = 0.1, double delay_max = 0.5) {
     graph.set_detection_delay_mode(DetectionDelayMode::kZero);
@@ -24,7 +25,10 @@ struct Fixture {
     p.msg_delay_max = delay_max;
     graph.create_edge_instant(EdgeKey(0, 1), p);
     graph.create_edge_instant(EdgeKey(1, 2), p);
-    transport.set_handler([this](const Delivery& d) { deliveries.push_back(d); });
+    transport.set_handler([this](const Delivery& d) {
+      deliveries.push_back(d);
+      payloads.push_back(*d.payload);
+    });
   }
 };
 
@@ -86,6 +90,7 @@ TEST(Transport, DropsWhenEdgeVanishesMidFlight) {
   f.sim.run();
   EXPECT_EQ(f.deliveries.size(), 0u);
   EXPECT_EQ(f.transport.dropped_count(), 1u);
+  EXPECT_EQ(f.transport.arena().live(), 0u);  // drops release their ref too
 }
 
 TEST(Transport, DropsWhenEdgeAppearedAfterSend) {
@@ -111,14 +116,15 @@ TEST(Transport, PayloadVariantsRoundTrip) {
   f.transport.send(1, 2, InsertEdgeMsg{77.0, 10.0});
   f.sim.run();
   ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_EQ(f.transport.arena().live(), 0u);  // all refs reclaimed
   int beacons = 0;
   int inserts = 0;
-  for (const auto& d : f.deliveries) {
-    if (const auto* b = std::get_if<Beacon>(&d.payload)) {
+  for (const auto& payload : f.payloads) {
+    if (const auto* b = std::get_if<Beacon>(&payload)) {
       ++beacons;
       EXPECT_DOUBLE_EQ(b->logical, 12.5);
       EXPECT_DOUBLE_EQ(b->max_estimate, 13.5);
-    } else if (const auto* ins = std::get_if<InsertEdgeMsg>(&d.payload)) {
+    } else if (const auto* ins = std::get_if<InsertEdgeMsg>(&payload)) {
       ++inserts;
       EXPECT_DOUBLE_EQ(ins->l_ins, 77.0);
       EXPECT_DOUBLE_EQ(ins->gtilde, 10.0);
