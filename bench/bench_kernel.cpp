@@ -13,6 +13,7 @@
 #include "metrics/legality.h"
 #include "metrics/skew.h"
 #include "runner/scenario.h"
+#include "runner/sweep.h"
 
 namespace gcs {
 namespace {
@@ -187,6 +188,80 @@ void BM_DenseScenarioSimulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * 50);
 }
 BENCHMARK(BM_DenseScenarioSimulation)->Arg(32)->Arg(64);
+
+/// Instant-coalescing isolation pair: the same line scenario with the
+/// engine's per-(node, instant) evaluation ON (the default) vs the legacy
+/// per-event evaluation. The delta is what coalescing plus dirty-gated
+/// delivery scans buy on this workload; BM_ScenarioSimulation tracks the
+/// default path over time.
+void BM_InstantCoalescedSimulation(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto spec = kernel_spec(n);
+    spec.engine.coalesce_instants = true;
+    Scenario s(spec);
+    s.start();
+    s.run_until(50.0);
+    benchmark::DoNotOptimize(s.sim().fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 50);
+}
+BENCHMARK(BM_InstantCoalescedSimulation)->Arg(256);
+
+void BM_InstantCoalescedPerEventSimulation(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto spec = kernel_spec(n);
+    spec.engine.coalesce_instants = false;  // legacy: scan after every event
+    Scenario s(spec);
+    s.start();
+    s.run_until(50.0);
+    benchmark::DoNotOptimize(s.sim().fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 50);
+}
+BENCHMARK(BM_InstantCoalescedPerEventSimulation)->Arg(256);
+
+/// Shared-instant stress for the coalesced drain: zero minimum delay with
+/// pinned-minimum draws lands every beacon reception on its send instant,
+/// so each broadcast forms one multi-event instant group.
+void BM_InstantCoalescedSharedInstants(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto spec = kernel_spec(n);
+    spec.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.0);
+    spec.delays = DelayMode::kMin;
+    Scenario s(spec);
+    s.start();
+    s.run_until(50.0);
+    benchmark::DoNotOptimize(s.sim().fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 50);
+}
+BENCHMARK(BM_InstantCoalescedSharedInstants)->Arg(256);
+
+/// Sweep throughput through the sharded work-stealing SweepRunner: a grid
+/// of independent line scenarios, reported as runs/second. The thread-count
+/// arg exposes the scaling curve (on a multi-core host, near-linear to the
+/// core count; the committed baselines from a 1-core container show the
+/// sharding overhead is negligible when scaling is impossible).
+void BM_SweepThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto base = kernel_spec(24);
+  Sweep sweep(base);
+  sweep.seeds({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  SweepOptions options;
+  options.threads = threads;
+  options.horizon = 25.0;
+  options.check_legality = false;
+  const SweepRunner runner(options);
+  for (auto _ : state) {
+    const auto results = runner.run(sweep);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 
 }  // namespace
 }  // namespace gcs

@@ -4,76 +4,13 @@
 //   instantly — violates the theory). We insert a shortcut into a line that
 //   carries end-to-end skew and compare: worst legality margin during the
 //   insertion window, worst old-edge skew, and time to full insertion.
+//
+// The policy axis runs as a SweepRunner grid (sharded work-stealing pool,
+// --threads), one independent Scenario per policy.
 #include "exp_common.h"
 
 using namespace gcs;
 using namespace gcs::bench;
-
-namespace {
-
-struct AblationOutcome {
-  double worst_margin = -kTimeInf;
-  double worst_old_edge = 0.0;
-  double time_to_full = kTimeInf;
-  double new_edge_final = 0.0;
-};
-
-AblationOutcome run(InsertionPolicy policy, int n) {
-  auto spec = fast_line_spec(n);
-  spec.name = std::string("ablation-") + to_string(policy);
-  spec.aopt.insertion = policy;
-  Scenario s(spec);
-  s.start();
-  const double ghat = s.spec().aopt.gtilde_static;
-
-  s.run_until(100.0);
-  // Scatter the line linearly across 0.4*Ghat — *legal* for every existing
-  // path (per-edge scatter stays below the level-1 allowance), but far above
-  // the stable bound of the shortcut about to appear. Insert immediately,
-  // before the max-estimate chase collapses the scatter.
-  scatter_clocks_linearly(s, 0.4 * ghat);
-  const Time t_insert = s.sim().now();
-  const EdgeKey shortcut(0, n - 1);
-  s.graph().create_edge(shortcut, s.spec().edge_params);
-
-  AblationOutcome out;
-  const auto old_edges = topo_line(n);
-  const double final_kappa = metric_kappa(s.engine(), shortcut);
-  const double horizon =
-      t_insert + 2.5 * s.spec().aopt.insertion_duration_static(ghat) + 200.0;
-  auto observe = [&] {
-    const auto report = check_legality(s.engine(), ghat);
-    out.worst_margin = std::max(out.worst_margin, report.worst_margin);
-    out.worst_old_edge =
-        std::max(out.worst_old_edge, worst_skew_over(s.engine(), old_edges));
-    // "Fully inserted": on all levels AND (weight decay) κ reached final.
-    if (out.time_to_full == kTimeInf &&
-        s.aopt(0).edge_in_level(n - 1, 1 << 20) &&
-        s.aopt(static_cast<NodeId>(n - 1)).edge_in_level(0, 1 << 20) &&
-        s.aopt(0).edge_kappa(n - 1) <= final_kappa * 1.0001) {
-      out.time_to_full = s.sim().now() - t_insert;
-    }
-  };
-  // Dense sampling right after insertion (where naive insertion spikes),
-  // then sparse until the staged schedule completes.
-  for (int step = 0; step < 60; ++step) {
-    s.run_for(1.0);
-    observe();
-  }
-  while (s.sim().now() < horizon) {
-    s.run_for(10.0);
-    observe();
-    if (out.time_to_full != kTimeInf &&
-        s.sim().now() > t_insert + out.time_to_full + 150.0) {
-      break;  // enough post-insertion observation
-    }
-  }
-  out.new_edge_final =
-      std::fabs(s.engine().logical(0) - s.engine().logical(n - 1));
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -83,21 +20,86 @@ int main(int argc, char** argv) {
                "§5.5: staged insertion (paper) vs weight-decay ([16]) vs naive "
                "immediate insertion");
 
+  auto base = fast_line_spec(n);
+  base.name = "ablation";
+  Sweep sweep(base);
+  sweep.axis("insertion", std::vector<std::string>{"staged", "decay", "immediate"});
+  SweepOptions options;
+  options.threads = flags.get("threads", 2);
+  SweepRunner runner(options);
+  runner.set_run_fn([](Scenario& s, RunResult& r) {
+    const int nodes = s.spec().n;
+    s.start();
+    const double ghat = s.spec().aopt.gtilde_static;
+
+    s.run_until(100.0);
+    // Scatter the line linearly across 0.4*Ghat — *legal* for every existing
+    // path (per-edge scatter stays below the level-1 allowance), but far
+    // above the stable bound of the shortcut about to appear. Insert
+    // immediately, before the max-estimate chase collapses the scatter.
+    scatter_clocks_linearly(s, 0.4 * ghat);
+    const Time t_insert = s.sim().now();
+    const EdgeKey shortcut(0, nodes - 1);
+    s.graph().create_edge(shortcut, s.spec().edge_params);
+
+    double worst_margin = -kTimeInf;
+    double worst_old_edge = 0.0;
+    double time_to_full = kTimeInf;
+    const auto old_edges = topo_line(nodes);
+    const double final_kappa = metric_kappa(s.engine(), shortcut);
+    const double horizon =
+        t_insert + 2.5 * s.spec().aopt.insertion_duration_static(ghat) + 200.0;
+    const auto observe = [&] {
+      const auto report = check_legality(s.engine(), ghat);
+      worst_margin = std::max(worst_margin, report.worst_margin);
+      worst_old_edge =
+          std::max(worst_old_edge, worst_skew_over(s.engine(), old_edges));
+      // "Fully inserted": on all levels AND (weight decay) κ reached final.
+      if (time_to_full == kTimeInf &&
+          s.aopt(0).edge_in_level(nodes - 1, 1 << 20) &&
+          s.aopt(static_cast<NodeId>(nodes - 1)).edge_in_level(0, 1 << 20) &&
+          s.aopt(0).edge_kappa(nodes - 1) <= final_kappa * 1.0001) {
+        time_to_full = s.sim().now() - t_insert;
+      }
+    };
+    // Dense sampling right after insertion (where naive insertion spikes),
+    // then sparse until the staged schedule completes.
+    for (int step = 0; step < 60; ++step) {
+      s.run_for(1.0);
+      observe();
+    }
+    while (s.sim().now() < horizon) {
+      s.run_for(10.0);
+      observe();
+      if (time_to_full != kTimeInf &&
+          s.sim().now() > t_insert + time_to_full + 150.0) {
+        break;  // enough post-insertion observation
+      }
+    }
+    r.values["worst_margin"] = worst_margin;
+    r.values["worst_old_edge"] = worst_old_edge;
+    r.values["time_to_full"] = time_to_full;
+    r.values["new_edge_final"] =
+        std::fabs(s.engine().logical(0) - s.engine().logical(nodes - 1));
+  });
+  const auto results = runner.run(sweep);
+
   Table table("E10 — insertion-policy ablation (line n=" + std::to_string(n) +
               " with 0.4*Ghat end-to-end scatter)");
   table.headers({"policy", "worst legality margin", "worst old-edge skew",
                  "t(full insertion)", "new-edge final skew"});
-
-  for (InsertionPolicy policy :
-       {InsertionPolicy::kStagedStatic, InsertionPolicy::kWeightDecay,
-        InsertionPolicy::kImmediate}) {
-    const auto out = run(policy, n);
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::cerr << "policy " << r.axes.at("insertion") << " failed: " << r.error
+                << "\n";
+      return 1;
+    }
     table.row()
-        .cell(to_string(policy))
-        .cell(out.worst_margin)
-        .cell(out.worst_old_edge)
-        .cell(out.time_to_full)
-        .cell(out.new_edge_final);
+        .cell(r.axes.at("insertion"))
+        .cell(r.values.at("worst_margin"))
+        .cell(r.values.at("worst_old_edge"))
+        .cell(r.values.at("time_to_full"))
+        .cell(r.values.at("new_edge_final"));
   }
   table.print();
   std::cout << "paper: immediate insertion spikes the legality margin (the new\n"

@@ -3,9 +3,11 @@
 // Every experiment binary runs standalone with defaults chosen so the whole
 // bench directory completes in a couple of minutes, prints paper-style
 // tables to stdout, and accepts --key=value overrides (see util/flags.h).
-// Experiments construct runs through ScenarioSpec (and SweepRunner for
-// grids); spec keys given on the command line override the experiment's
-// defaults via the same shared parsing path as simulate_cli.
+// Experiments construct runs through ScenarioSpec, and grids (size/policy/
+// algorithm axes) run through SweepRunner's sharded work-stealing pool —
+// every multi-run experiment accepts --threads=N. Spec keys given on the
+// command line override the experiment's defaults via the same shared
+// parsing path as simulate_cli.
 #pragma once
 
 #include <iostream>

@@ -9,6 +9,10 @@
 //   against that envelope lower bound (both are Θ(D); the ratio is the
 //   constant-factor gap the paper concedes), and show the only way to beat
 //   the bound (max-jump) destroys the gradient property on old edges.
+//
+// The (n × algorithm) grid runs as a SweepRunner sweep (sharded
+// work-stealing pool, --threads); G̃ is derived per cell from the n axis
+// through the runner's spec hook.
 #include "exp_common.h"
 
 using namespace gcs;
@@ -22,51 +26,58 @@ int main(int argc, char** argv) {
                "Theorem 8.1: closing revealed skew S on a new edge takes >= "
                "(S-bound)/(beta-alpha) time for every envelope-respecting algorithm");
 
-  Table table("E9 — §8 construction: hidden skew revealed by a new edge");
-  table.headers({"n", "hidden S", "stable bound", "envelope LB", "t(close) AOPT",
-                 "t/LB", "LB ok", "Gmax<=Ghat", "old-edge AOPT",
-                 "old-edge max-jump"});
+  ScenarioSpec base;
+  base.topology = ComponentSpec("line");
+  base.aopt.rho = 5e-3;
+  base.aopt.mu = 0.1;
+  base.drift = ComponentSpec("spread");
+  base.estimates = ComponentSpec("uniform");
+  Sweep sweep(base);
+  sweep.axis("n", sizes);
+  sweep.axis("algo", std::vector<std::string>{"aopt", "max-jump"});
 
-  std::vector<double> xs;
-  std::vector<double> lbs;
-  std::vector<double> measured;
-  for (int n : sizes) {
+  SweepOptions options;
+  options.threads = flags.get("threads", 2);
+  SweepRunner runner(options);
+  runner.set_spec_fn([](ScenarioSpec& spec) {
     // The max-estimate staleness cap in this regime is ~2.1 per hop; the
     // static estimate must dominate it for the whole run (eq. 6).
-    const double ghat = 2.1 * (n - 1) + 6.0;
-
-    auto make_spec = [&](const std::string& algo) {
-      ScenarioSpec spec;
-      spec.n = n;
-      spec.topology = ComponentSpec("line");
-      spec.algo = ComponentSpec(algo);
-      spec.aopt.rho = 5e-3;
-      spec.aopt.mu = 0.1;
-      spec.aopt.gtilde_static = ghat;
-      spec.drift = ComponentSpec("spread");
-      spec.estimates = ComponentSpec("uniform");
-      apply_adversarial_delays(spec, /*delay_max=*/2.0, /*beacon_period=*/1.0);
-      return spec;
-    };
-
-    // ---- AOPT phase.
-    auto cfg = make_spec("aopt");
-    Scenario s(cfg);
+    spec.aopt.gtilde_static = 2.1 * (spec.n - 1) + 6.0;
+    apply_adversarial_delays(spec, /*delay_max=*/2.0, /*beacon_period=*/1.0);
+  });
+  runner.set_run_fn([](Scenario& s, RunResult& r) {
+    const int n = s.spec().n;
+    const double ghat = s.spec().aopt.gtilde_static;
+    const auto old_edges = topo_line(n);
     s.start();
     s.run_until(4000.0);  // hidden skew saturates at the gradient equilibrium
+
+    if (s.spec().algo.kind == "max-jump") {
+      // Jumping phase: reveal the edge and watch the gradient property on
+      // long-standing edges break.
+      s.graph().create_edge(EdgeKey(0, n - 1), s.spec().edge_params);
+      double old_mj = 0.0;
+      for (int step = 0; step < 200; ++step) {
+        s.run_for(1.0);
+        old_mj = std::max(old_mj, worst_skew_over(s.engine(), old_edges));
+      }
+      r.values["old_edge"] = old_mj;
+      return;
+    }
+
+    // AOPT phase.
     const double hidden =
         std::fabs(s.engine().logical(0) - s.engine().logical(n - 1));
     const Time t0 = s.sim().now();
-    s.graph().create_edge(EdgeKey(0, n - 1), cfg.edge_params);
+    s.graph().create_edge(EdgeKey(0, n - 1), s.spec().edge_params);
     const double kappa = metric_kappa(s.engine(), EdgeKey(0, n - 1));
-    const double bound = gradient_bound(kappa, ghat, cfg.aopt.sigma());
+    const double bound = gradient_bound(kappa, ghat, s.spec().aopt.sigma());
 
-    const auto old_edges = topo_line(n);
     double old_aopt = 0.0;
     double gmax = 0.0;
     Time close_at = kTimeInf;
     const double horizon =
-        t0 + 2.5 * cfg.aopt.insertion_duration_static(ghat) + 500.0;
+        t0 + 2.5 * s.spec().aopt.insertion_duration_static(ghat) + 500.0;
     while (s.sim().now() < horizon) {
       s.run_for(2.0);
       gmax = std::max(gmax, s.engine().true_global_skew());
@@ -79,33 +90,49 @@ int main(int argc, char** argv) {
       }
     }
 
-    // ---- max-jump phase (same world, jumping allowed).
-    auto mj_cfg = make_spec("max-jump");
-    Scenario mj(mj_cfg);
-    mj.start();
-    mj.run_until(4000.0);
-    mj.graph().create_edge(EdgeKey(0, n - 1), mj_cfg.edge_params);
-    double old_mj = 0.0;
-    for (int step = 0; step < 200; ++step) {
-      mj.run_for(1.0);
-      old_mj = std::max(old_mj, worst_skew_over(mj.engine(), old_edges));
-    }
+    const double envelope_rate = s.spec().aopt.beta() - s.spec().aopt.alpha();
+    r.values["hidden"] = hidden;
+    r.values["bound"] = bound;
+    r.values["lower_bound"] = (hidden - bound) / envelope_rate;
+    r.values["t_close"] = close_at - t0;
+    r.values["gmax_ok"] = gmax <= ghat ? 1.0 : 0.0;
+    r.values["old_edge"] = old_aopt;
+  });
+  const auto results = runner.run(sweep);
 
-    const double envelope_rate = cfg.aopt.beta() - cfg.aopt.alpha();
-    const double lower_bound = (hidden - bound) / envelope_rate;
-    const double t_close = close_at - t0;
+  Table table("E9 — §8 construction: hidden skew revealed by a new edge");
+  table.headers({"n", "hidden S", "stable bound", "envelope LB", "t(close) AOPT",
+                 "t/LB", "LB ok", "Gmax<=Ghat", "old-edge AOPT",
+                 "old-edge max-jump"});
+
+  std::vector<double> xs;
+  std::vector<double> lbs;
+  std::vector<double> measured;
+  // Grid order: algo varies fastest, so rows pair as (aopt, max-jump) per n.
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const RunResult& aopt = results[i];
+    const RunResult& mj = results[i + 1];
+    for (const RunResult* r : {&aopt, &mj}) {
+      if (!r->ok()) {
+        std::cerr << "run n=" << r->n << " (" << r->axes.at("algo")
+                  << ") failed: " << r->error << "\n";
+        return 1;
+      }
+    }
+    const double lower_bound = aopt.values.at("lower_bound");
+    const double t_close = aopt.values.at("t_close");
     table.row()
-        .cell(n)
-        .cell(hidden)
-        .cell(bound)
+        .cell(aopt.n)
+        .cell(aopt.values.at("hidden"))
+        .cell(aopt.values.at("bound"))
         .cell(lower_bound)
         .cell(t_close)
         .cell(t_close / lower_bound)
         .cell(t_close >= lower_bound * (1.0 - 1e-6))
-        .cell(gmax <= ghat)
-        .cell(old_aopt)
-        .cell(old_mj);
-    xs.push_back(n);
+        .cell(aopt.values.at("gmax_ok") != 0.0)
+        .cell(aopt.values.at("old_edge"))
+        .cell(mj.values.at("old_edge"));
+    xs.push_back(aopt.n);
     lbs.push_back(lower_bound);
     measured.push_back(t_close);
   }

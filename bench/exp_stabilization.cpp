@@ -5,6 +5,9 @@
 //     (b) the time until the skew on the new edge drops under its stable
 //         gradient bound and stays there,
 //   and verify both scale linearly with n.
+//
+// The size axis runs as a SweepRunner grid (sharded work-stealing pool,
+// --threads), one independent Scenario per n.
 #include "exp_common.h"
 
 using namespace gcs;
@@ -19,17 +22,14 @@ int main(int argc, char** argv) {
                "Theorem 5.25: time to the stable gradient bound on a new edge "
                "is O(Ghat/mu) = O(D), linear in the network extent");
 
-  Table table("E5 — stabilization after inserting {0, n-1} into a line");
-  table.headers({"n", "Ghat", "I(Ghat)", "skew@insert", "new-edge bound",
-                 "t(skew<=bound)", "t(full insert)", "full/I", "insert/n"});
-
-  std::vector<double> xs;
-  std::vector<double> insert_times;
-  for (int n : sizes) {
-    auto spec = fast_line_spec(n);
-    spec.name = "stabilization-n" + std::to_string(n);
-    Scenario s(spec);
+  Sweep sweep(fast_line_spec(8));
+  sweep.axis("n", sizes);
+  SweepOptions options;
+  options.threads = flags.get("threads", 2);
+  SweepRunner runner(options);
+  runner.set_run_fn([](Scenario& s, RunResult& r) {
     s.start();
+    const int n = s.spec().n;
     const double ghat = s.spec().aopt.gtilde_static;
     const double sigma = s.spec().aopt.sigma();
 
@@ -75,20 +75,38 @@ int main(int argc, char** argv) {
       if (stable_at != kTimeInf && fully_inserted_at != kTimeInf) break;
     }
 
-    const double i_theory = s.spec().aopt.insertion_duration_static(ghat);
-    const double t_stable = stable_at - t_insert;
-    const double t_full = fully_inserted_at - t_insert;
+    r.values["ghat"] = ghat;
+    r.values["i_theory"] = s.spec().aopt.insertion_duration_static(ghat);
+    r.values["skew_at_insert"] = skew_at_insert;
+    r.values["bound"] = bound;
+    r.values["t_stable"] = stable_at - t_insert;
+    r.values["t_full"] = fully_inserted_at - t_insert;
+  });
+  const auto results = runner.run(sweep);
+
+  Table table("E5 — stabilization after inserting {0, n-1} into a line");
+  table.headers({"n", "Ghat", "I(Ghat)", "skew@insert", "new-edge bound",
+                 "t(skew<=bound)", "t(full insert)", "full/I", "insert/n"});
+  std::vector<double> xs;
+  std::vector<double> insert_times;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::cerr << "run n=" << r.n << " failed: " << r.error << "\n";
+      return 1;
+    }
+    const double i_theory = r.values.at("i_theory");
+    const double t_full = r.values.at("t_full");
     table.row()
-        .cell(n)
-        .cell(ghat)
+        .cell(r.n)
+        .cell(r.values.at("ghat"))
         .cell(i_theory)
-        .cell(skew_at_insert)
-        .cell(bound)
-        .cell(t_stable)
+        .cell(r.values.at("skew_at_insert"))
+        .cell(r.values.at("bound"))
+        .cell(r.values.at("t_stable"))
         .cell(t_full)
         .cell(t_full / i_theory)
-        .cell(t_full / n);
-    xs.push_back(n);
+        .cell(t_full / r.n);
+    xs.push_back(r.n);
     insert_times.push_back(t_full);
   }
   table.print();

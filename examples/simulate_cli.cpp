@@ -32,7 +32,7 @@ namespace {
 /// Runner-level flags that are not ScenarioSpec keys.
 const std::vector<std::string> kReservedFlags = {
     "horizon", "sample", "trace", "series", "list", "help",
-    "sweep",   "values", "threads", "csv",
+    "sweep",   "values", "threads", "csv", "csv-deterministic",
 };
 
 int fail_usage(const std::string& message) {
@@ -44,6 +44,8 @@ int fail_usage(const std::string& message) {
             << "  --horizon=500 --sample=5\n"
             << "  --trace=FILE.csv --series=FILE.csv\n"
             << "  --sweep=<spec key> --values=v1,v2,... --threads=2 --csv=FILE.csv\n"
+            << "  --csv-deterministic   omit wall_seconds so the sweep CSV is\n"
+            << "                        byte-identical for any --threads value\n"
             << "  --list   enumerate every registered component and its params\n";
   return 2;
 }
@@ -107,7 +109,8 @@ int main(int argc, char** argv) {
         // A bare --csv (no value) parses as "true"; use the default name.
         std::string path = flags.get("csv", std::string());
         if (path.empty() || path == "true") path = "sweep.csv";
-        SweepRunner::write_csv(results, path);
+        SweepRunner::write_csv(results, path,
+                               /*include_wall=*/!flags.has("csv-deterministic"));
         std::cout << "wrote sweep results to " << path << "\n";
       }
       for (const auto& r : results) {

@@ -5,16 +5,26 @@ Prints a per-benchmark table of before/after times and the speedup ratio
 (before / after: > 1 means the second file is faster). Optionally enforces
 regression gates: with one or more --check NAME arguments, the script exits
 nonzero if any named benchmark's after-time exceeds its before-time by more
-than --max-regression (a ratio, default 1.10 = 10% slower).
+than --max-regression (a ratio, default 1.10 = 10% slower). --check-prefix
+gates every benchmark whose canonical name starts with the given prefix
+(aggregate `_mean` rows are folded into the canonical name first, so a
+repetitions run gates on its means).
+
+With --allow-regression, gate failures are still reported but the exit code
+stays 0 — the escape hatch CI uses when a PR carries the `allow-regression`
+label (see README "Performance").
 
 Usage:
   scripts/compare_bench.py BEFORE.json AFTER.json
   scripts/compare_bench.py BEFORE.json AFTER.json \
       --check BM_ScenarioSimulation/1024 --max-regression 1.10
+  scripts/compare_bench.py BEFORE.json AFTER.json \
+      --check-prefix BM_ScenarioSimulation --max-regression 1.15
   scripts/compare_bench.py BEFORE.json AFTER.json --report-out compare.txt
 
-Benchmarks present in only one file are listed but never gate. Aggregate
-rows (mean/median/stddev from --benchmark_repetitions) are skipped.
+Benchmarks present in only one file are listed but never gate (a prefix
+matching nothing in the *before* file fails the gate, so a renamed benchmark
+cannot silently un-gate itself).
 """
 
 from __future__ import annotations
@@ -78,12 +88,25 @@ def main() -> int:
         "an unknown name fails the gate",
     )
     parser.add_argument(
+        "--check-prefix",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="gate every benchmark whose name starts with PREFIX "
+        "(repeatable); a prefix matching nothing fails the gate",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=1.10,
         metavar="RATIO",
         help="fail a checked benchmark when after > before * RATIO "
         "(default 1.10)",
+    )
+    parser.add_argument(
+        "--allow-regression",
+        action="store_true",
+        help="report gate failures but exit 0 (CI escape hatch, see README)",
     )
     parser.add_argument(
         "--report-out",
@@ -112,8 +135,14 @@ def main() -> int:
             f"{name:<{width}}  {format_ns(b):>10}  {format_ns(a):>10}  {ratio:>7.2f}x"
         )
 
+    checks = list(args.check)
     failures = []
-    for name in args.check:
+    for prefix in args.check_prefix:
+        expanded = sorted(n for n in before if n.startswith(prefix))
+        if not expanded:
+            failures.append(f"--check-prefix {prefix}: matches nothing in the before file")
+        checks.extend(n for n in expanded if n not in checks)
+    for name in checks:
         b, a = before.get(name), after.get(name)
         if b is None or a is None:
             failures.append(f"{name}: missing from {'before' if b is None else 'after'} file")
@@ -127,16 +156,18 @@ def main() -> int:
         lines.append("")
         lines.append("REGRESSIONS:")
         lines.extend(f"  {f}" for f in failures)
-    elif args.check:
+        if args.allow_regression:
+            lines.append("(--allow-regression: reported only, not failing the job)")
+    elif checks:
         lines.append("")
-        lines.append(f"All {len(args.check)} checked benchmark(s) within bounds.")
+        lines.append(f"All {len(checks)} checked benchmark(s) within bounds.")
 
     report = "\n".join(lines)
     print(report)
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
-    return 1 if failures else 0
+    return 1 if failures and not args.allow_regression else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden kernel trace (tests/golden/) from the
+# CURRENT kernel. This is a deliberate act: the golden file pins the exact
+# event-fire sequence (time, node, kind) of the reference scenario, and
+# overwriting it redefines "equivalent" for every future kernel change.
+#
+# Do this only when a PR consciously changes trajectories (as PR 5's
+# instant-coalesced evaluation was licensed to), and say so in the PR:
+#   1. run this script (builds test_kernel_trace, regenerates in place),
+#   2. verify the full suite is green against the new golden,
+#   3. commit tests/golden/ together with the kernel change and document
+#      the reason in docs/ARCHITECTURE.md ("Instant-coalesced evaluation"
+#      records the PR 5 rationale).
+#
+# Usage: scripts/regen_golden.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j --target test_kernel_trace
+
+GCS_REGEN_KERNEL_TRACE=1 "$BUILD_DIR"/test_kernel_trace \
+  --gtest_filter='KernelTrace.*'
+echo "regenerated tests/golden/ — now rerun the full suite and commit the diff"

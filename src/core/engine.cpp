@@ -72,6 +72,13 @@ Engine::Engine(Simulator& sim, DynamicGraph& graph, Transport& transport,
   channel_ = sim_.register_dispatch_channel(this, [](void* self, const SimEvent& ev) {
     static_cast<Engine*>(self)->dispatch(ev);
   });
+  if (config_.coalesce_instants) {
+    // Instant-coalesced evaluation: deferred (dirty-node) trigger scans run
+    // when the kernel closes the current instant group.
+    sim_.register_instant_flush(this, [](void* self) {
+      static_cast<Engine*>(self)->flush_dirty();
+    });
+  }
   const auto validation = params_.validate();
   require(validation.ok(), "Engine: invalid AlgoParams:\n" + validation.str());
   require(config_.tick_period > 0.0 && config_.beacon_period > 0.0,
@@ -212,14 +219,14 @@ void Engine::on_edge_discovered(NodeId u, NodeId peer) {
   advance(u);
   kappa_cache_.erase(EdgeKey(u, peer));  // belt-and-braces vs ε policy changes
   node(u).algo->on_edge_discovered(peer);
-  if (started_) reevaluate(u);
+  if (started_) mark_dirty(u);
 }
 
 void Engine::on_edge_lost(NodeId u, NodeId peer) {
   advance(u);
   estimates_.on_edge_lost(u, peer);
   node(u).algo->on_edge_lost(peer);
-  if (started_) reevaluate(u);
+  if (started_) mark_dirty(u);
 }
 
 void Engine::apply_drift(NodeId u) {
@@ -239,7 +246,7 @@ void Engine::dispatch(const SimEvent& ev) {
   switch (ev.kind) {
     case EventKind::kTick:
       trace(EventKind::kTick, u);
-      reevaluate(u);
+      mark_dirty(u);  // the guard-band scan: unconditionally dirty
       schedule_tick(u, config_.tick_period);
       break;
     case EventKind::kBeacon:
@@ -263,7 +270,7 @@ void Engine::dispatch(const SimEvent& ev) {
       // Both duties, in the order the split events fired (tick scheduled
       // first, so FIFO ran it first at the shared instant).
       trace(EventKind::kTick, u);
-      reevaluate(u);
+      mark_dirty(u);
       trace(EventKind::kBeacon, u);
       fire_beacon(u);
       break;
@@ -356,7 +363,7 @@ void Engine::fire_logical_targets(NodeId u) {
   due.clear();
   due_scratch_ = std::move(due);
   reschedule_logical_event(u);
-  reevaluate(u);
+  mark_dirty(u);
 }
 
 void Engine::reschedule_mlock(NodeId u) {
@@ -394,10 +401,10 @@ void Engine::fire_mlock(NodeId u) {
   advance(u);
   node(u).mlock_event = EventId{};
   hot(u).m_locked = true;  // from now on M_u tracks L_u exactly
-  reevaluate(u);
+  mark_dirty(u);
 }
 
-void Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
+bool Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
   advance(u);
   NodeHot& n = hot(u);
   const ClockValue l = n.clocks.value[NodeClocks::kLog];
@@ -410,8 +417,9 @@ void Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
       if (observer_ != nullptr) {
         observer_->on_max_estimate_raised(sim_.now(), u, candidate);
       }
+      return true;
     }
-    return;
+    return false;
   }
   if (candidate > n.clocks.value[NodeClocks::kMax]) {
     n.clocks.set_value(sim_.now(), NodeClocks::kMax, candidate);
@@ -419,7 +427,9 @@ void Engine::apply_max_candidate(NodeId u, ClockValue candidate) {
     if (observer_ != nullptr) {
       observer_->on_max_estimate_raised(sim_.now(), u, candidate);
     }
+    return true;
   }
+  return false;
 }
 
 void Engine::set_rate_multiplier(NodeId u, double mult) {
@@ -462,22 +472,54 @@ void Engine::reevaluate(NodeId u) {
   n.in_reevaluate = false;
 }
 
+void Engine::mark_dirty(NodeId u) {
+  if (!config_.coalesce_instants) {
+    // Legacy per-event semantics: evaluate right here, inside the event.
+    reevaluate(u);
+    return;
+  }
+  NodeState& n = node(u);
+  if (n.dirty) return;
+  n.dirty = true;
+  dirty_queue_.push_back(u);
+  sim_.request_instant_flush();
+}
+
+void Engine::flush_dirty() {
+  // Index loop: a reevaluate may append (another node turning dirty at this
+  // instant through a re-entrant effect), and appended entries must run in
+  // this same flush.
+  for (std::size_t i = 0; i < dirty_queue_.size(); ++i) {
+    const NodeId u = dirty_queue_[i];
+    node(u).dirty = false;
+    reevaluate(u);
+  }
+  dirty_queue_.clear();
+}
+
 void Engine::on_delivery(const Delivery& d) {
   advance(d.to);
+  // Track whether this delivery changed any *discrete* trigger input of the
+  // receiver. Only then does the instant's evaluation need to cover it —
+  // continuous drift between discrete changes is the tick's job (footnote 6).
+  bool dirty = false;
   if (const auto* beacon = std::get_if<Beacon>(d.payload)) {
     if (estimates_consume_beacons_) {
       estimates_.on_beacon(d);
       // Dirty-peer notification: the discrete estimate state for (to, from)
       // just changed; incremental scans drop their cached snapshot of it.
       node(d.to).algo->on_estimate_dirty(d.from);
+      dirty = true;
     }
     // Max-estimate flooding (Condition 4.3): the receiver may add the
     // drift-discounted known transit lower bound.
     const ClockValue candidate =
         beacon->max_estimate + (1.0 - params_.rho) * d.known_min_delay;
-    apply_max_candidate(d.to, candidate);
+    dirty |= apply_max_candidate(d.to, candidate);
     // Min-estimate flooding: the sender's lower bound, advanced by the
     // drift-discounted transit floor, is still a lower bound on min_v L_v.
+    // m_u feeds the distributed G̃ (read during handshakes), not the
+    // triggers, so raising it does not dirty the node.
     NodeHot& receiver = hot(d.to);
     const ClockValue min_candidate =
         beacon->min_estimate + (1.0 - params_.rho) * d.known_min_delay;
@@ -486,8 +528,13 @@ void Engine::on_delivery(const Delivery& d) {
     }
   } else if (const auto* ins = std::get_if<InsertEdgeMsg>(d.payload)) {
     node(d.to).algo->on_insert_edge_msg(d.from, *ins);
+    dirty = true;
   }
-  reevaluate(d.to);
+  if (!config_.coalesce_instants) {
+    reevaluate(d.to);  // legacy: evaluate after every delivery, changed or not
+  } else if (dirty) {
+    mark_dirty(d.to);
+  }
 }
 
 }  // namespace gcs

@@ -8,8 +8,13 @@
 // crossings that matter to the protocol (neighbor-set insertion times T_s,
 // the moment M_u is caught by L_u) are computed analytically and scheduled
 // as events. Trigger threshold crossings that involve other nodes' estimates
-// are handled by guard-banded re-evaluation on every event plus a periodic
-// tick, exactly as the paper's footnote 6 prescribes for implementations.
+// are handled by guard-banded re-evaluation plus a periodic tick, exactly as
+// the paper's footnote 6 prescribes for implementations. Evaluation is
+// *instant-coalesced* by default (EngineConfig::coalesce_instants): within
+// one simulated instant every delivery/timer effect applies first, and each
+// node whose discrete trigger inputs changed is evaluated exactly once when
+// the kernel closes the instant — the paper's per-instant semantics, one
+// AOPT scan per (node, instant) instead of one per event.
 #pragma once
 
 #include <cstdint>
@@ -144,6 +149,17 @@ struct EngineConfig {
   Duration tick_period = 0.25;    ///< re-evaluation cadence (real time)
   Duration beacon_period = 0.25;  ///< beacon cadence (real time)
   bool enable_beacons = true;     ///< M flooding + beacon estimates
+  /// Instant-coalesced trigger evaluation (the paper's per-instant
+  /// semantics): within one simulated instant, apply every delivery/timer
+  /// effect first and run Algorithm::reevaluate() exactly once per *dirty*
+  /// node when the kernel closes the instant. A node is dirty when discrete
+  /// trigger input changed (estimate consumed, M/lock transition, edge or
+  /// handshake event, logical target, tick). Deliveries that change nothing
+  /// discrete no longer trigger a scan — continuous drift between discrete
+  /// changes is covered by the tick guard band (paper footnote 6), exactly
+  /// as before. `false` restores the legacy evaluate-after-every-event
+  /// behavior (used by the per-event/per-instant equivalence tests).
+  bool coalesce_instants = true;
 };
 
 /// Passive instrumentation: notified of the engine's discrete transitions.
@@ -326,6 +342,7 @@ class Engine final : public DynamicGraph::Listener,
     EventId logical_event{};
     EventId mlock_event{};
     bool in_reevaluate = false;  ///< reentrancy guard
+    bool dirty = false;          ///< queued for the end-of-instant evaluation
   };
 
   // Unchecked on purpose: node()/hot() run several times per event, and
@@ -353,10 +370,18 @@ class Engine final : public DynamicGraph::Listener,
   void fire_logical_targets(NodeId u);
   void reschedule_mlock(NodeId u);
   void fire_mlock(NodeId u);
-  void apply_max_candidate(NodeId u, ClockValue candidate);
+  /// Returns true iff the candidate changed M_u or its lock state (i.e. the
+  /// max-estimate trigger inputs moved discretely).
+  bool apply_max_candidate(NodeId u, ClockValue candidate);
   void set_rate_multiplier(NodeId u, double mult);
   void set_logical_value(NodeId u, ClockValue v);
   void reevaluate(NodeId u);
+  /// Queue `u` for one reevaluate() at the end of the current instant
+  /// (coalesced mode), or reevaluate immediately (legacy mode).
+  void mark_dirty(NodeId u);
+  /// Kernel instant-flush hook body: reevaluate every dirty node, FIFO in
+  /// first-dirtied order (deterministic: event order within the instant).
+  void flush_dirty();
   void on_delivery(const Delivery& d) override;  // DeliverySink
 
   Simulator& sim_;
@@ -384,6 +409,7 @@ class Engine final : public DynamicGraph::Listener,
   std::vector<NodeState> nodes_;  ///< contiguous; fixed size after ctor
   std::unordered_map<EdgeKey, double, EdgeKeyHash> kappa_cache_;  ///< see metric_kappa
   std::uint64_t next_target_seq_ = 1;
+  std::vector<NodeId> dirty_queue_;  ///< nodes awaiting end-of-instant evaluation
   std::vector<LogicalTarget> due_scratch_;  ///< reused by fire_logical_targets
   EngineObserver* observer_ = nullptr;
   KernelTraceSink* trace_ = nullptr;

@@ -1,6 +1,8 @@
 #include "net/transport.h"
 
 #include <algorithm>
+#include <cstring>
+#include <type_traits>
 
 namespace gcs {
 
@@ -8,6 +10,20 @@ namespace {
 std::uint64_t dir_key(NodeId from, NodeId to) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
          static_cast<std::uint32_t>(to);
+}
+
+// The inline-blob delivery path stores the Payload bytes directly in the
+// kernel's 32-byte blob slot; both properties are what make that a plain
+// block copy with no destructor obligations.
+static_assert(std::is_trivially_copyable_v<Payload>,
+              "inline delivery path copies Payload as raw bytes");
+static_assert(sizeof(Payload) <= sizeof(InlineBlob),
+              "Payload must fit the kernel's inline blob slot");
+
+InlineBlob to_blob(const Payload& payload) {
+  InlineBlob blob{};
+  std::memcpy(blob.bytes, &payload, sizeof(Payload));
+  return blob;
 }
 }  // namespace
 
@@ -52,18 +68,36 @@ bool Transport::send(NodeId from, NodeId to, Payload payload) {
 }
 
 void Transport::send_via(NodeId from, const NeighborView& to, Payload&& payload) {
-  const std::uint64_t ref = arena_.put(std::move(payload), 1);
+  // Degree 1: inline the payload beside the kernel slot — no arena slot to
+  // acquire at send or reclaim at fire (see send_fanout's degree rule).
   const Duration delay = pick_delay(from, to.id, *to.params);
   ++sent_;
-  sim_.schedule_event_after(
-      delay, SimEvent::delivery(channel_, from, to.id, sim_.now(), ref));
+  SimEvent ev = SimEvent::delivery(channel_, from, to.id, sim_.now(), 0);
+  ev.flags = kEventFlagInlineBlob;
+  sim_.schedule_event_after(delay, ev, to_blob(payload));
 }
 
 void Transport::send_fanout(NodeId from, const std::vector<NeighborView>& views,
                             Payload payload) {
   if (views.empty()) return;
-  // One arena payload for the whole neighborhood; every delivery holds a
+  // Degree-adaptive path choice, made once per send: at fan-out degree <= 2
+  // (lines, rings, sparse meshes) MessageArena bookkeeping costs more than
+  // simply copying the 32 payload bytes per delivery, so the payload rides
+  // inline in the kernel's blob side array. Dense fan-out keeps the arena:
+  // ONE payload for the whole neighborhood; every delivery holds a
   // reference, the last firing (or drop) reclaims the slot.
+  if (views.size() <= 2) {
+    SimEvent ev = SimEvent::delivery(channel_, from, kNoNode, sim_.now(), 0);
+    ev.flags = kEventFlagInlineBlob;
+    const InlineBlob blob = to_blob(payload);
+    for (const NeighborView& nv : views) {
+      const Duration delay = pick_delay(from, nv.id, *nv.params);
+      ++sent_;
+      ev.node = nv.id;
+      sim_.schedule_event_after(delay, ev, blob);
+    }
+    return;
+  }
   const std::uint64_t ref =
       arena_.put(std::move(payload), static_cast<std::uint32_t>(views.size()));
   SimEvent ev = SimEvent::delivery(channel_, from, kNoNode, sim_.now(), ref);
@@ -76,10 +110,14 @@ void Transport::send_fanout(NodeId from, const std::vector<NeighborView>& views,
 }
 
 void Transport::dispatch(const SimEvent& ev) {
+  const bool inline_blob = (ev.flags & kEventFlagInlineBlob) != 0;
   const std::uint64_t ref = ev.payload_ref;
-  // The payload line has been cold since send time; start pulling it in now
-  // so the miss overlaps the graph lookup below.
-  MessageArena::prefetch(ref);
+  if (!inline_blob) {
+    // The payload line has been cold since send time; start pulling it in
+    // now so the miss overlaps the graph lookup below. (The inline path has
+    // no such line: the kernel already staged the payload bytes.)
+    MessageArena::prefetch(ref);
+  }
   if (trace_ != nullptr) {
     trace_->on_event_fired(sim_.now(), ev.node, EventKind::kDelivery);
   }
@@ -88,7 +126,7 @@ void Transport::dispatch(const SimEvent& ev) {
   const NeighborView* back = graph_.find_neighbor(ev.node, ev.from);
   if (back == nullptr || back->since > ev.sent_at) {
     ++dropped_;
-    arena_.release(ref);
+    if (!inline_blob) arena_.release(ref);
     return;
   }
   ++delivered_;
@@ -101,18 +139,27 @@ void Transport::dispatch(const SimEvent& ev) {
     // Edge params are immutable after creation, so the receiver-known
     // transit floor can be re-read here instead of riding in every event.
     d.known_min_delay = back->params->msg_delay_min;
-    // Zero-copy: hand the consumer a pointer into the arena. This event's
+    // Inline path: reconstitute the Payload from the kernel's staging slot
+    // into a stack object (trivially copyable, so the memcpy is the exact
+    // inverse of to_blob's; the bytes live on the handler's hot stack
+    // frame). Arena path: hand out a pointer into the arena — this event's
     // own reference keeps the slot live until the release below, and arena
     // slots are address-stable, so handlers may send new messages while
     // reading this payload.
-    d.payload = arena_.peek(ref);
+    Payload staged;
+    if (inline_blob) {
+      std::memcpy(&staged, sim_.fired_blob().bytes, sizeof(Payload));
+      d.payload = &staged;
+    } else {
+      d.payload = arena_.peek(ref);
+    }
     if (sink_ != nullptr) {
       sink_->on_delivery(d);
     } else {
       handler_(d);
     }
   }
-  arena_.release(ref);
+  if (!inline_blob) arena_.release(ref);
 }
 
 }  // namespace gcs

@@ -55,17 +55,21 @@ class Transport final : public EventDispatcher {
   void clear_directional_delay(NodeId from, NodeId to);
 
   /// Send if the edge exists in the sender's view; returns false otherwise.
-  /// The payload is moved into the message arena exactly once; the scheduled
-  /// delivery event carries only its 8-byte ref (no allocation, no copy).
+  /// Unicasts take the inline-payload path: the 32 payload bytes ride in the
+  /// kernel's blob side array beside the event slot (no allocation, and the
+  /// MessageArena is not touched — only send_fanout at degree > 2 uses it).
   bool send(NodeId from, NodeId to, Payload payload);
 
   /// Fan-out fast path: send along an entry of `from`'s own neighbor view
-  /// (skips the view lookup the caller has already done). Takes the payload
-  /// by rvalue reference — the whole chain down to the arena is move-only.
+  /// (skips the view lookup the caller has already done). Inline-payload
+  /// path, like send().
   void send_via(NodeId from, const NeighborView& to, Payload&& payload);
 
-  /// Broadcast fast path for the engine's beacon duty: ONE payload is moved
-  /// into the arena for the whole neighborhood and every scheduled delivery
+  /// Broadcast fast path for the engine's beacon duty. Degree-adaptive
+  /// (picked here, at send time): for fan-out degree <= 2 the payload rides
+  /// INLINE in the kernel's blob side array (one 32-byte copy per delivery —
+  /// cheaper than MessageArena bookkeeping on sparse topologies); for larger
+  /// degree ONE payload is moved into the arena and every scheduled delivery
   /// references it (reclaimed when the last one fires or drops) — zero
   /// per-edge payload construction. Behaviorally identical — including the
   /// RNG delay-draw order — to calling send_via for each entry of `views`

@@ -165,6 +165,7 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
   if (key == "tick_period") { engine.tick_period = to_double(key, value); return; }
   if (key == "beacon_period") { engine.beacon_period = to_double(key, value); return; }
   if (key == "beacons") { engine.enable_beacons = to_bool(key, value); return; }
+  if (key == "coalesce") { engine.coalesce_instants = to_bool(key, value); return; }
 
   // Modes.
   if (key == "detection") { detection = parse_detection(value); return; }
@@ -246,6 +247,7 @@ std::vector<std::pair<std::string, std::string>> ScenarioSpec::to_kv() const {
   kv.emplace_back("tick_period", ParamMap::format(engine.tick_period));
   kv.emplace_back("beacon_period", ParamMap::format(engine.beacon_period));
   kv.emplace_back("beacons", engine.enable_beacons ? "true" : "false");
+  kv.emplace_back("coalesce", engine.coalesce_instants ? "true" : "false");
   kv.emplace_back("detection", detection_str(detection));
   kv.emplace_back("delays", delays_str(delays));
   kv.emplace_back("reference", std::to_string(reference_node));
@@ -291,7 +293,7 @@ std::string ScenarioSpec::key_help() {
      << "  rho, mu, iota, kappa_slack, delta_frac, B, level_cap\n"
      << "  gtilde=<value|auto>, insertion=staged|dynamic|immediate|decay\n"
      << "  eps, tau, delay_max, delay_min\n"
-     << "  tick_period, beacon_period, beacons=<bool>\n"
+     << "  tick_period, beacon_period, beacons=<bool>, coalesce=<bool>\n"
      << "  detection=zero|uniform|max, delays=uniform|min|max, reference=<node|-1>\n";
   return os.str();
 }

@@ -1,6 +1,6 @@
 // Sweep: expand a ScenarioSpec over axes into a cross-product of runs, and
-// SweepRunner: execute the grid on a thread pool with per-run deterministic
-// seeding, returning structured RunResult records.
+// SweepRunner: execute the grid on a sharded worker pool with per-run
+// deterministic seeding, returning structured RunResult records.
 //
 // Axes mutate the spec through ScenarioSpec::set(), so anything addressable
 // from the CLI is sweepable ("n", "seed", "mu", "topo", "drift.period", ...).
@@ -8,6 +8,19 @@
 // are independent and results are identical for any thread count; a run that
 // throws is recorded as an error in its RunResult instead of aborting the
 // sweep.
+//
+// ## Sharded execution (see SweepRunner::run)
+//
+// The grid is block-partitioned into one shard per worker. Each worker owns
+// a cache-line-padded shard: a deque of run indices it pops from the front,
+// plus a private result list. A worker whose shard runs dry STEALS from the
+// back of the longest remaining shard, so heterogeneous run lengths (a "n"
+// axis spanning 8..1024) cannot strand one worker with all the long runs.
+// All per-run state — Scenario arenas, RNG streams, result storage — is
+// constructed on the owning worker's thread (first-touch local, no sharing;
+// on NUMA machines the OS places those pages on the worker's node), and the
+// per-shard result lists are merged into grid order by run index after the
+// join, so results are byte-identical for every thread count.
 #pragma once
 
 #include <functional>
@@ -91,12 +104,20 @@ class SweepRunner {
   /// A run body: drive the (not yet started) scenario and fill metrics.
   /// The runner wraps it with construction, wall timing and error capture.
   using RunFn = std::function<void(Scenario&, RunResult&)>;
+  /// A per-cell spec transform, applied after axis assignment and before
+  /// Scenario construction. Lets an experiment derive *correlated*
+  /// parameters from an axis value (e.g. G̃ as a function of the "n" axis),
+  /// which a plain cross-product cannot express. Must be thread-safe.
+  using SpecFn = std::function<void(ScenarioSpec&)>;
 
   explicit SweepRunner(SweepOptions options = {});
 
   /// Replace the default horizon/sampling body with an experiment-specific
   /// one (it must call scenario.start() itself).
   void set_run_fn(RunFn fn) { run_fn_ = std::move(fn); }
+
+  /// Install a per-cell spec transform (see SpecFn).
+  void set_spec_fn(SpecFn fn) { spec_fn_ = std::move(fn); }
 
   /// Execute the grid. Results are indexed like Sweep::expand(), identical
   /// for any thread count.
@@ -112,11 +133,16 @@ class SweepRunner {
   static Table to_table(const std::vector<RunResult>& results, const std::string& title);
 
   /// Write results as CSV (same columns as to_table, plus name/seed/error).
-  static void write_csv(const std::vector<RunResult>& results, const std::string& path);
+  /// `include_wall` = false omits the wall_seconds column, making the file
+  /// byte-identical across thread counts and machines (used by the CI sweep
+  /// determinism smoke).
+  static void write_csv(const std::vector<RunResult>& results, const std::string& path,
+                        bool include_wall = true);
 
  private:
   SweepOptions options_;
   RunFn run_fn_;
+  SpecFn spec_fn_;
 };
 
 }  // namespace gcs

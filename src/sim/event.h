@@ -89,6 +89,14 @@ enum class EventKind : std::uint8_t {
 /// EventDispatcher* target (the virtual escape hatch).
 inline constexpr std::uint8_t kNoChannel = 0xFF;
 
+/// SimEvent::flags bit: the event carries a 32-byte inline payload blob in
+/// the kernel's blob side array instead of (or in addition to) payload_ref.
+/// The kernel copies the blob into a stable staging slot before dispatch
+/// (Simulator::fired_blob); it never interprets the bytes. The transport's
+/// degree-adaptive delivery path uses this for fan-out degree <= 2, where
+/// MessageArena bookkeeping costs more than the plain payload copy.
+inline constexpr std::uint8_t kEventFlagInlineBlob = 0x01;
+
 struct SimEvent;
 
 /// Implemented by owners that receive typed events back through the virtual
@@ -118,6 +126,7 @@ class EventDispatcher {
 struct alignas(32) SimEvent {
   EventKind kind = EventKind::kClosure;
   std::uint8_t channel = kNoChannel;  ///< dispatch channel, or kNoChannel
+  std::uint8_t flags = 0;             ///< kEventFlag* bits (inline blob, ...)
   NodeId node = kNoNode;              ///< acted-on node (receiver for kDelivery)
   NodeId from = kNoNode;              ///< kDelivery: sender
   Time sent_at = 0.0;                 ///< kDelivery: send time

@@ -21,6 +21,22 @@ std::uint8_t Simulator::register_dispatch_channel(void* self, DispatchFn fn) {
   return static_cast<std::uint8_t>(channels_.size() - 1);
 }
 
+void Simulator::register_instant_flush(void* self, FlushFn fn) {
+  require(self != nullptr && fn != nullptr, "Simulator: null flush hook");
+  flush_hooks_.push_back(FlushHook{self, fn});
+}
+
+void Simulator::flush_instant() {
+  // A hook may re-arm (its deferred work can schedule same-instant events
+  // whose handlers defer again); loop until the instant is quiescent. Events
+  // scheduled by hooks are NOT fired here — the caller's loop fires them
+  // (still at now()) and re-enters this flush before advancing time.
+  while (flush_armed_) {
+    flush_armed_ = false;
+    for (const FlushHook& h : flush_hooks_) h.fn(h.self);
+  }
+}
+
 Time Simulator::clamp_time(Time at) const {
   if (std::isnan(at)) throw std::invalid_argument("Simulator: NaN event time");
   if (at < now_) {
@@ -49,6 +65,8 @@ std::uint32_t Simulator::acquire_slot() {
   recs_.emplace_back();
   targets_.emplace_back();
   closures_.emplace_back();
+  // blobs_ is NOT grown here: zeroing 32 bytes per slot would tax every
+  // schedule; the blob overload below grows it on demand instead.
   return static_cast<std::uint32_t>(meta_.size() - 1);
 }
 
@@ -322,6 +340,15 @@ EventId Simulator::schedule_event_at(Time at, const SimEvent& ev) {
   return make_id(slot, meta_[slot].gen);
 }
 
+EventId Simulator::schedule_event_at(Time at, const SimEvent& ev,
+                                     const InlineBlob& blob) {
+  const EventId id = schedule_event_at(at, ev);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value);
+  if (blobs_.size() <= slot) blobs_.resize(meta_.size());  // lazy, amortized
+  blobs_[slot] = blob;
+  return id;
+}
+
 EventId Simulator::schedule_event_at(Time at, SimEvent ev, EventDispatcher* target) {
   require(target != nullptr, "Simulator: null dispatch target");
   ev.channel = kNoChannel;  // route the fire through the virtual arm
@@ -397,6 +424,11 @@ void Simulator::fire_entry(const HeapEntry& top) {
   // One aligned 32-byte copy out of the slot, so the handler may schedule
   // freely (growing recs_) without invalidating the record it was handed.
   const SimEvent ev = recs_[slot];
+  if (ev.flags & kEventFlagInlineBlob) {
+    // Stage the inline payload the same way: stable across re-entrant
+    // scheduling (handlers never re-enter the fire path).
+    fired_blob_ = blobs_[slot];
+  }
   if (ev.kind == EventKind::kClosure) {
     // Move the callback out before firing: the handler may schedule new
     // events, growing closures_ and invalidating references into it.
@@ -413,22 +445,43 @@ void Simulator::fire_entry(const HeapEntry& top) {
     ch.fn(ch.self, ev);
   } else {
     EventDispatcher* const target = targets_[slot];  // cold escape arm
+#ifndef NDEBUG
+    // A typed record with channel == kNoChannel is only valid through the
+    // target overload; scheduling one through the channel-dispatch overload
+    // leaves a null (or a recycled slot's stale) pointer here. Catch the
+    // null case at the fire site instead of segfaulting in the callee.
+    require(target != nullptr,
+            "Simulator: kNoChannel event fired without a dispatch target "
+            "(use the schedule_event_at(at, ev, target) overload)");
+#endif
     release_slot(slot, ev.kind);
     target->dispatch(ev);
   }
 }
 
 bool Simulator::step() {
-  if (!prepare_next()) return false;
-  if (next_is_run()) {
-    const HeapEntry top = run_[run_head_++];
+  for (;;) {
+    if (!prepare_next()) {
+      if (!flush_armed_) return false;
+      flush_instant();  // may schedule new events; re-check the queue
+      continue;
+    }
+    const bool from_run = next_is_run();
+    const HeapEntry top = from_run ? run_[run_head_] : heap_[0];
+    if (flush_armed_ && top.time() > now_) {
+      // Close the current instant before firing into the next one. The
+      // flush may schedule earlier-firing (same-instant) events, so loop.
+      flush_instant();
+      continue;
+    }
+    if (from_run) {
+      ++run_head_;
+    } else {
+      pop_root();
+    }
     fire_entry(top);
-  } else {
-    const HeapEntry top = heap_[0];
-    pop_root();
-    fire_entry(top);
+    return true;
   }
-  return true;
 }
 
 void Simulator::run_until(Time t) {
@@ -442,7 +495,20 @@ void Simulator::run_until(Time t) {
     while (run_head_ < run_.size() &&
            (heap_.empty() || fires_before(run_[run_head_], heap_[0]))) {
       const HeapEntry top = run_[run_head_];
+      if (flush_armed_ && top.time() > now_) {
+        // Instant boundary inside the run: close the current instant first.
+        // The flush may schedule earlier-firing overlay events, so re-check
+        // both loop conditions from scratch.
+        flush_instant();
+        continue;
+      }
       if (top.time() > t) {
+        // The degenerate t <= now() call can reach here with the instant
+        // still open (the boundary check above only fires for top > now).
+        if (flush_armed_) {
+          flush_instant();
+          continue;
+        }
         if (now_ < t) now_ = t;  // idle up to the horizon; run front is beyond it
         return;
       }
@@ -456,12 +522,32 @@ void Simulator::run_until(Time t) {
     }
     if (!heap_.empty()) {
       const HeapEntry top = heap_[0];
-      if (top.time() > t) break;
+      if (flush_armed_ && top.time() > now_) {
+        flush_instant();
+        continue;  // the flush may have changed what fires next
+      }
+      if (top.time() > t) {
+        if (flush_armed_) {
+          flush_instant();
+          continue;
+        }
+        if (now_ < t) now_ = t;
+        return;
+      }
       pop_root();
       fire_entry(top);
     }
     // Near tier exhausted: loop back into prepare_next to promote the next
     // wheel bucket (or detect an empty queue).
+  }
+  // Queue drained with the last instant possibly still open: flush, and
+  // keep firing if the flush scheduled follow-up events within the horizon.
+  if (flush_armed_) {
+    flush_instant();
+    if (prepare_next()) {
+      run_until(t);
+      return;
+    }
   }
   if (now_ < t) now_ = t;
 }

@@ -88,6 +88,33 @@
 // call into the `final` owner (Engine/Transport) — no vtable load; records
 // built with an EventDispatcher* keep the virtual call as the cold escape
 // hatch. The steady-state schedule/fire/cancel cycle performs no allocation.
+//
+// ## Instant boundaries
+//
+// Equal-time events form an *instant group*. Owners that defer work until
+// every effect of the current instant has applied (the engine's
+// instant-coalesced trigger evaluation) register an instant-flush hook and
+// arm it with request_instant_flush(). The kernel guarantees:
+//
+//  * armed hooks run BEFORE any event with a strictly greater timestamp
+//    fires, before the queue is declared empty, and before run_until idles
+//    past its horizon — i.e. while now() still equals the instant's time;
+//  * FIFO (time, seq) order *within* the instant group is untouched — the
+//    flush inserts nothing between same-time events, it only runs after the
+//    last of them;
+//  * a flush hook may schedule new events, including at the current instant;
+//    those fire (in FIFO order among themselves) and the hooks run again
+//    before time advances — the instant closes only when no armed hook and
+//    no same-time event remains.
+//
+// ## Inline payload blobs
+//
+// Events flagged kEventFlagInlineBlob carry 32 opaque payload bytes in a
+// side array parallel to the slots (written at schedule, copied to a stable
+// staging buffer just before dispatch, readable via fired_blob() for the
+// duration of the dispatch call). The kernel never interprets the bytes;
+// the transport's degree-adaptive delivery path stores small-fan-out
+// payloads here so the send/fire round trip touches no MessageArena slot.
 #pragma once
 
 #include <bit>
@@ -109,12 +136,20 @@ struct EventId {
   friend bool operator==(const EventId&, const EventId&) = default;
 };
 
+/// 32 opaque payload bytes riding beside an event slot (see the header
+/// comment, "Inline payload blobs"). Copyable as two 16-byte blocks.
+struct alignas(16) InlineBlob {
+  unsigned char bytes[32];
+};
+
 class Simulator {
  public:
   using Callback = std::function<void()>;
   /// A registered dispatch channel's fire hook. Implementations are expected
   /// to be one direct (devirtualized) call into the registering object.
   using DispatchFn = void (*)(void* self, const SimEvent& ev);
+  /// An instant-flush hook (see the header comment, "Instant boundaries").
+  using FlushFn = void (*)(void* self);
 
   /// `bucket_width` is the wheel's fine-epoch width W (simulated time units).
   /// The default suits the engine's sub-second cadences; any positive value
@@ -128,6 +163,17 @@ class Simulator {
   /// The returned id is stamped into SimEvent::channel by the owner; `fn`
   /// must outlive every event scheduled with it. At most 255 channels.
   std::uint8_t register_dispatch_channel(void* self, DispatchFn fn);
+
+  /// Register an instant-flush hook. Hooks run — in registration order —
+  /// whenever request_instant_flush() has been called since the last flush
+  /// and the kernel is about to advance past the current instant (see the
+  /// header comment). `fn` must outlive the simulator's use of it.
+  void register_instant_flush(void* self, FlushFn fn);
+
+  /// Arm the registered flush hooks for the current instant. Cheap and
+  /// idempotent; typically called by an owner the moment it first defers
+  /// work during an event handler.
+  void request_instant_flush() { flush_armed_ = true; }
 
   /// Current simulated time.
   [[nodiscard]] Time now() const { return now_; }
@@ -149,6 +195,20 @@ class Simulator {
   EventId schedule_event_after(Duration delay, const SimEvent& ev) {
     return schedule_event_at(now_ + delay, ev);
   }
+  /// Schedule a typed event carrying 32 inline payload bytes (the caller's
+  /// `blob` is copied into the slot's blob side array; `ev.flags` must have
+  /// kEventFlagInlineBlob set). At fire time the blob is staged and exposed
+  /// through fired_blob() for the duration of the dispatch.
+  EventId schedule_event_at(Time at, const SimEvent& ev, const InlineBlob& blob);
+  EventId schedule_event_after(Duration delay, const SimEvent& ev,
+                               const InlineBlob& blob) {
+    return schedule_event_at(now_ + delay, ev, blob);
+  }
+  /// The staged inline blob of the event currently being dispatched. Valid
+  /// only inside the dispatch of an event flagged kEventFlagInlineBlob;
+  /// stable for the whole handler call (handlers may schedule freely).
+  [[nodiscard]] const InlineBlob& fired_blob() const { return fired_blob_; }
+
   /// Virtual escape hatch: dispatch the fired event through `target` instead
   /// of a registered channel (tests, adversaries, ad-hoc dispatchers). The
   /// pointer lives in a cold side array, not the hot record.
@@ -237,6 +297,10 @@ class Simulator {
     void* self = nullptr;
     DispatchFn fn = nullptr;
   };
+  struct FlushHook {
+    void* self = nullptr;
+    FlushFn fn = nullptr;
+  };
   static constexpr std::uint32_t kPosMask = (1U << 24) - 1;
   static constexpr std::uint32_t pack_loc(std::uint32_t tier, std::uint32_t bucket,
                                           std::uint32_t pos) {
@@ -306,6 +370,8 @@ class Simulator {
   }
   /// Fire one event already detached from its container.
   void fire_entry(const HeapEntry& top);
+  /// Run the armed instant-flush hooks until none re-arms. Pre: flush_armed_.
+  void flush_instant();
   /// Advance cur_epoch_ to the next epoch holding events and promote its
   /// bucket as the new sorted run. Pre: near tier empty, wheel_count_ > 0.
   void advance_wheel();
@@ -331,8 +397,12 @@ class Simulator {
   std::vector<SimEvent> recs_;       ///< hot 32-byte event records by slot
   std::vector<EventDispatcher*> targets_;  ///< virtual escape hatch only
   std::vector<Callback> closures_;   ///< kClosure callbacks, same slot index
+  std::vector<InlineBlob> blobs_;    ///< inline payload bytes, same slot index
   std::vector<std::uint32_t> free_slots_;
   std::vector<Channel> channels_;    ///< registered typed-event dispatchers
+  std::vector<FlushHook> flush_hooks_;  ///< instant-flush hooks, registration order
+  bool flush_armed_ = false;         ///< a hook deferred work this instant
+  InlineBlob fired_blob_{};          ///< staging for the dispatching event's blob
 };
 
 }  // namespace gcs

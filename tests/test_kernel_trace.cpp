@@ -10,7 +10,18 @@
 // std::function + tombstone-priority_queue simulator) immediately before the
 // zero-allocation kernel landed, so this test is the proof that the rewrite
 // fires the exact same events at bit-identical times in the same order.
-// Regenerate deliberately with: GCS_REGEN_KERNEL_TRACE=1 ./test_kernel_trace
+// Regenerate deliberately with scripts/regen_golden.sh (wraps
+// GCS_REGEN_KERNEL_TRACE=1 ./test_kernel_trace and documents the protocol).
+//
+// PR 5 (instant-coalesced evaluation) was licensed to regenerate this file:
+// deferring trigger scans to the end of each instant may in principle move
+// later event times (mode switches re-draw FIFO sequence numbers). The
+// regeneration was run — and produced a bit-identical file: in this
+// reference scenario every instant holds a single engine event (the merged
+// heartbeat is one event; beacon-delivery dirtiness matches the legacy scan
+// count under beacon estimates), so the deferred scan sees the same state
+// at the same instant. tests/test_instant.cpp proves that equivalence
+// directly and pins the divergence cases.
 //
 // Scope: the reference scenario uses beacon estimates on purpose. They draw
 // no per-estimate randomness, so the trace pins the kernel, engine, graph,

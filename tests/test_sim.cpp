@@ -415,6 +415,38 @@ TEST(MessageArena, GenerationTagGuardsSlotReuse) {
 }
 
 TEST(MessageArena, TransportFanoutReclaimsAfterLastInFlightDelivery) {
+  // Degree 3: above the inline-payload threshold, so the arena path runs.
+  Simulator sim;
+  DynamicGraph graph{sim, 4, 5};
+  graph.set_detection_delay_mode(DetectionDelayMode::kZero);
+  EdgeParams p;
+  p.eps = 0.1;
+  p.tau = 0.2;
+  p.msg_delay_min = 0.1;
+  p.msg_delay_max = 0.5;
+  graph.create_edge_instant(EdgeKey(0, 1), p);
+  graph.create_edge_instant(EdgeKey(0, 2), p);
+  graph.create_edge_instant(EdgeKey(0, 3), p);
+  Transport transport{sim, graph, 9};
+  int delivered = 0;
+  transport.set_handler([&](const Delivery&) { ++delivered; });
+  transport.set_directional_delay(0, 1, 0.1);
+  transport.set_directional_delay(0, 2, 0.4);
+  transport.set_directional_delay(0, 3, 0.4);
+  transport.send_fanout(0, graph.view_neighbors(0), Beacon{5.0, 5.0, 0.0});
+  EXPECT_EQ(transport.arena().live(), 1u);  // ONE payload for all deliveries
+  sim.run_until(0.2);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(transport.arena().live(), 1u);  // later deliveries still hold it
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(transport.arena().live(), 0u);  // last delivery reclaimed the slot
+}
+
+TEST(MessageArena, SmallFanoutBypassesArenaWithInlinePayload) {
+  // Degree <= 2 (and all send()/send_via() unicasts): the payload rides in
+  // the kernel's inline blob slot; the arena must stay untouched, and the
+  // delivered payload must be bit-identical to the sent one.
   Simulator sim;
   DynamicGraph graph{sim, 3, 5};
   graph.set_detection_delay_mode(DetectionDelayMode::kZero);
@@ -426,18 +458,20 @@ TEST(MessageArena, TransportFanoutReclaimsAfterLastInFlightDelivery) {
   graph.create_edge_instant(EdgeKey(0, 1), p);
   graph.create_edge_instant(EdgeKey(0, 2), p);
   Transport transport{sim, graph, 9};
-  int delivered = 0;
-  transport.set_handler([&](const Delivery&) { ++delivered; });
-  transport.set_directional_delay(0, 1, 0.1);
-  transport.set_directional_delay(0, 2, 0.4);
-  transport.send_fanout(0, graph.view_neighbors(0), Beacon{5.0, 5.0, 0.0});
-  EXPECT_EQ(transport.arena().live(), 1u);  // ONE payload for both deliveries
-  sim.run_until(0.2);
-  EXPECT_EQ(delivered, 1);
-  EXPECT_EQ(transport.arena().live(), 1u);  // second delivery still holds it
+  std::vector<Beacon> seen;
+  transport.set_handler([&](const Delivery& d) {
+    seen.push_back(std::get<Beacon>(*d.payload));
+  });
+  transport.send_fanout(0, graph.view_neighbors(0), Beacon{5.0, 7.0, -1.0});
+  EXPECT_EQ(transport.arena().live(), 0u);  // inline path: no arena slot
   sim.run();
-  EXPECT_EQ(delivered, 2);
-  EXPECT_EQ(transport.arena().live(), 0u);  // last delivery reclaimed the slot
+  ASSERT_EQ(seen.size(), 2u);
+  for (const Beacon& b : seen) {
+    EXPECT_EQ(b.logical, 5.0);
+    EXPECT_EQ(b.max_estimate, 7.0);
+    EXPECT_EQ(b.min_estimate, -1.0);
+  }
+  EXPECT_EQ(transport.arena().live(), 0u);
 }
 
 TEST(Simulator, ClosureAndChannelEventsCoexist) {

@@ -79,6 +79,75 @@ TEST(SweepRunner, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(SweepRunner, WorkStealingHandlesHeterogeneousRunLengths) {
+  // A strongly skewed grid: the first shard's runs are ~64x the work of the
+  // last shard's, so with a static partition the later workers go idle and
+  // must STEAL from the loaded shard. Results must still land in grid order
+  // and match the serial execution bit-for-bit.
+  auto base = small_line();
+  Sweep sweep(base);
+  sweep.axis("n", std::vector<int>{32, 32, 4, 4, 4, 4, 4, 4});
+  SweepOptions options;
+  options.horizon = 40.0;
+  options.threads = 1;
+  const auto serial = SweepRunner(options).run(sweep);
+  options.threads = 4;
+  const auto stolen = SweepRunner(options).run(sweep);
+  ASSERT_EQ(serial.size(), 8u);
+  ASSERT_EQ(stolen.size(), 8u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].error;
+    ASSERT_TRUE(stolen[i].ok()) << stolen[i].error;
+    EXPECT_EQ(serial[i].index, stolen[i].index);
+    EXPECT_EQ(serial[i].n, stolen[i].n);
+    EXPECT_DOUBLE_EQ(serial[i].final_global, stolen[i].final_global);
+    EXPECT_DOUBLE_EQ(serial[i].max_local, stolen[i].max_local);
+    EXPECT_EQ(serial[i].events, stolen[i].events);
+  }
+}
+
+TEST(SweepRunner, MoreThreadsThanRunsIsSafeAndComplete) {
+  Sweep sweep(small_line());
+  sweep.axis("seed", std::vector<int>{1, 2, 3});
+  SweepOptions options;
+  options.horizon = 20.0;
+  options.threads = 16;  // capped at the grid size internally
+  const auto results = SweepRunner(options).run(sweep);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(results[i].index, static_cast<int>(i));
+    EXPECT_GT(results[i].events, 0u);
+  }
+}
+
+TEST(SweepRunner, DeterministicCsvIsByteIdenticalAcrossThreadCounts) {
+  const auto read_all = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good());
+    std::string all, line;
+    while (std::getline(in, line)) all += line + "\n";
+    return all;
+  };
+  Sweep sweep(small_line());
+  sweep.axis("n", std::vector<int>{4, 6, 8});
+  SweepOptions options;
+  options.horizon = 20.0;
+  options.threads = 2;
+  const auto two = SweepRunner(options).run(sweep);
+  options.threads = 8;
+  const auto eight = SweepRunner(options).run(sweep);
+  SweepRunner::write_csv(two, "sweep_det_2.csv", /*include_wall=*/false);
+  SweepRunner::write_csv(eight, "sweep_det_8.csv", /*include_wall=*/false);
+  const std::string a = read_all("sweep_det_2.csv");
+  const std::string b = read_all("sweep_det_8.csv");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // wall_seconds omitted: the files must be byte-identical
+  EXPECT_EQ(a.find("wall_seconds"), std::string::npos);
+  std::remove("sweep_det_2.csv");
+  std::remove("sweep_det_8.csv");
+}
+
 TEST(SweepRunner, PerRunFailuresAreRecordedNotFatal) {
   auto base = small_line();
   base.gtilde_auto = false;
