@@ -1,0 +1,223 @@
+// rt_loopback: the runtime subsystem end to end, in one process.
+//
+// Runs N live AOPT nodes — each a full replica stack slaved to the wall
+// clock — over either the in-process pipe transport (lock-free SPSC rings,
+// optional injected faults) or real UDP loopback sockets. Drift is
+// simulated per node (osc-const ppm offsets), estimates come from the
+// measured-RTT offset exchange, and every node self-samples its clocks on a
+// shared model-time grid; the per-edge skew join runs offline at the end.
+//
+//   rt_loopback --nodes=4 --seconds=3 --time-scale=100        # pipe backend
+//   rt_loopback --transport=udp --nodes=2 --seconds=3
+//   rt_loopback --seconds=30 --time-scale=10 --check-bound --csv=skew.csv
+//
+// --check-bound makes the exit code enforce that every post-warmup skew
+// sample is within the edge's derived gradient bound (the CI soak gate).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "metrics/skew.h"
+#include "rt/rt_cluster.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace gcs;
+
+namespace {
+
+/// The runtime scenario preset: ring topology, per-node constant-ppm
+/// oscillators, RTT estimates. msg_delay_min is 0 — a real transit can be
+/// arbitrarily fast, and the causality compensation must stay sound —
+/// while msg_delay_max bounds pump latency at the chosen time scale.
+ScenarioSpec make_rt_spec(int n, double probe_period, double delay_max,
+                          std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "rt-loopback";
+  spec.n = n;
+  spec.seed = seed;
+  spec.topology = ComponentSpec(n >= 3 ? "ring" : "line");
+  spec.drift = ComponentSpec("osc-const");
+  spec.drift.params.set("ppm", "120/-180/60/-90/150/-40");
+  spec.estimates = ComponentSpec("rtt");
+  spec.estimates.params.set("probe", probe_period);
+  spec.edge_params.eps = 0.1;
+  spec.edge_params.tau = 0.5;
+  spec.edge_params.msg_delay_max = delay_max;
+  spec.edge_params.msg_delay_min = 0.0;
+  spec.engine.beacon_period = probe_period;
+  spec.engine.tick_period = probe_period;
+  spec.gtilde_auto = true;
+  return spec;
+}
+
+struct RunSummary {
+  std::vector<RtEdgeReport> reports;
+  std::uint64_t frames_out = 0;
+  std::uint64_t frames_in = 0;
+  Time horizon = 0.0;
+};
+
+int report(const RunSummary& run, bool check_bound) {
+  Table table("rt_loopback: per-edge skew over the sampled grid");
+  table.headers({"edge", "samples", "max |skew|", "mean |skew|", "eps", "kappa",
+                 "bound", "ok"});
+  bool all_ok = true;
+  for (const RtEdgeReport& r : run.reports) {
+    const bool ok = r.samples > 0 && r.max_abs_skew <= r.bound;
+    all_ok = all_ok && ok;
+    table.row()
+        .cell(r.edge.str())
+        .cell(r.samples)
+        .cell(r.max_abs_skew)
+        .cell(r.mean_abs_skew)
+        .cell(r.eps)
+        .cell(r.kappa)
+        .cell(r.bound)
+        .cell(ok ? "yes" : "NO");
+  }
+  table.print();
+  std::cout << "model horizon " << run.horizon << " s, frames out "
+            << run.frames_out << ", frames in " << run.frames_in << "\n";
+  if (check_bound && !all_ok) {
+    std::cout << "FAIL: a sampled edge skew exceeded its gradient bound\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_pipe(const Flags& flags, const ScenarioSpec& spec, Time horizon,
+             Duration sample_period, int warmup) {
+  MonotonicClock wall;
+  ScaledClock clock(wall, flags.get("time-scale", 10.0));
+  FaultSpec faults;
+  faults.drop = flags.get("drop", 0.0);
+  faults.dup = flags.get("dup", 0.0);
+  faults.reorder = flags.get("reorder", 0.0);
+  faults.delay = flags.get("delay", 0.2);
+  faults.jitter = flags.get("jitter", 0.0);
+  faults.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+
+  RtCluster cluster(spec, clock, faults);
+  cluster.start();
+  cluster.schedule_samples(horizon, sample_period);
+  cluster.run_threads(horizon);
+
+  RunSummary run;
+  run.reports = cluster.edge_report(warmup);
+  run.horizon = horizon;
+  for (NodeId u = 0; u < cluster.size(); ++u) {
+    run.frames_out += cluster.node(u).egress_count();
+    run.frames_in += cluster.node(u).ingress_count();
+  }
+  const std::string csv = flags.get("csv", std::string());
+  if (!csv.empty()) {
+    cluster.write_skew_csv(csv, warmup);
+    std::cout << "wrote " << csv << "\n";
+  }
+  std::cout << "pipe hub: sent " << cluster.hub().sent() << ", dropped "
+            << cluster.hub().dropped() << ", duplicated "
+            << cluster.hub().duplicated() << ", delayed "
+            << cluster.hub().delayed() << "\n";
+  return report(run, flags.get("check-bound", false));
+}
+
+int run_udp(const Flags& flags, const ScenarioSpec& spec, Time horizon,
+            Duration sample_period, int warmup) {
+  const int n = spec.n;
+  const auto base_port =
+      static_cast<std::uint16_t>(flags.get("base-port", 29200));
+  MonotonicClock wall;
+  ScaledClock clock(wall, flags.get("time-scale", 10.0));
+
+  // One socket-backed transport and one replica per node, all in-process:
+  // the frames really cross the kernel's UDP stack.
+  std::vector<std::unique_ptr<UdpTransport>> sockets;
+  std::vector<std::unique_ptr<RtNode>> nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    sockets.push_back(std::make_unique<UdpTransport>(n, u, base_port));
+    nodes.push_back(std::make_unique<RtNode>(spec, u, *sockets.back(), clock));
+  }
+  std::vector<std::vector<RtSample>> samples(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) nodes[u]->start();
+  const int count = static_cast<int>(std::floor(horizon / sample_period + 1e-9));
+  for (NodeId u = 0; u < n; ++u) {
+    RtNode* node = nodes[static_cast<std::size_t>(u)].get();
+    auto* out = &samples[static_cast<std::size_t>(u)];
+    for (int k = 1; k <= count; ++k) {
+      const Time t = static_cast<Time>(k) * sample_period;
+      node->at(t, [node, out, t] {
+        out->push_back(RtSample{t, node->logical(), node->hardware()});
+      });
+    }
+  }
+  std::vector<std::thread> threads;
+  for (NodeId u = 0; u < n; ++u) {
+    RtNode* node = nodes[static_cast<std::size_t>(u)].get();
+    threads.emplace_back([node, horizon] {
+      while (node->pump() < horizon) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      node->pump();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  RunSummary run;
+  run.horizon = horizon;
+  const AlgoParams& aopt = nodes.front()->scenario().spec().aopt;
+  for (const EdgeKey& e : nodes.front()->scenario().initial_edges()) {
+    RtEdgeReport r;
+    r.edge = e;
+    Engine& engine = nodes[static_cast<std::size_t>(e.a)]->engine();
+    r.eps = engine.edge_eps(e);
+    r.kappa = engine.metric_kappa(e);
+    r.bound = gradient_bound(r.kappa, aopt.gtilde_static, aopt.sigma());
+    const auto& sa = samples[static_cast<std::size_t>(e.a)];
+    const auto& sb = samples[static_cast<std::size_t>(e.b)];
+    const std::size_t joined = std::min(sa.size(), sb.size());
+    double sum = 0.0;
+    for (std::size_t k = static_cast<std::size_t>(warmup); k < joined; ++k) {
+      const double skew = std::abs(sa[k].logical - sb[k].logical);
+      r.max_abs_skew = std::max(r.max_abs_skew, skew);
+      sum += skew;
+      ++r.samples;
+    }
+    r.mean_abs_skew = r.samples > 0 ? sum / r.samples : 0.0;
+    run.reports.push_back(r);
+  }
+  for (const auto& node : nodes) {
+    run.frames_out += node->egress_count();
+    run.frames_in += node->ingress_count();
+  }
+  return report(run, flags.get("check-bound", false));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string transport = flags.get("transport", std::string("pipe"));
+  const int n = flags.get("nodes", transport == "udp" ? 2 : 4);
+  const double scale = flags.get("time-scale", 10.0);
+  const Time horizon = flags.get("seconds", 3.0) * scale;  // model seconds
+  const double probe = flags.get("probe", 0.25);
+  const double sample_period = flags.get("sample-period", 0.5);
+  // Transit bound in model time: pump cadence (~ms wall) times the scale,
+  // with generous slack for scheduler stalls.
+  const double delay_max = flags.get("delay-max", std::max(0.5, 0.05 * scale));
+  const int warmup = flags.get(
+      "warmup", static_cast<int>(std::ceil(0.25 * horizon / sample_period)));
+
+  const ScenarioSpec spec =
+      make_rt_spec(n, probe, delay_max,
+                   static_cast<std::uint64_t>(flags.get("seed", 1)));
+  if (transport == "udp") return run_udp(flags, spec, horizon, sample_period, warmup);
+  if (transport == "pipe") return run_pipe(flags, spec, horizon, sample_period, warmup);
+  std::cerr << "unknown --transport=" << transport << " (pipe|udp)\n";
+  return 2;
+}

@@ -22,9 +22,16 @@ Usage:
       --check-prefix BM_ScenarioSimulation --max-regression 1.15
   scripts/compare_bench.py BEFORE.json AFTER.json --report-out compare.txt
 
-Benchmarks present in only one file are listed but never gate (a prefix
-matching nothing in the *before* file fails the gate, so a renamed benchmark
-cannot silently un-gate itself).
+A benchmark present in only one of the two files is an error: each such
+name is reported with its own "only in before/after" message and the exit
+code is nonzero (previously these rows were listed and silently skipped,
+so a renamed or deleted benchmark could drift past the comparison). Pass
+--ignore-unmatched to restore the old listing-only behavior (e.g. when a
+PR intentionally adds benchmarks that the committed baseline predates);
+--allow-regression keeps reporting mismatches but exits 0. A prefix
+matching nothing in the *before* file still fails the gate, so a renamed
+benchmark cannot silently un-gate itself. Missing or malformed JSON files
+are reported as one-line errors, not stack traces.
 """
 
 from __future__ import annotations
@@ -41,8 +48,15 @@ def load_benchmarks(path: str, metric: str) -> dict[str, float]:
     --benchmark_report_aggregates_only carry only aggregate rows, so the
     `_mean` aggregates (stripped back to the canonical name) fill the gaps.
     """
-    with open(path, encoding="utf-8") as fh:
-        data = json.load(fh)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as err:
+        raise SystemExit(f"{path}: cannot read benchmark file: {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        raise SystemExit(f"{path}: not valid benchmark JSON: {err}")
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        raise SystemExit(f"{path}: no 'benchmarks' array (not a Google Benchmark JSON?)")
     plain: dict[str, float] = {}
     means: dict[str, float] = {}
     for bench in data.get("benchmarks", []):
@@ -109,6 +123,12 @@ def main() -> int:
         help="report gate failures but exit 0 (CI escape hatch, see README)",
     )
     parser.add_argument(
+        "--ignore-unmatched",
+        action="store_true",
+        help="benchmarks present in only one file are listed instead of "
+        "failing (use when a PR intentionally adds or removes benchmarks)",
+    )
+    parser.add_argument(
         "--report-out",
         metavar="FILE",
         help="also write the comparison table to FILE",
@@ -137,6 +157,16 @@ def main() -> int:
 
     checks = list(args.check)
     failures = []
+    unmatched = sorted(before.keys() ^ after.keys())
+    if unmatched and not args.ignore_unmatched:
+        for name in unmatched:
+            side = "before" if name in before else "after"
+            failures.append(
+                f"{name}: only in the {side} file "
+                f"({args.before if side == 'before' else args.after}) — "
+                "renamed/added/deleted benchmark? Re-record the baseline or "
+                "pass --ignore-unmatched"
+            )
     for prefix in args.check_prefix:
         expanded = sorted(n for n in before if n.startswith(prefix))
         if not expanded:
@@ -154,7 +184,7 @@ def main() -> int:
             )
     if failures:
         lines.append("")
-        lines.append("REGRESSIONS:")
+        lines.append("FAILURES:")
         lines.extend(f"  {f}" for f in failures)
         if args.allow_regression:
             lines.append("(--allow-regression: reported only, not failing the job)")

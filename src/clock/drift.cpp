@@ -103,6 +103,70 @@ Time RandomWalkDrift::next_change_after(NodeId, Time t) {
   return next;
 }
 
+// ------------------------------------------- ConstantDriftOscillator (INET)
+
+ConstantDriftOscillator::ConstantDriftOscillator(double rho, int n,
+                                                 std::vector<double> ppm)
+    : rho_(rho), n_(n), ppm_(std::move(ppm)) {
+  check_rho(rho);
+  require(n >= 1, "ConstantDriftOscillator: need n >= 1");
+  require(!ppm_.empty(), "ConstantDriftOscillator: need at least one ppm value");
+  for (double p : ppm_) {
+    require(std::fabs(p) * 1e-6 <= rho_ + 1e-15,
+            "ConstantDriftOscillator: |ppm|*1e-6 > rho");
+  }
+}
+
+double ConstantDriftOscillator::rate_at(NodeId u, Time) {
+  return 1.0 + ppm_[static_cast<std::size_t>(u) % ppm_.size()] * 1e-6;
+}
+
+// --------------------------------------------- RandomDriftOscillator (INET)
+
+RandomDriftOscillator::RandomDriftOscillator(double rho, int n, Duration interval,
+                                             double change_ppm, double limit_ppm,
+                                             std::uint64_t seed)
+    : rho_(rho),
+      n_(n),
+      interval_(interval),
+      change_ppm_(change_ppm),
+      limit_ppm_(limit_ppm) {
+  check_rho(rho);
+  require(n >= 1 && interval > 0.0 && change_ppm >= 0.0 && limit_ppm >= 0.0,
+          "RandomDriftOscillator: bad arguments");
+  require(limit_ppm * 1e-6 <= rho_ + 1e-15,
+          "RandomDriftOscillator: limit_ppm*1e-6 > rho");
+  Rng root(seed);
+  node_rngs_.reserve(static_cast<std::size_t>(n));
+  walks_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    node_rngs_.push_back(root.fork(static_cast<std::uint64_t>(i)));
+  }
+}
+
+double RandomDriftOscillator::offset_ppm(NodeId u, std::size_t k) {
+  auto& walk = walks_.at(static_cast<std::size_t>(u));
+  auto& rng = node_rngs_.at(static_cast<std::size_t>(u));
+  if (walk.empty()) walk.push_back(0.0);  // the walk starts at zero offset
+  while (walk.size() <= k) {
+    const double step = rng.uniform(-change_ppm_, change_ppm_);
+    walk.push_back(std::clamp(walk.back() + step, -limit_ppm_, limit_ppm_));
+  }
+  return walk[k];
+}
+
+double RandomDriftOscillator::rate_at(NodeId u, Time t) {
+  const auto k = static_cast<std::size_t>(std::max(0.0, std::floor(t / interval_)));
+  return 1.0 + offset_ppm(u, k) * 1e-6;
+}
+
+Time RandomDriftOscillator::next_change_after(NodeId, Time t) {
+  const auto k = std::floor(std::max(0.0, t) / interval_);
+  Time next = (k + 1.0) * interval_;
+  if (next <= t) next = (k + 2.0) * interval_;
+  return next;
+}
+
 // ------------------------------------------------------------- Sinusoidal
 
 SinusoidalDrift::SinusoidalDrift(double rho, int n, Duration period, int steps)
@@ -222,6 +286,38 @@ void register_builtin_drift_models(Registry<DriftFactory>& r) {
             return std::make_unique<RandomWalkDrift>(
                 a.rho, a.n, p.get_double("period", 10.0),
                 std_dev > 0.0 ? std_dev : a.rho / 4.0, a.seed ^ 0xd21fULL);
+          }});
+  r.add(E{"osc-const",
+          "INET-style constant-drift oscillator: per-node ppm offsets (cycled)",
+          {{"ppm", "100", "'/'-separated ppm list, e.g. 100/-200/50 (nodes cycle "
+                          "through it); |ppm|*1e-6 <= rho"}},
+          [](const ParamMap& p, const DriftArgs& a) -> std::unique_ptr<DriftModel> {
+            std::vector<double> ppm;
+            std::string text = p.get_str("ppm", "100");
+            std::size_t start = 0;
+            while (start <= text.size()) {
+              const std::size_t slash = text.find('/', start);
+              const std::string item =
+                  text.substr(start, slash == std::string::npos ? std::string::npos
+                                                                : slash - start);
+              ppm.push_back(parse_strict_double("param 'ppm'", item));
+              if (slash == std::string::npos) break;
+              start = slash + 1;
+            }
+            return std::make_unique<ConstantDriftOscillator>(a.rho, a.n,
+                                                             std::move(ppm));
+          }});
+  r.add(E{"osc-random",
+          "INET-style random-drift oscillator: bounded uniform walk of the ppm rate",
+          {{"interval", "10", "time between drift-rate changes"},
+           {"change", "25", "max |ppm| change per interval (uniform draw)"},
+           {"limit", "0", "drift-rate clamp in ppm (0 = rho*1e6)"}},
+          [](const ParamMap& p, const DriftArgs& a) -> std::unique_ptr<DriftModel> {
+            const double limit = p.get_double("limit", 0.0);
+            return std::make_unique<RandomDriftOscillator>(
+                a.rho, a.n, p.get_double("interval", 10.0),
+                p.get_double("change", 25.0),
+                limit > 0.0 ? limit : a.rho * 1e6, a.seed ^ 0x05c1ULL);
           }});
   r.add(E{"sine",
           "temperature-cycle style oscillation with per-node phase",

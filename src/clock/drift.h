@@ -120,6 +120,57 @@ class SinusoidalDrift final : public DriftModel {
   int steps_;
 };
 
+/// INET-style constant-drift oscillator (ConstantDriftOscillator in the
+/// clockdrift showcase): each node's hardware rate is 1 + ppm_u·1e-6, fixed
+/// for the whole run and configured *per node* in parts-per-million — the
+/// way real oscillator datasheets and the INET showcase configurations
+/// specify it. Nodes beyond the configured list cycle through it (the
+/// showcase's "same config for every switch" pattern). |ppm·1e-6| must not
+/// exceed rho.
+class ConstantDriftOscillator final : public DriftModel {
+ public:
+  ConstantDriftOscillator(double rho, int n, std::vector<double> ppm);
+
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override { (void)u, (void)t; return kTimeInf; }
+  [[nodiscard]] double rho() const override { return rho_; }
+
+ private:
+  double rho_;
+  int n_;
+  std::vector<double> ppm_;
+};
+
+/// INET-style random-drift oscillator (RandomDriftOscillator): the drift
+/// *rate* performs a bounded uniform random walk — every `interval`, each
+/// node's ppm offset moves by uniform(-change_ppm, +change_ppm) and is
+/// clamped to [-limit_ppm, +limit_ppm] (the showcase's driftRateChange /
+/// driftRateChangeLimit pair). Distinct from RandomWalkDrift: uniform (not
+/// Gaussian) increments and an explicit drift-rate limit that may sit well
+/// inside the model bound rho. Deterministic given the seed; queries may be
+/// non-monotone (the walk is memoized per step).
+class RandomDriftOscillator final : public DriftModel {
+ public:
+  RandomDriftOscillator(double rho, int n, Duration interval, double change_ppm,
+                        double limit_ppm, std::uint64_t seed);
+
+  double rate_at(NodeId u, Time t) override;
+  Time next_change_after(NodeId u, Time t) override;
+  [[nodiscard]] double rho() const override { return rho_; }
+
+ private:
+  /// ppm offset of node u during step k (memoized; extends lazily).
+  double offset_ppm(NodeId u, std::size_t k);
+
+  double rho_;
+  int n_;
+  Duration interval_;
+  double change_ppm_;
+  double limit_ppm_;
+  std::vector<Rng> node_rngs_;
+  std::vector<std::vector<double>> walks_;  // walks_[u][k], in ppm
+};
+
 /// §3 remark: make one reference node u0 artificially faster by a factor
 /// (1+rho)/(1-rho), so it always carries the maximum clock. The effective
 /// drift bound becomes rho~ = (1+rho)^2/(1-rho) - 1 (≈ 3 rho) and every

@@ -124,7 +124,13 @@ void Engine::start() {
   merged_heartbeat_ = config_.enable_beacons &&
                       config_.tick_period == config_.beacon_period;
   const int n = size();
+  // Probe timer (RTT offset exchange): only sources that ask for one get
+  // one — probe_period() == 0 schedules nothing, keeping probe-free event
+  // sequences identical to the pre-probe engine.
+  const Duration probe_period = estimates_.probe_period();
   for (NodeId u = 0; u < n; ++u) {
+    // Service mode: only the local node executes; the rest are mirrors.
+    if (config_.local_node != kNoNode && u != config_.local_node) continue;
     node(u).algo->init();
     schedule_drift(u);
     // Stagger per-node periodic events so same-time bursts do not mask
@@ -137,6 +143,10 @@ void Engine::start() {
     } else {
       schedule_tick(u, config_.tick_period * phase);
       if (config_.enable_beacons) schedule_beacon(u, config_.beacon_period * phase);
+    }
+    if (probe_period > 0.0) {
+      sim_.schedule_event_after(probe_period * phase,
+                                SimEvent::node_event(EventKind::kProbe, channel_, u));
     }
     reevaluate(u);
   }
@@ -203,6 +213,10 @@ void Engine::corrupt_max_estimate(NodeId u, ClockValue value) {
     reschedule_mlock(u);
   }
   reevaluate(u);
+}
+
+bool Engine::send_time_request(NodeId from, NodeId to, const TimeRequest& req) {
+  return transport_.send(from, to, req);
 }
 
 double Engine::metric_kappa(const EdgeKey& e) {
@@ -273,6 +287,12 @@ void Engine::dispatch(const SimEvent& ev) {
       mark_dirty(u);
       trace(EventKind::kBeacon, u);
       fire_beacon(u);
+      break;
+    case EventKind::kProbe:
+      trace(EventKind::kProbe, u);
+      estimates_.on_probe(u, *this);
+      sim_.schedule_event_after(estimates_.probe_period(),
+                                SimEvent::node_event(EventKind::kProbe, channel_, u));
       break;
     case EventKind::kClosure:
     case EventKind::kDelivery:
@@ -528,6 +548,15 @@ void Engine::on_delivery(const Delivery& d) {
     }
   } else if (const auto* ins = std::get_if<InsertEdgeMsg>(d.payload)) {
     node(d.to).algo->on_insert_edge_msg(d.from, *ins);
+    dirty = true;
+  } else if (const auto* req = std::get_if<TimeRequest>(d.payload)) {
+    // Probe responder: echo the sender's stamp with our logical clock.
+    // Responding reads but does not change this node's discrete trigger
+    // inputs, so it never dirties the receiver.
+    transport_.send(d.to, d.from, TimeResponse{req->id, req->sender_hw, logical(d.to)});
+  } else if (const auto* resp = std::get_if<TimeResponse>(d.payload)) {
+    estimates_.on_time_response(d, *resp);
+    node(d.to).algo->on_estimate_dirty(d.from);
     dirty = true;
   }
   if (!config_.coalesce_instants) {

@@ -160,6 +160,13 @@ struct EngineConfig {
   /// as before. `false` restores the legacy evaluate-after-every-event
   /// behavior (used by the per-event/per-instant equivalence tests).
   bool coalesce_instants = true;
+  /// Service mode (src/rt): when set, this engine instance *executes* only
+  /// the named node — init, timers and trigger evaluation run for it alone,
+  /// and every other node exists purely as an addressing/topology mirror
+  /// whose clock slots are dead data (its estimates come over the wire).
+  /// kNoNode (the default) executes every node: simulation mode, bit-exact
+  /// with the pre-rt engine.
+  NodeId local_node = kNoNode;
 };
 
 /// Passive instrumentation: notified of the engine's discrete transitions.
@@ -181,7 +188,8 @@ class EngineObserver {
 class Engine final : public DynamicGraph::Listener,
                      public ClockAccess,
                      public EventDispatcher,
-                     public DeliverySink {
+                     public DeliverySink,
+                     public ProbeSender {
  public:
   using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>(NodeId)>;
 
@@ -242,6 +250,9 @@ class Engine final : public DynamicGraph::Listener,
   // ---------------------------------------------------------- ClockAccess
   ClockValue true_logical(NodeId u) override { return logical(u); }
   ClockValue true_hardware(NodeId u) override { return hardware(u); }
+
+  // ---------------------------------------------------------- ProbeSender
+  bool send_time_request(NodeId from, NodeId to, const TimeRequest& req) override;
 
   // ------------------------------------------------- DynamicGraph::Listener
   void on_edge_discovered(NodeId u, NodeId peer) override;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "estimate/rtt_estimate.h"
+
 namespace gcs {
 
 // ------------------------------------------------------------------ oracle
@@ -113,6 +115,7 @@ void register_builtin_estimates(Registry<EstimateFactory>& r) {
             return std::make_unique<BeaconEstimateSource>(a.graph, a.beacon_period,
                                                           a.rho, a.mu);
           }});
+  register_rtt_estimate(r);
 }
 
 void register_builtin_gskew(Registry<GskewFactory>& r) {

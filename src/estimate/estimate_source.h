@@ -32,6 +32,17 @@ class ClockAccess {
   [[nodiscard]] virtual ClockValue true_hardware(NodeId u) = 0;
 };
 
+/// Engine-provided send capability for probe-driven estimate sources (the
+/// RTT offset exchange). Kept minimal: the source decides *when* and *whom*
+/// to probe; the engine owns the transport and answers TimeRequests itself.
+class ProbeSender {
+ public:
+  virtual ~ProbeSender() = default;
+  /// Send a TimeRequest from `from` to `to`; false if the edge is absent
+  /// from the sender's view (the probe is simply skipped then).
+  virtual bool send_time_request(NodeId from, NodeId to, const TimeRequest& req) = 0;
+};
+
 class EstimateSource {
  public:
   virtual ~EstimateSource() = default;
@@ -50,6 +61,18 @@ class EstimateSource {
   virtual void on_beacon(const Delivery& d) { (void)d; }
   [[nodiscard]] virtual bool consumes_beacons() const { return false; }
   virtual void on_edge_lost(NodeId u, NodeId peer) { (void)u, (void)peer; }
+
+  /// Probe cadence this source wants per node, or 0 for "no probes" (the
+  /// default — the engine then schedules no probe timer at all, keeping the
+  /// event sequence of probe-free sources bit-identical to before the probe
+  /// layer existed).
+  [[nodiscard]] virtual Duration probe_period() const { return 0.0; }
+  /// Probe timer fired for node u: send whatever requests this round needs.
+  virtual void on_probe(NodeId u, ProbeSender& sender) { (void)u, (void)sender; }
+  /// A TimeResponse for node d.to arrived (engine-dispatched).
+  virtual void on_time_response(const Delivery& d, const TimeResponse& resp) {
+    (void)d, (void)resp;
+  }
 
  protected:
   ClockAccess* clocks_ = nullptr;

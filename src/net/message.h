@@ -24,7 +24,24 @@ struct InsertEdgeMsg {
   double gtilde = 0.0;
 };
 
-using Payload = std::variant<Beacon, InsertEdgeMsg>;
+/// RTT offset-exchange probe (edyn-style two-request/response scheme, see
+/// estimate/rtt_estimate.h). The sender stamps its own hardware clock; the
+/// responder echoes it back untouched so the round-trip time needs no state
+/// at the responder.
+struct TimeRequest {
+  std::uint32_t id = 0;         ///< matches the response to the pending probe
+  ClockValue sender_hw = 0.0;   ///< sender's hardware clock at send
+};
+
+/// Reply to a TimeRequest: the echoed request stamp plus the responder's
+/// logical clock at response time (the quantity the estimate layer tracks).
+struct TimeResponse {
+  std::uint32_t id = 0;
+  ClockValue echo_hw = 0.0;        ///< TimeRequest::sender_hw, echoed
+  ClockValue remote_logical = 0.0; ///< responder's L at response send
+};
+
+using Payload = std::variant<Beacon, InsertEdgeMsg, TimeRequest, TimeResponse>;
 
 /// A message delivered to a node. Zero-copy: `payload` points into the
 /// transport's message arena (net/arena.h) and is valid only for the

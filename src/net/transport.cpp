@@ -68,6 +68,11 @@ bool Transport::send(NodeId from, NodeId to, Payload payload) {
 }
 
 void Transport::send_via(NodeId from, const NeighborView& to, Payload&& payload) {
+  if (egress_ != nullptr) {
+    ++sent_;
+    egress_->send(from, to.id, sim_.now(), payload);
+    return;
+  }
   // Degree 1: inline the payload beside the kernel slot — no arena slot to
   // acquire at send or reclaim at fire (see send_fanout's degree rule).
   const Duration delay = pick_delay(from, to.id, *to.params);
@@ -80,6 +85,13 @@ void Transport::send_via(NodeId from, const NeighborView& to, Payload&& payload)
 void Transport::send_fanout(NodeId from, const std::vector<NeighborView>& views,
                             Payload payload) {
   if (views.empty()) return;
+  if (egress_ != nullptr) {
+    for (const NeighborView& nv : views) {
+      ++sent_;
+      egress_->send(from, nv.id, sim_.now(), payload);
+    }
+    return;
+  }
   // Degree-adaptive path choice, made once per send: at fan-out degree <= 2
   // (lines, rings, sparse meshes) MessageArena bookkeeping costs more than
   // simply copying the 32 payload bytes per delivery, so the payload rides

@@ -34,6 +34,18 @@ class DeliverySink {
   virtual void on_delivery(const Delivery& d) = 0;
 };
 
+/// Service-mode bypass (src/rt): when installed, every send that passes the
+/// sender-view check is handed here instead of being scheduled as a kernel
+/// delivery — the real transport (pipe rings, UDP sockets) carries it, and
+/// the receiving process injects it back through DeliverySink. The in-sim
+/// delay model, drop rule and arena are all bypassed; with no egress set
+/// the transport behaves exactly as before.
+class TransportEgress {
+ public:
+  virtual ~TransportEgress() = default;
+  virtual void send(NodeId from, NodeId to, Time sent_at, const Payload& payload) = 0;
+};
+
 class Transport final : public EventDispatcher {
  public:
   using Handler = std::function<void(const Delivery&)>;
@@ -45,6 +57,9 @@ class Transport final : public EventDispatcher {
   void set_sink(DeliverySink* sink) { sink_ = sink; }
   void set_handler(Handler handler) { handler_ = std::move(handler); }
   void set_delay_mode(DelayMode mode) { delay_mode_ = mode; }
+  /// Divert outbound messages to a real transport (nullptr restores the
+  /// in-sim delivery path).
+  void set_egress(TransportEgress* egress) { egress_ = egress; }
 
   /// Probe of delivery firings (time, receiver, kDelivery); nullptr detaches.
   void set_kernel_trace(KernelTraceSink* trace) { trace_ = trace; }
@@ -97,6 +112,7 @@ class Transport final : public EventDispatcher {
   std::uint8_t channel_ = kNoChannel;  ///< registered dispatch channel
   Rng rng_;
   DeliverySink* sink_ = nullptr;
+  TransportEgress* egress_ = nullptr;
   Handler handler_;
   KernelTraceSink* trace_ = nullptr;
   DelayMode delay_mode_ = DelayMode::kUniform;

@@ -1,0 +1,164 @@
+#include "rt/rt_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "graph/topology.h"
+#include "metrics/skew.h"
+#include "util/csv.h"
+
+namespace gcs {
+
+namespace {
+
+/// Resolve the topology exactly as Scenario's constructor will (same seed,
+/// same registry, same RNG stream), so the hub can be sized before any
+/// replica exists. Every replica then re-derives the identical edge list.
+TopologyResult resolve_topology(const ScenarioSpec& spec) {
+  Rng topo_rng(spec.seed);
+  TopologyArgs targs{spec.n, topo_rng, &spec.explicit_edges};
+  const auto& entry = topology_registry().get(spec.topology.kind);
+  TopologyResult topo = entry.factory(spec.topology.params, targs);
+  require(topo.n >= 1, "RtCluster: topology produced n < 1");
+  return topo;
+}
+
+}  // namespace
+
+RtCluster::RtCluster(const ScenarioSpec& spec, TimeSource& clock,
+                     const FaultSpec& faults, std::size_t ring_capacity)
+    : clock_(clock) {
+  TopologyResult topo = resolve_topology(spec);
+  edges_ = std::move(topo.edges);
+  hub_ = std::make_unique<PipeHub>(topo.n, clock, faults, ring_capacity);
+  nodes_.reserve(static_cast<std::size_t>(topo.n));
+  for (NodeId u = 0; u < topo.n; ++u) {
+    nodes_.push_back(std::make_unique<RtNode>(spec, u, *hub_, clock));
+  }
+  samples_.resize(nodes_.size());
+}
+
+void RtCluster::start() {
+  require(!started_, "RtCluster: start() called twice");
+  started_ = true;
+  for (auto& node : nodes_) node->start();
+}
+
+void RtCluster::schedule_samples(Time horizon, Duration period) {
+  require(started_, "RtCluster: schedule_samples() before start()");
+  require(period > 0.0, "RtCluster: sample period must be positive");
+  const int count = static_cast<int>(std::floor(horizon / period + 1e-9));
+  for (std::size_t u = 0; u < nodes_.size(); ++u) {
+    samples_[u].clear();
+    samples_[u].reserve(static_cast<std::size_t>(count));
+    RtNode* node = nodes_[u].get();
+    std::vector<RtSample>* out = &samples_[u];
+    for (int k = 1; k <= count; ++k) {
+      const Time t = static_cast<Time>(k) * period;
+      node->at(t, [node, out, t] {
+        out->push_back(RtSample{t, node->logical(), node->hardware()});
+      });
+    }
+  }
+}
+
+void RtCluster::run_lockstep(VirtualClock& vclock, Time horizon, Duration step) {
+  require(started_, "RtCluster: run before start()");
+  require(step > 0.0, "RtCluster: step must be positive");
+  // A fixed number of round-robin sub-rounds per increment bounds message
+  // latency at one step while letting multi-leg exchanges (probe → response
+  // → estimate consumption) complete within the same model instant.
+  constexpr int kRounds = 4;
+  for (Time t = step; t < horizon + step * 0.5; t += step) {
+    vclock.advance_to(std::min(t, horizon));
+    for (int round = 0; round < kRounds; ++round) {
+      for (auto& node : nodes_) node->pump();
+    }
+  }
+}
+
+void RtCluster::run_threads(Time horizon, Duration poll_interval) {
+  require(started_, "RtCluster: run before start()");
+  require(poll_interval > 0.0, "RtCluster: poll interval must be positive");
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (auto& node_ptr : nodes_) {
+    RtNode* node = node_ptr.get();
+    threads.emplace_back([node, horizon, poll_interval] {
+      while (node->pump() < horizon) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(poll_interval));
+      }
+      // One last drain so frames sent by slower peers near the horizon are
+      // still consumed (their senders may reach the horizon after us).
+      node->pump();
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TimeSeries RtCluster::edge_skew_series(const EdgeKey& e) const {
+  const auto& sa = samples_[static_cast<std::size_t>(e.a)];
+  const auto& sb = samples_[static_cast<std::size_t>(e.b)];
+  const std::size_t count = std::min(sa.size(), sb.size());
+  TimeSeries series;
+  for (std::size_t k = 0; k < count; ++k) {
+    series.add(sa[k].t, std::abs(sa[k].logical - sb[k].logical));
+  }
+  return series;
+}
+
+std::vector<RtEdgeReport> RtCluster::edge_report(int warmup_samples) {
+  std::vector<RtEdgeReport> reports;
+  reports.reserve(edges_.size());
+  const AlgoParams& params = nodes_.front()->scenario().spec().aopt;
+  for (const EdgeKey& e : edges_) {
+    RtEdgeReport r;
+    r.edge = e;
+    Engine& engine = node(e.a).engine();
+    r.eps = engine.edge_eps(e);
+    r.kappa = engine.metric_kappa(e);
+    r.bound = gradient_bound(r.kappa, params.gtilde_static, params.sigma());
+    const TimeSeries series = edge_skew_series(e);
+    double sum = 0.0;
+    for (std::size_t k = static_cast<std::size_t>(warmup_samples);
+         k < series.size(); ++k) {
+      const double skew = series.points()[k].second;
+      r.max_abs_skew = std::max(r.max_abs_skew, skew);
+      sum += skew;
+      ++r.samples;
+    }
+    r.mean_abs_skew = r.samples > 0 ? sum / r.samples : 0.0;
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+void RtCluster::write_skew_csv(const std::string& path, int warmup_samples) {
+  CsvWriter csv(path);
+  csv.row({"t", "a", "b", "skew", "eps", "kappa", "bound"});
+  for (const EdgeKey& e : edges_) {
+    Engine& engine = node(e.a).engine();
+    const double eps = engine.edge_eps(e);
+    const double kappa = engine.metric_kappa(e);
+    const double bound =
+        gradient_bound(kappa, nodes_.front()->scenario().spec().aopt.gtilde_static,
+                       nodes_.front()->scenario().spec().aopt.sigma());
+    const TimeSeries series = edge_skew_series(e);
+    for (std::size_t k = static_cast<std::size_t>(warmup_samples);
+         k < series.size(); ++k) {
+      csv.field(series.points()[k].first)
+          .field(e.a)
+          .field(e.b)
+          .field(series.points()[k].second)
+          .field(eps)
+          .field(kappa)
+          .field(bound)
+          .endrow();
+    }
+  }
+}
+
+}  // namespace gcs

@@ -1,0 +1,96 @@
+// An in-process runtime cluster: N RtNode replicas over a shared PipeHub
+// and one wall clock, with race-free clock sampling and an offline per-edge
+// skew join.
+//
+// Sampling works by scheduling a kernel closure on EVERY node at the same
+// model-time grid points before the run starts: each node records its own
+// (logical, hardware) pair on its own thread at exactly t = k·period, so no
+// cross-thread clock read ever happens. After the run the cluster joins the
+// per-node series by grid index into per-edge |L_u − L_v| samples — the live
+// counterpart of metrics/skew.h, feeding the same TimeSeries recorder.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/recorder.h"
+#include "rt/rt_node.h"
+#include "rt/rt_transport.h"
+#include "rt/time_source.h"
+
+namespace gcs {
+
+/// One self-sampled clock reading (taken by the node's own thread).
+struct RtSample {
+  Time t = 0.0;
+  ClockValue logical = 0.0;
+  ClockValue hardware = 0.0;
+};
+
+/// Offline per-edge skew summary over the sampled grid.
+struct RtEdgeReport {
+  EdgeKey edge;
+  double eps = 0.0;           ///< estimate layer's ε_e
+  double kappa = 0.0;         ///< metric κ_e (eq. 9 with that ε)
+  double bound = 0.0;         ///< stable gradient bound for κ-distance κ_e
+  double max_abs_skew = 0.0;  ///< max |L_u − L_v| over joined samples
+  double mean_abs_skew = 0.0;
+  int samples = 0;
+};
+
+class RtCluster {
+ public:
+  /// Builds one replica per node of the resolved topology, all sharing
+  /// `clock` and a PipeHub carrying `faults`.
+  explicit RtCluster(const ScenarioSpec& spec, TimeSource& clock,
+                     const FaultSpec& faults = {},
+                     std::size_t ring_capacity = 1024);
+
+  /// Start every replica (t=0 topology + engine). Call once, before pumping.
+  void start();
+
+  /// Schedule clock self-sampling on every node at k·period for
+  /// k = 1 .. floor(horizon/period). Call after start(), before running.
+  void schedule_samples(Time horizon, Duration period);
+
+  /// Deterministic single-threaded run: crank `vclock` (which must be the
+  /// TimeSource the cluster was built on) in `step` increments up to
+  /// `horizon`, pumping every node round-robin a fixed number of rounds per
+  /// increment so request/response exchanges settle within the step.
+  void run_lockstep(VirtualClock& vclock, Time horizon, Duration step);
+
+  /// Real-time run: one thread per node, each pumping until its kernel
+  /// reaches `horizon` (model time), sleeping `poll_interval` model seconds
+  /// between pumps.
+  void run_threads(Time horizon, Duration poll_interval = 0.002);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] RtNode& node(NodeId u) { return *nodes_[static_cast<std::size_t>(u)]; }
+  [[nodiscard]] PipeHub& hub() { return *hub_; }
+  [[nodiscard]] const std::vector<EdgeKey>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<std::vector<RtSample>>& samples() const {
+    return samples_;
+  }
+
+  /// |L_u − L_v| per grid point for one edge, as a recorder series.
+  [[nodiscard]] TimeSeries edge_skew_series(const EdgeKey& e) const;
+
+  /// Per-edge summary across every topology edge (skips warmup_samples
+  /// leading grid points — convergence transient).
+  [[nodiscard]] std::vector<RtEdgeReport> edge_report(int warmup_samples = 0);
+
+  /// Long-format CSV: one row per (grid point, edge) with the skew sample
+  /// and the edge's ε/κ/bound columns. Throws on I/O failure.
+  void write_skew_csv(const std::string& path, int warmup_samples = 0);
+
+ private:
+  TimeSource& clock_;
+  std::unique_ptr<PipeHub> hub_;
+  std::vector<std::unique_ptr<RtNode>> nodes_;
+  std::vector<EdgeKey> edges_;
+  std::vector<std::vector<RtSample>> samples_;  ///< [node][grid index]
+  bool started_ = false;
+};
+
+}  // namespace gcs

@@ -1,0 +1,75 @@
+#include "rt/rt_node.h"
+
+namespace gcs {
+
+ScenarioSpec RtNode::localize(ScenarioSpec spec, NodeId self) {
+  spec.engine.local_node = self;
+  return spec;
+}
+
+RtNode::RtNode(ScenarioSpec spec, NodeId self, RtTransport& net, TimeSource& clock)
+    : self_(self), net_(net), clock_(clock),
+      scenario_(localize(std::move(spec), self)) {
+  require(self >= 0 && self < scenario_.spec().n,
+          "RtNode: self out of range for the resolved topology");
+  scenario_.transport().set_egress(this);
+}
+
+void RtNode::start() { scenario_.start(); }
+
+Time RtNode::pump() {
+  Simulator& sim = scenario_.sim();
+  const Time t = clock_.now();
+  // Slave the kernel to the wall clock: fire everything due, idling model
+  // time up to t even when the queue is empty.
+  if (t > sim.now()) sim.run_until(t);
+  // Drain the ingress. Injected deliveries run at the current model instant;
+  // the engine defers trigger evaluation to the instant flush, which the
+  // trailing (degenerate) run_until forces before we hand the thread back.
+  WireMsg m;
+  bool injected = false;
+  while (net_.poll(self_, m)) {
+    inject(m);
+    injected = true;
+  }
+  if (injected) sim.run_until(sim.now());
+  return sim.now();
+}
+
+void RtNode::inject(const WireMsg& m) {
+  if (m.to != self_) {
+    ++rejected_;
+    return;
+  }
+  // Same rule the in-sim transport applies at delivery time: a frame from a
+  // peer outside our current view is dropped (paper §3.1 allows it, and the
+  // estimate layer must never consume data from unknown edges).
+  const NeighborView* nv = scenario_.graph().find_neighbor(self_, m.from);
+  if (nv == nullptr) {
+    ++rejected_;
+    return;
+  }
+  Delivery d;
+  d.from = m.from;
+  d.to = self_;
+  d.sent_at = m.sent_at;
+  d.delivered_at = scenario_.sim().now();
+  d.known_min_delay = nv->params->msg_delay_min;
+  d.payload = &m.payload;
+  static_cast<DeliverySink&>(scenario_.engine()).on_delivery(d);
+  ++ingress_;
+}
+
+void RtNode::send(NodeId from, NodeId to, Time sent_at, const Payload& payload) {
+  // Only the executed node ever sends in service mode; anything else would
+  // mean a mirror node ran logic it must not.
+  require(from == self_, "RtNode: egress from a non-local node");
+  WireMsg m;
+  m.from = from;
+  m.to = to;
+  m.sent_at = sent_at;
+  m.payload = payload;
+  if (net_.send(m)) ++egress_;
+}
+
+}  // namespace gcs

@@ -1,0 +1,75 @@
+// One live runtime node: a full local Scenario stack (kernel, graph,
+// transport, estimate layer, engine, AOPT) slaved to a wall clock, with the
+// in-sim delivery path diverted onto a real transport.
+//
+// Every node runs its own *replica* of the scenario in service mode
+// (EngineConfig::local_node): the replica executes timers, probes and
+// trigger evaluation for exactly one node; every other node exists only as
+// an addressing/topology mirror. Outbound messages leave through
+// TransportEgress onto the RtTransport; inbound frames are injected back
+// through the engine's DeliverySink, which closes the instant-coalesced
+// evaluation loop exactly as a kernel delivery would. The Engine and
+// AoptNode code paths are byte-for-byte the ones the simulator exercises —
+// that is the point of the seam.
+#pragma once
+
+#include <functional>
+
+#include "rt/rt_transport.h"
+#include "rt/time_source.h"
+#include "runner/scenario.h"
+
+namespace gcs {
+
+class RtNode final : public TransportEgress {
+ public:
+  /// `spec` is the SHARED scenario description — every node of a cluster is
+  /// constructed from the same spec (same seed, same topology, same drift
+  /// table), which is what keeps the replicas' world views consistent.
+  /// `self` selects which node this replica executes.
+  RtNode(ScenarioSpec spec, NodeId self, RtTransport& net, TimeSource& clock);
+
+  /// Build the t=0 topology and start the engine (timers for `self` only).
+  /// Model time must be at 0: call before the clock has been pumped.
+  void start();
+
+  /// One executor step: advance the kernel to the wall clock, drain the
+  /// ingress and close the delivery instant. Returns the model time reached.
+  /// Call from this node's thread only (the replica is single-threaded).
+  Time pump();
+
+  /// Schedule `fn` at an absolute model time on this node's kernel (used by
+  /// the cluster to sample clocks at exact grid points, race-free: the
+  /// closure runs on this node's thread inside pump()).
+  void at(Time model_time, std::function<void()> fn) {
+    scenario_.sim().schedule_at(model_time, std::move(fn));
+  }
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  ClockValue logical() { return scenario_.engine().logical(self_); }
+  ClockValue hardware() { return scenario_.engine().hardware(self_); }
+  [[nodiscard]] Scenario& scenario() { return scenario_; }
+  [[nodiscard]] Engine& engine() { return scenario_.engine(); }
+
+  [[nodiscard]] std::uint64_t egress_count() const { return egress_; }
+  [[nodiscard]] std::uint64_t ingress_count() const { return ingress_; }
+  /// Frames refused at injection (peer absent from our view / mis-addressed).
+  [[nodiscard]] std::uint64_t rejected_count() const { return rejected_; }
+
+  // ------------------------------------------------------- TransportEgress
+  void send(NodeId from, NodeId to, Time sent_at, const Payload& payload) override;
+
+ private:
+  static ScenarioSpec localize(ScenarioSpec spec, NodeId self);
+  void inject(const WireMsg& m);
+
+  NodeId self_;
+  RtTransport& net_;
+  TimeSource& clock_;
+  Scenario scenario_;
+  std::uint64_t egress_ = 0;
+  std::uint64_t ingress_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,148 @@
+#include "rt/rt_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gcs {
+
+// -------------------------------------------------------------------- pipe
+
+PipeHub::PipeHub(int n, TimeSource& clock, const FaultSpec& faults,
+                 std::size_t ring_capacity)
+    : n_(n), clock_(clock), faults_(faults) {
+  require(n >= 1, "PipeHub: need n >= 1");
+  const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  rings_.reserve(nn);
+  rngs_.reserve(nn);
+  Rng root(faults.seed ^ 0x9d1eULL);
+  for (std::size_t i = 0; i < nn; ++i) {
+    rings_.push_back(std::make_unique<SpscRing<WireMsg>>(ring_capacity));
+    rngs_.push_back(root.fork(i));
+  }
+  inboxes_.resize(static_cast<std::size_t>(n));
+}
+
+bool PipeHub::push_one(const WireMsg& m) {
+  if (!ring(m.from, m.to).push(m)) {
+    // Ring full: backpressure means loss, exactly like a saturated NIC
+    // queue. The protocol tolerates loss by design.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool PipeHub::send(const WireMsg& m) {
+  require(m.from >= 0 && m.from < n_ && m.to >= 0 && m.to < n_ && m.from != m.to,
+          "PipeHub: bad addressing");
+  Rng& rng = edge_rng(m.from, m.to);
+  // Always draw the full decision tuple: the per-edge RNG stream is then a
+  // pure function of the send count, so a fixed seed reproduces the same
+  // fault pattern whatever the thread interleaving or fault configuration.
+  const double roll_drop = rng.uniform(0.0, 1.0);
+  const double roll_dup = rng.uniform(0.0, 1.0);
+  const double roll_reorder = rng.uniform(0.0, 1.0);
+  const double draw_delay = rng.uniform(0.0, 1.0);
+  const double draw_jitter = rng.uniform(0.0, 1.0);
+  if (roll_drop < faults_.drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;  // swallowed in flight; the sender cannot tell
+  }
+  WireMsg out = m;
+  Duration hold = draw_jitter * faults_.jitter;
+  if (roll_reorder < faults_.reorder) {
+    hold += draw_delay * faults_.delay;
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  out.deliver_at = hold > 0.0 ? clock_.now() + hold : 0.0;
+  const bool ok = push_one(out);
+  if (roll_dup < faults_.dup) {
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+    push_one(out);
+  }
+  return ok;
+}
+
+bool PipeHub::poll(NodeId self, WireMsg& out) {
+  require(self >= 0 && self < n_, "PipeHub: bad poll node");
+  Inbox& inbox = inboxes_[static_cast<std::size_t>(self)];
+  // Drain every inbound ring into the pending heap first: a freshly arrived
+  // message may be due before an already-held delayed one.
+  WireMsg m;
+  for (NodeId from = 0; from < n_; ++from) {
+    if (from == self) continue;
+    while (ring(from, self).pop(m)) {
+      inbox.pending.emplace(m, inbox.seq++);
+    }
+  }
+  if (inbox.pending.empty()) return false;
+  const auto& head = inbox.pending.top();
+  if (head.first.deliver_at > clock_.now()) return false;  // held back (fault delay)
+  out = head.first;
+  inbox.pending.pop();
+  return true;
+}
+
+// --------------------------------------------------------------------- udp
+
+UdpTransport::UdpTransport(int n, NodeId self, std::uint16_t base_port)
+    : n_(n), self_(self), base_port_(base_port) {
+  require(n >= 1 && self >= 0 && self < n, "UdpTransport: bad node");
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  require(fd_ >= 0, "UdpTransport: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(base_port + self));
+  const int rc = ::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    require(false, "UdpTransport: bind(127.0.0.1:" +
+                       std::to_string(base_port + self) + ") failed: " +
+                       std::strerror(errno));
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpTransport::send(const WireMsg& m) {
+  require(m.to >= 0 && m.to < n_ && m.to != self_, "UdpTransport: bad addressing");
+  std::uint8_t buf[kWireMax];
+  const std::size_t len = wire_encode(m, buf);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + m.to));
+  const ssize_t rc = ::sendto(fd_, buf, len, 0,
+                              reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != static_cast<ssize_t>(len)) return false;  // EWOULDBLOCK etc: a drop
+  ++sent_;
+  return true;
+}
+
+bool UdpTransport::poll(NodeId self, WireMsg& out) {
+  require(self == self_, "UdpTransport: instance serves one node");
+  std::uint8_t buf[kWireMax];
+  for (;;) {
+    const ssize_t rc = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);
+    if (rc < 0) return false;  // EWOULDBLOCK: nothing ready
+    if (wire_decode(buf, static_cast<std::size_t>(rc), out)) {
+      ++received_;
+      return true;
+    }
+    // Undecodable datagram (foreign sender, truncation): skip and keep
+    // draining — the socket is ours alone, so this is defensive only.
+  }
+}
+
+}  // namespace gcs

@@ -1,0 +1,135 @@
+// Runtime transports: how WireMsgs move between live nodes.
+//
+// Two backends behind one two-call interface (non-blocking send, non-
+// blocking poll):
+//
+//  * PipeHub — in-process: one lock-free SPSC ring per directed node pair
+//    (sender thread is the sole producer, receiver thread the sole
+//    consumer). Faults are injected on the SENDER side from a per-directed-
+//    edge RNG, so a fixed seed yields the same drop/duplicate/delay decision
+//    sequence regardless of thread interleaving; delayed copies carry a
+//    deliver_at stamp and are physically held back in a receiver-side
+//    pending heap until the clock passes it (which is what turns a "reorder"
+//    decision into an actual reordering relative to later sends).
+//
+//  * UdpTransport — one non-blocking UDP socket per node on 127.0.0.1,
+//    frames encoded with the length-prefixed wire format (rt/wire.h).
+//    Real sockets bring their own faults; no injection here.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "rt/spsc_ring.h"
+#include "rt/time_source.h"
+#include "rt/wire.h"
+#include "util/rng.h"
+
+namespace gcs {
+
+class RtTransport {
+ public:
+  virtual ~RtTransport() = default;
+
+  /// Non-blocking. False if the message could not be queued (backpressure /
+  /// socket error) — callers treat that as a drop, never as fatal.
+  virtual bool send(const WireMsg& m) = 0;
+
+  /// Non-blocking receive for node `self`. False when nothing is ready.
+  virtual bool poll(NodeId self, WireMsg& out) = 0;
+};
+
+/// Sender-side fault injection for the pipe backend. Probabilities are per
+/// message; `delay` holds a message back for uniform(0, delay] model seconds
+/// with probability `reorder` (later un-delayed messages overtake it), and
+/// `jitter` adds uniform [0, jitter) to every message.
+struct FaultSpec {
+  double drop = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  Duration delay = 0.0;   ///< held-back duration drawn for reordered messages
+  Duration jitter = 0.0;  ///< baseline delivery jitter on every message
+  std::uint64_t seed = 1;
+};
+
+class PipeHub final : public RtTransport {
+ public:
+  PipeHub(int n, TimeSource& clock, const FaultSpec& faults = {},
+          std::size_t ring_capacity = 1024);
+
+  bool send(const WireMsg& m) override;
+  bool poll(NodeId self, WireMsg& out) override;
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct PendingOrder {  // min-heap on (deliver_at, arrival seq)
+    bool operator()(const std::pair<WireMsg, std::uint64_t>& a,
+                    const std::pair<WireMsg, std::uint64_t>& b) const {
+      if (a.first.deliver_at != b.first.deliver_at) {
+        return a.first.deliver_at > b.first.deliver_at;
+      }
+      return a.second > b.second;
+    }
+  };
+  /// Receiver-side reassembly state: ring pops land here and leave in
+  /// deliver_at order. Owned exclusively by the receiver's thread.
+  struct Inbox {
+    std::priority_queue<std::pair<WireMsg, std::uint64_t>,
+                        std::vector<std::pair<WireMsg, std::uint64_t>>, PendingOrder>
+        pending;
+    std::uint64_t seq = 0;
+  };
+
+  SpscRing<WireMsg>& ring(NodeId from, NodeId to) {
+    return *rings_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+                   static_cast<std::size_t>(to)];
+  }
+  Rng& edge_rng(NodeId from, NodeId to) {
+    return rngs_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(to)];
+  }
+  bool push_one(const WireMsg& m);
+
+  int n_;
+  TimeSource& clock_;
+  FaultSpec faults_;
+  std::vector<std::unique_ptr<SpscRing<WireMsg>>> rings_;  ///< [from * n + to]
+  std::vector<Rng> rngs_;                                  ///< sender-owned, per directed edge
+  std::vector<Inbox> inboxes_;                             ///< receiver-owned, per node
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+};
+
+/// UDP loopback backend: node u binds 127.0.0.1:(base_port + u). One
+/// instance serves one node (`self`); send() addresses peers by port.
+class UdpTransport final : public RtTransport {
+ public:
+  UdpTransport(int n, NodeId self, std::uint16_t base_port);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  bool send(const WireMsg& m) override;
+  bool poll(NodeId self, WireMsg& out) override;
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  int n_;
+  NodeId self_;
+  std::uint16_t base_port_;
+  int fd_ = -1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,66 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// The pipe transport's building block: one ring per directed node pair, the
+// sending thread is the only producer, the receiving thread the only
+// consumer. The classic two-cursor design: the producer owns tail_, the
+// consumer owns head_, each reads the other's cursor with acquire and
+// publishes its own with release — slot contents are synchronized by those
+// two edges alone, so push/pop are wait-free and allocation-free. Cursors
+// live on separate cache lines (no false sharing); they grow monotonically
+// and are wrapped by the power-of-two index mask, which makes `tail - head`
+// the exact queue size with no empty/full ambiguity.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gcs {
+
+template <class T>
+class SpscRing {
+ public:
+  /// `capacity` must be a power of two (the index mask trick).
+  explicit SpscRing(std::size_t capacity) : slots_(capacity), mask_(capacity - 1) {
+    require(capacity >= 2 && (capacity & mask_) == 0,
+            "SpscRing: capacity must be a power of two >= 2");
+  }
+
+  /// Producer side. False when full (caller decides: drop or retry).
+  bool push(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) {
+      return false;  // full
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;  // empty
+    }
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate (racy) size — diagnostics only.
+  [[nodiscard]] std::size_t size_approx() const {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace gcs

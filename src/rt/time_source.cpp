@@ -1,0 +1,60 @@
+#include "rt/time_source.h"
+
+#include <chrono>
+#include <thread>
+
+namespace gcs {
+
+namespace {
+using SteadySeconds = std::chrono::duration<double>;
+}  // namespace
+
+Time MonotonicClock::now() {
+  return SteadySeconds(std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+
+void MonotonicClock::sleep_until(Time t) {
+  const auto deadline =
+      std::chrono::steady_clock::time_point(
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              SteadySeconds(t)));
+  std::this_thread::sleep_until(deadline);
+}
+
+ScaledClock::ScaledClock(TimeSource& inner, double scale)
+    : ScaledClock(inner, scale, inner.now()) {}
+
+ScaledClock::ScaledClock(TimeSource& inner, double scale, Time origin)
+    : inner_(inner), scale_(scale), origin_(origin) {
+  require(scale > 0.0, "ScaledClock: scale must be > 0");
+}
+
+Time VirtualClock::now() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void VirtualClock::sleep_until(Time t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return now_ >= t; });
+}
+
+void VirtualClock::advance_to(Time t) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    require(t >= now_, "VirtualClock: time cannot go backwards");
+    now_ = t;
+  }
+  cv_.notify_all();
+}
+
+void VirtualClock::advance(Duration dt) {
+  require(dt >= 0.0, "VirtualClock: time cannot go backwards");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    now_ += dt;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace gcs

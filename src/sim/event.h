@@ -69,6 +69,10 @@ enum class EventKind : std::uint8_t {
   /// two cadences coincide (the default): halves the recurring event load.
   /// Never traced as such — it reports its two duties as kTick + kBeacon.
   kHeartbeat,
+  /// Periodic RTT offset-exchange round of one node (estimate sources with
+  /// probe_period() > 0; never scheduled otherwise, so probe-free scenarios
+  /// keep their exact pre-probe event sequence).
+  kProbe,
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind kind) {
@@ -81,6 +85,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kLogicalTarget: return "ltarget";
     case EventKind::kDelivery: return "delivery";
     case EventKind::kHeartbeat: return "heartbeat";
+    case EventKind::kProbe: return "probe";
   }
   return "?";
 }

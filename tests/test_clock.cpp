@@ -94,6 +94,81 @@ TEST(RandomWalkDrift, MemoizesNonMonotoneQueries) {
   EXPECT_DOUBLE_EQ(d.rate_at(0, 2.0), early);
 }
 
+TEST(ConstantDriftOscillator, CyclesThroughPpmList) {
+  ConstantDriftOscillator d(0.001, 5, {100.0, -200.0, 50.0});
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 3.0), 1.0 + 100e-6);
+  EXPECT_DOUBLE_EQ(d.rate_at(1, 3.0), 1.0 - 200e-6);
+  EXPECT_DOUBLE_EQ(d.rate_at(2, 3.0), 1.0 + 50e-6);
+  EXPECT_DOUBLE_EQ(d.rate_at(3, 3.0), 1.0 + 100e-6);  // cycles
+  EXPECT_DOUBLE_EQ(d.rate_at(4, 3.0), 1.0 - 200e-6);
+  EXPECT_EQ(d.next_change_after(0, 1.0), kTimeInf);
+}
+
+TEST(ConstantDriftOscillator, RejectsPpmBeyondRho) {
+  EXPECT_THROW(ConstantDriftOscillator(0.0001, 2, {200.0}), std::runtime_error);
+  EXPECT_THROW(ConstantDriftOscillator(0.001, 2, {}), std::runtime_error);
+}
+
+TEST(RandomDriftOscillator, StaysWithinLimitAndIsDeterministic) {
+  // limit 300 ppm sits well inside rho = 1e-3 (1000 ppm): the oscillator's
+  // explicit drift-rate limit must bind, not the model bound.
+  RandomDriftOscillator d1(0.001, 3, 10.0, 25.0, 300.0, 42);
+  RandomDriftOscillator d2(0.001, 3, 10.0, 25.0, 300.0, 42);
+  for (NodeId u = 0; u < 3; ++u) {
+    for (int k = 0; k < 200; ++k) {
+      const double t = k * 10.0 + 0.5;
+      const double r = d1.rate_at(u, t);
+      EXPECT_GE(r, 1.0 - 300e-6);
+      EXPECT_LE(r, 1.0 + 300e-6);
+      EXPECT_DOUBLE_EQ(r, d2.rate_at(u, t));
+    }
+  }
+}
+
+TEST(RandomDriftOscillator, StepsEveryIntervalAndMemoizes) {
+  RandomDriftOscillator d(0.001, 2, 10.0, 25.0, 100.0, 7);
+  EXPECT_DOUBLE_EQ(d.rate_at(0, 0.0), 1.0);  // walk starts at zero offset
+  EXPECT_DOUBLE_EQ(d.next_change_after(0, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(d.next_change_after(0, 10.0), 20.0);
+  const double late = d.rate_at(1, 95.0);
+  const double early = d.rate_at(1, 15.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(1, 95.0), late);  // non-monotone queries memoized
+  EXPECT_DOUBLE_EQ(d.rate_at(1, 15.0), early);
+}
+
+TEST(RandomDriftOscillator, RejectsLimitBeyondRho) {
+  EXPECT_THROW(RandomDriftOscillator(0.0001, 2, 10.0, 25.0, 200.0, 1),
+               std::runtime_error);
+}
+
+TEST(DriftRegistry, BuildsOscillatorModels) {
+  DriftArgs a;
+  a.n = 4;
+  a.rho = 1e-3;
+  a.seed = 9;
+  ParamMap const_params;
+  const_params.set("ppm", "100/-200");
+  auto c = drift_registry().get("osc-const").factory(const_params, a);
+  EXPECT_DOUBLE_EQ(c->rate_at(0, 0.0), 1.0 + 100e-6);
+  EXPECT_DOUBLE_EQ(c->rate_at(1, 0.0), 1.0 - 200e-6);
+  EXPECT_DOUBLE_EQ(c->rate_at(2, 0.0), 1.0 + 100e-6);
+
+  ParamMap rand_params;
+  rand_params.set("interval", "5");
+  rand_params.set("change", "50");
+  auto r1 = drift_registry().get("osc-random").factory(rand_params, a);
+  auto r2 = drift_registry().get("osc-random").factory(rand_params, a);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (int k = 0; k < 50; ++k) {
+      const double t = k * 5.0 + 0.25;
+      EXPECT_DOUBLE_EQ(r1->rate_at(u, t), r2->rate_at(u, t));
+      EXPECT_GE(r1->rate_at(u, t), 1.0 - a.rho);
+      EXPECT_LE(r1->rate_at(u, t), 1.0 + a.rho);
+    }
+  }
+  EXPECT_DOUBLE_EQ(r1->next_change_after(0, 0.0), 5.0);
+}
+
 TEST(ScriptedDrift, FollowsBreakpoints) {
   ScriptedDrift d(0.05);
   d.add(0, 10.0, 1.05);

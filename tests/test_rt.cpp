@@ -1,0 +1,435 @@
+// Runtime subsystem tests: SPSC ring, wire codec, time sources, pipe fault
+// injection, and live AOPT clusters (lockstep-deterministic) including
+// re-convergence under drop/duplicate/reorder faults. Also covers the RTT
+// estimate source in plain simulation mode (registry-selected).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "estimate/rtt_estimate.h"
+#include "metrics/skew.h"
+#include "rt/rt_cluster.h"
+#include "rt/rt_node.h"
+#include "rt/rt_transport.h"
+#include "rt/spsc_ring.h"
+#include "rt/time_source.h"
+#include "rt/wire.h"
+#include "runner/scenario.h"
+
+using namespace gcs;
+
+namespace {
+
+// ----------------------------------------------------------------- spsc ring
+
+TEST(SpscRing, FifoAndCapacity) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.size_approx(), 0u);
+  int out = 0;
+  EXPECT_FALSE(ring.pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99)) << "full ring must refuse";
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(out));
+  // Wrap-around: cursors are monotone, the mask does the indexing.
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ring.push(round));
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(SpscRing, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(SpscRing<int>(3), std::runtime_error);
+  EXPECT_THROW(SpscRing<int>(1), std::runtime_error);
+  EXPECT_NO_THROW(SpscRing<int>(2));
+}
+
+TEST(SpscRing, CrossThreadOrderPreserved) {
+  SpscRing<int> ring(64);
+  constexpr int kCount = 20000;
+  std::vector<int> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    int v = 0;
+    while (static_cast<int>(received.size()) < kCount) {
+      if (ring.pop(v)) received.push_back(v);
+    }
+  });
+  for (int i = 0; i < kCount;) {
+    if (ring.push(i)) ++i;
+  }
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) ASSERT_EQ(received[i], i);
+}
+
+// ---------------------------------------------------------------- wire codec
+
+WireMsg roundtrip(const WireMsg& in) {
+  std::uint8_t buf[kWireMax];
+  const std::size_t len = wire_encode(in, buf);
+  EXPECT_LE(len, kWireMax);
+  WireMsg out;
+  EXPECT_TRUE(wire_decode(buf, len, out));
+  return out;
+}
+
+TEST(Wire, RoundTripsEveryPayload) {
+  WireMsg m;
+  m.from = 3;
+  m.to = 7;
+  m.sent_at = 12.5;
+
+  m.payload = Beacon{1.25, 2.5, 0.75};
+  WireMsg b = roundtrip(m);
+  EXPECT_EQ(b.from, 3);
+  EXPECT_EQ(b.to, 7);
+  EXPECT_DOUBLE_EQ(b.sent_at, 12.5);
+  ASSERT_TRUE(std::holds_alternative<Beacon>(b.payload));
+  EXPECT_DOUBLE_EQ(std::get<Beacon>(b.payload).logical, 1.25);
+  EXPECT_DOUBLE_EQ(std::get<Beacon>(b.payload).max_estimate, 2.5);
+  EXPECT_DOUBLE_EQ(std::get<Beacon>(b.payload).min_estimate, 0.75);
+
+  m.payload = InsertEdgeMsg{9.0, 42.0};
+  WireMsg ins = roundtrip(m);
+  ASSERT_TRUE(std::holds_alternative<InsertEdgeMsg>(ins.payload));
+  EXPECT_DOUBLE_EQ(std::get<InsertEdgeMsg>(ins.payload).l_ins, 9.0);
+  EXPECT_DOUBLE_EQ(std::get<InsertEdgeMsg>(ins.payload).gtilde, 42.0);
+
+  m.payload = TimeRequest{77u, 3.25};
+  WireMsg req = roundtrip(m);
+  ASSERT_TRUE(std::holds_alternative<TimeRequest>(req.payload));
+  EXPECT_EQ(std::get<TimeRequest>(req.payload).id, 77u);
+  EXPECT_DOUBLE_EQ(std::get<TimeRequest>(req.payload).sender_hw, 3.25);
+
+  m.payload = TimeResponse{77u, 3.25, 4.5};
+  WireMsg resp = roundtrip(m);
+  ASSERT_TRUE(std::holds_alternative<TimeResponse>(resp.payload));
+  EXPECT_EQ(std::get<TimeResponse>(resp.payload).id, 77u);
+  EXPECT_DOUBLE_EQ(std::get<TimeResponse>(resp.payload).echo_hw, 3.25);
+  EXPECT_DOUBLE_EQ(std::get<TimeResponse>(resp.payload).remote_logical, 4.5);
+}
+
+TEST(Wire, DeliverAtNeverOnTheWire) {
+  WireMsg m;
+  m.from = 0;
+  m.to = 1;
+  m.deliver_at = 99.0;  // pipe-local fault state
+  m.payload = Beacon{};
+  WireMsg out = roundtrip(m);
+  EXPECT_DOUBLE_EQ(out.deliver_at, 0.0);
+}
+
+TEST(Wire, RejectsMalformedFrames) {
+  WireMsg m;
+  m.from = 1;
+  m.to = 2;
+  m.payload = Beacon{1.0, 2.0, 3.0};
+  std::uint8_t buf[kWireMax];
+  const std::size_t len = wire_encode(m, buf);
+
+  WireMsg out;
+  EXPECT_FALSE(wire_decode(buf, len - 1, out)) << "truncated";
+  EXPECT_FALSE(wire_decode(buf, 3, out)) << "shorter than header";
+
+  std::uint8_t bad[kWireMax];
+  std::copy(buf, buf + len, bad);
+  bad[2] = 0xFF;  // version
+  EXPECT_FALSE(wire_decode(bad, len, out));
+  std::copy(buf, buf + len, bad);
+  bad[3] = 9;  // tag
+  EXPECT_FALSE(wire_decode(bad, len, out));
+  std::copy(buf, buf + len, bad);
+  bad[0] = static_cast<std::uint8_t>(bad[0] + 1);  // length prefix mismatch
+  EXPECT_FALSE(wire_decode(bad, len, out));
+}
+
+// -------------------------------------------------------------- time sources
+
+TEST(TimeSourceSuite, SimClockReadsKernelAndRefusesToSleep) {
+  Simulator sim;
+  SimClock clock(sim);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  EXPECT_NO_THROW(clock.sleep_until(5.0));
+  EXPECT_THROW(clock.sleep_until(6.0), std::runtime_error);
+}
+
+TEST(TimeSourceSuite, ScaledClockScalesFromOrigin) {
+  VirtualClock inner;
+  inner.advance_to(100.0);
+  ScaledClock scaled(inner, 10.0);  // origin captured at 100
+  EXPECT_DOUBLE_EQ(scaled.now(), 0.0);
+  inner.advance(2.0);
+  EXPECT_DOUBLE_EQ(scaled.now(), 20.0);
+
+  ScaledClock anchored(inner, 2.0, 100.0);  // explicit origin
+  EXPECT_DOUBLE_EQ(anchored.now(), 4.0);
+}
+
+TEST(TimeSourceSuite, VirtualClockWakesSleepers) {
+  VirtualClock clock;
+  EXPECT_THROW(clock.advance_to(-1.0), std::runtime_error);
+  std::thread sleeper([&] { clock.sleep_until(3.0); });
+  clock.advance_to(1.0);
+  clock.advance(2.0);
+  sleeper.join();
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(TimeSourceSuite, MonotonicClockAdvances) {
+  MonotonicClock clock;
+  const Time a = clock.now();
+  const Time b = clock.now();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0.0);
+}
+
+// ------------------------------------------------------------------ pipe hub
+
+WireMsg beacon_msg(NodeId from, NodeId to, double tag) {
+  WireMsg m;
+  m.from = from;
+  m.to = to;
+  m.sent_at = tag;
+  m.payload = Beacon{tag, tag, tag};
+  return m;
+}
+
+TEST(PipeHub, DeliversInOrderWithoutFaults) {
+  VirtualClock clock;
+  PipeHub hub(2, clock);
+  for (int i = 0; i < 5; ++i) hub.send(beacon_msg(0, 1, i));
+  WireMsg out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(hub.poll(1, out));
+    EXPECT_DOUBLE_EQ(out.sent_at, i);
+  }
+  EXPECT_FALSE(hub.poll(1, out));
+  EXPECT_EQ(hub.sent(), 5u);
+  EXPECT_EQ(hub.dropped(), 0u);
+}
+
+TEST(PipeHub, FaultsAreSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    VirtualClock clock;
+    FaultSpec faults;
+    faults.drop = 0.3;
+    faults.dup = 0.2;
+    faults.reorder = 0.3;
+    faults.delay = 1.0;
+    faults.seed = seed;
+    PipeHub hub(2, clock, faults);
+    for (int i = 0; i < 200; ++i) hub.send(beacon_msg(0, 1, i));
+    clock.advance_to(10.0);  // release every delayed copy
+    std::vector<double> seen;
+    WireMsg out;
+    while (hub.poll(1, out)) seen.push_back(out.sent_at);
+    return seen;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b) << "same seed, same interleaving -> same fault pattern";
+  EXPECT_NE(a, c) << "different seed must differ";
+  EXPECT_LT(a.size(), 220u);
+  EXPECT_GT(a.size(), 120u);
+}
+
+TEST(PipeHub, ReorderHoldsBackUntilClockPasses) {
+  VirtualClock clock;
+  FaultSpec faults;
+  faults.reorder = 1.0;  // every message delayed by uniform(0, delay]
+  faults.delay = 5.0;
+  PipeHub hub(2, clock, faults);
+  hub.send(beacon_msg(0, 1, 1.0));
+  WireMsg out;
+  EXPECT_FALSE(hub.poll(1, out)) << "held back at t=0";
+  clock.advance_to(5.0);
+  EXPECT_TRUE(hub.poll(1, out));
+  EXPECT_EQ(hub.delayed(), 1u);
+}
+
+TEST(PipeHub, DuplicateYieldsTwoCopies) {
+  VirtualClock clock;
+  FaultSpec faults;
+  faults.dup = 1.0;
+  PipeHub hub(2, clock, faults);
+  hub.send(beacon_msg(0, 1, 1.0));
+  WireMsg out;
+  EXPECT_TRUE(hub.poll(1, out));
+  EXPECT_TRUE(hub.poll(1, out));
+  EXPECT_FALSE(hub.poll(1, out));
+  EXPECT_EQ(hub.duplicated(), 1u);
+}
+
+// ----------------------------------------------- rt cluster (lockstep, pipe)
+
+ScenarioSpec rt_spec(int n) {
+  ScenarioSpec spec;
+  spec.name = "rt-test";
+  spec.n = n;
+  spec.seed = 11;
+  spec.topology = ComponentSpec(n >= 3 ? "ring" : "line");
+  spec.drift = ComponentSpec("osc-const");
+  spec.drift.params.set("ppm", "150/-200/80");
+  spec.estimates = ComponentSpec("rtt");
+  spec.edge_params.eps = 0.1;
+  spec.edge_params.tau = 0.5;
+  spec.edge_params.msg_delay_max = 0.6;
+  spec.edge_params.msg_delay_min = 0.0;
+  spec.gtilde_auto = true;
+  return spec;
+}
+
+/// A lockstep cluster run: the clock must outlive the cluster, so both live
+/// here together with the final logical clocks.
+struct LockstepRun {
+  std::unique_ptr<VirtualClock> clock = std::make_unique<VirtualClock>();
+  std::unique_ptr<RtCluster> cluster;
+  std::vector<ClockValue> logical;
+};
+
+LockstepRun run_lockstep_cluster(const ScenarioSpec& spec,
+                                 const FaultSpec& faults, Time horizon) {
+  LockstepRun run;
+  run.cluster = std::make_unique<RtCluster>(spec, *run.clock, faults);
+  run.cluster->start();
+  run.cluster->schedule_samples(horizon, 1.0);
+  run.cluster->run_lockstep(*run.clock, horizon, 0.25);
+  for (NodeId u = 0; u < run.cluster->size(); ++u) {
+    run.logical.push_back(run.cluster->node(u).logical());
+  }
+  return run;
+}
+
+TEST(RtCluster, ConvergesWithoutFaults) {
+  LockstepRun run = run_lockstep_cluster(rt_spec(3), {}, 60.0);
+  RtCluster* cluster = run.cluster.get();
+
+  // Every replica kept running and stayed mutually synchronized.
+  for (std::size_t u = 0; u < run.logical.size(); ++u) {
+    EXPECT_GT(run.logical[u], 59.0) << "node " << u << " stalled";
+  }
+  // Estimates exist and are eps-accurate against the peer replica's true
+  // logical clock (all replicas sit at the same model instant here).
+  for (const EdgeKey& e : cluster->edges()) {
+    Engine& engine = cluster->node(e.a).engine();
+    const double eps = engine.edge_eps(e);
+    const auto est = cluster->node(e.a).scenario().estimate_of(e.a, e.b);
+    ASSERT_TRUE(est.has_value()) << "no estimate on " << e.str();
+    const double err = std::abs(*est - cluster->node(e.b).logical());
+    EXPECT_LE(err, eps) << "estimate error on " << e.str();
+  }
+  // Skew within the derived gradient bound on every post-warmup sample.
+  for (const RtEdgeReport& r : cluster->edge_report(10)) {
+    EXPECT_GT(r.samples, 0);
+    EXPECT_LE(r.max_abs_skew, r.bound) << "edge " << r.edge.str();
+  }
+}
+
+TEST(RtCluster, ReconvergesUnderDropDuplicateReorder) {
+  FaultSpec faults;
+  faults.drop = 0.3;
+  faults.dup = 0.2;
+  faults.reorder = 0.3;
+  faults.delay = 0.5;
+  faults.seed = 21;
+  LockstepRun run = run_lockstep_cluster(rt_spec(3), faults, 60.0);
+  RtCluster* cluster = run.cluster.get();
+
+  EXPECT_GT(cluster->hub().dropped(), 0u);
+  EXPECT_GT(cluster->hub().duplicated(), 0u);
+  EXPECT_GT(cluster->hub().delayed(), 0u);
+  for (std::size_t u = 0; u < run.logical.size(); ++u) {
+    EXPECT_GT(run.logical[u], 59.0) << "node " << u << " stalled under faults";
+  }
+  for (const RtEdgeReport& r : cluster->edge_report(20)) {
+    EXPECT_GT(r.samples, 0);
+    EXPECT_LE(r.max_abs_skew, r.bound)
+        << "edge " << r.edge.str() << " violated its bound under faults";
+  }
+}
+
+TEST(RtCluster, LockstepRunsAreBitDeterministic) {
+  FaultSpec faults;
+  faults.drop = 0.25;
+  faults.dup = 0.15;
+  faults.reorder = 0.25;
+  faults.delay = 0.5;
+  faults.seed = 5;
+  const auto a = run_lockstep_cluster(rt_spec(3), faults, 30.0).logical;
+  const auto b = run_lockstep_cluster(rt_spec(3), faults, 30.0).logical;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    EXPECT_EQ(a[u], b[u]) << "node " << u << " diverged across identical runs";
+  }
+}
+
+TEST(RtNode, RejectsFramesFromUnknownPeers) {
+  VirtualClock clock;
+  PipeHub hub(4, clock);
+  RtNode node(rt_spec(4), 0, hub, clock);
+  node.start();
+  // In the 4-ring, 0's neighbors are 1 and 3 — but NOT 2. A frame from a
+  // non-neighbor must be dropped at injection (paper §3.1 delivery rule).
+  hub.send(beacon_msg(1, 0, 1.0));
+  hub.send(beacon_msg(2, 0, 2.0));
+  hub.send(beacon_msg(3, 0, 3.0));
+  clock.advance_to(0.25);
+  node.pump();
+  EXPECT_EQ(node.ingress_count(), 2u);
+  EXPECT_EQ(node.rejected_count(), 1u);
+}
+
+// ------------------------------------------------- rtt estimates (sim mode)
+
+TEST(RttEstimate, ConvergesInSimulationMode) {
+  ScenarioSpec spec;
+  spec.n = 4;
+  spec.seed = 3;
+  spec.topology = ComponentSpec("ring");
+  spec.drift = ComponentSpec("spread");
+  spec.estimates = ComponentSpec::parse("rtt:probe=0.5,window=4");
+  spec.edge_params = default_edge_params();
+  spec.gtilde_auto = true;
+  Scenario scenario(spec);
+  scenario.start();
+  scenario.run_until(30.0);
+
+  for (const EdgeKey& e : scenario.initial_edges()) {
+    const double eps = scenario.engine().edge_eps(e);
+    const auto est = scenario.estimate_of(e.a, e.b);
+    ASSERT_TRUE(est.has_value()) << "no estimate on " << e.str();
+    const double err = std::abs(*est - scenario.engine().logical(e.b));
+    EXPECT_LE(err, eps) << "edge " << e.str();
+    const auto back = scenario.estimate_of(e.b, e.a);
+    ASSERT_TRUE(back.has_value());
+  }
+}
+
+TEST(RttEstimate, ProbePeriodDefaultsToBeaconPeriod) {
+  ScenarioSpec spec;
+  spec.n = 3;
+  spec.seed = 3;
+  spec.topology = ComponentSpec("ring");
+  spec.estimates = ComponentSpec("rtt");
+  spec.edge_params = default_edge_params();
+  spec.engine.beacon_period = 0.4;
+  spec.gtilde_auto = true;
+  Scenario scenario(spec);
+  scenario.start();
+  scenario.run_until(5.0);
+  // The engine scheduled probes (otherwise no estimate could ever form).
+  ASSERT_TRUE(scenario.estimate_of(0, 1).has_value());
+}
+
+}  // namespace
