@@ -14,13 +14,31 @@
 // share a model timeline; --print-epoch emits a value to pass to all.
 //
 // Each daemon self-samples its clocks on the model-time grid and writes them
-// to --csv; join the per-node CSVs offline for cross-node skew.
+// to --csv; join the per-node CSVs offline for cross-node skew
+// (scripts/chaos_report.py interpolates the start-relative grids).
+//
+// Robustness extras:
+//   --detector           arm the liveness layer (suspect/evict/probe flags)
+//   --chaos=SPEC         preset name or inline script (rt/chaos.h grammar);
+//                        every daemon runs the SAME script and applies the
+//                        ops that involve itself, so one flag value shared
+//                        by all daemons yields a coherent fault schedule
+//   --chaos-seed=K       preset RNG seed (shared across daemons)
+//   --anchor-file=PATH   persist a logical-clock epoch anchor; a restarted
+//                        daemon reads it back and rejoins monotonically
+//                        (never steps its logical clock backwards)
+//   --bounds-csv=PATH    per-edge eps/kappa/gradient-bound table for the
+//                        offline gate
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
 
+#include "metrics/skew.h"
+#include "rt/chaos.h"
 #include "rt/rt_cluster.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -51,6 +69,47 @@ ScenarioSpec make_spec(const Flags& flags) {
   return spec;
 }
 
+/// The daemon-side chaos adapter: every daemon replays the same script and
+/// keeps the ops that involve itself — its own crash/restart, its own
+/// outbound link slots (UdpTransport ignores foreign `from`s).
+class DaemonChaosTarget final : public ChaosTarget {
+ public:
+  DaemonChaosTarget(NodeId self, RtNode& node, UdpTransport& net)
+      : self_(self), node_(node), net_(net) {}
+  void chaos_crash(NodeId u) override {
+    if (u == self_) node_.request_crash();
+  }
+  void chaos_restart(NodeId u) override {
+    if (u == self_) node_.request_restart();
+  }
+  void chaos_link(NodeId from, NodeId to, const LinkFault& f) override {
+    net_.set_link_fault(from, to, f);
+  }
+
+ private:
+  NodeId self_;
+  RtNode& node_;
+  UdpTransport& net_;
+};
+
+/// Crash-safe anchor persistence: write-then-rename, so a daemon killed
+/// mid-write never leaves a torn anchor behind.
+void persist_anchor(const std::string& path, ClockValue anchor) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out.precision(17);
+    out << anchor << "\n";
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+bool read_anchor(const std::string& path, ClockValue& anchor) {
+  std::ifstream in(path);
+  return static_cast<bool>(in >> anchor);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,11 +126,15 @@ int main(int argc, char** argv) {
                  "            [--seconds=S] [--time-scale=K] [--probe=T]\n"
                  "            [--topology=ring] [--ppm=120/-180] [--seed=1]\n"
                  "            [--sample-period=T] [--csv=path]\n"
+                 "            [--detector] [--suspect=T] [--evict=T]\n"
+                 "            [--chaos=SPEC] [--chaos-seed=K]\n"
+                 "            [--anchor-file=path] [--bounds-csv=path]\n"
                  "       gcsd --print-epoch\n";
     return 2;
   }
   const auto self = static_cast<NodeId>(flags.get("node", 0));
   const double scale = flags.get("time-scale", 1.0);
+  const double probe = flags.get("probe", 0.25);
   // Default epoch = this process's start: fine for single-process smoke
   // runs; real multi-daemon deployments pass a shared --epoch.
   const Time epoch = flags.get("epoch", wall.now());
@@ -79,24 +142,70 @@ int main(int argc, char** argv) {
 
   const ScenarioSpec spec = make_spec(flags);
   UdpTransport net(spec.n, self,
-                   static_cast<std::uint16_t>(flags.get("base-port", 29200)));
+                   static_cast<std::uint16_t>(flags.get("base-port", 29200)),
+                   &clock, static_cast<std::uint64_t>(flags.get("chaos-seed", 1)));
   RtNode node(spec, self, net, clock);
+  const bool chaotic = flags.has("chaos");
+  if (flags.get("detector", false) || chaotic) {
+    DetectorConfig detector;
+    detector.suspect_after = flags.get("suspect", 3.0 * probe);
+    detector.evict_after = flags.get("evict", 8.0 * probe);
+    detector.probe_interval = flags.get("probe-interval", 2.0 * probe);
+    node.enable_detector(detector);
+  }
   node.start();
 
   const Time start = std::max(clock.now(), 0.0);
   const Time horizon = start + flags.get("seconds", 30.0) * scale;
   const double sample_period = flags.get("sample-period", 0.5);
+
+  // Monotone rejoin: a daemon that died and came back catches its kernel up
+  // first (pump), then lifts its logical clock to the persisted anchor so
+  // the rejoined node never reads earlier than its previous incarnation.
+  const std::string anchor_file = flags.get("anchor-file", std::string());
+  if (!anchor_file.empty()) {
+    node.pump();
+    ClockValue anchor = 0.0;
+    if (read_anchor(anchor_file, anchor)) {
+      node.recover_logical(anchor);
+      std::cout << "gcsd node " << self << ": recovered logical anchor "
+                << anchor << "\n";
+    }
+  }
+
   std::vector<RtSample> samples;
   const int count =
       static_cast<int>(std::floor((horizon - start) / sample_period + 1e-9));
   for (int k = 1; k <= count; ++k) {
     const Time t = start + static_cast<Time>(k) * sample_period;
     node.at(t, [&node, &samples, t] {
-      samples.push_back(RtSample{t, node.logical(), node.hardware()});
+      samples.push_back(
+          RtSample{t, node.logical(), node.hardware(), node.sampling_live()});
     });
   }
 
-  while (node.pump() < horizon) {
+  DaemonChaosTarget chaos_target(self, node, net);
+  ChaosScript script;
+  if (chaotic) {
+    // Scripted times are start-relative model seconds, like --seconds.
+    script = ChaosScript::from_flag(
+        flags.get("chaos", std::string("churn")), spec.n,
+        node.scenario().initial_edges(), horizon - start,
+        static_cast<std::uint64_t>(flags.get("chaos-seed", 1)));
+    std::cout << "gcsd node " << self << ": chaos script: " << script.str()
+              << "\n";
+  }
+  ChaosScheduler chaos(script, chaos_target);
+
+  Time last_anchor = start;
+  while (true) {
+    chaos.poll(clock.now() - start);
+    const Time t = node.pump();
+    if (!anchor_file.empty() && t >= last_anchor + 1.0 && !node.is_down()) {
+      persist_anchor(anchor_file, node.logical());
+      last_anchor = t;
+    }
+    if (t >= horizon) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   node.pump();
@@ -104,15 +213,40 @@ int main(int argc, char** argv) {
   const std::string csv = flags.get("csv", std::string());
   if (!csv.empty()) {
     CsvWriter out(csv);
-    out.row({"t", "node", "logical", "hardware"});
+    out.row({"t", "node", "logical", "hardware", "live"});
     for (const RtSample& s : samples) {
-      out.field(s.t).field(self).field(s.logical).field(s.hardware).endrow();
+      out.field(s.t)
+          .field(self)
+          .field(s.logical)
+          .field(s.hardware)
+          .field(s.live ? 1 : 0)
+          .endrow();
+    }
+  }
+  const std::string bounds_csv = flags.get("bounds-csv", std::string());
+  if (!bounds_csv.empty()) {
+    // Every replica derives the same per-edge constants; any daemon's table
+    // serves the whole deployment (chaos_report.py reads one).
+    CsvWriter out(bounds_csv);
+    out.row({"a", "b", "eps", "kappa", "bound"});
+    Engine& engine = node.engine();
+    const AlgoParams& aopt = node.scenario().spec().aopt;
+    for (const EdgeKey& e : node.scenario().initial_edges()) {
+      const double eps = engine.edge_eps(e);
+      const double kappa = engine.metric_kappa(e);
+      out.field(e.a)
+          .field(e.b)
+          .field(eps)
+          .field(kappa)
+          .field(gradient_bound(kappa, aopt.gtilde_static, aopt.sigma()))
+          .endrow();
     }
   }
   std::cout << "gcsd node " << self << ": ran to model t=" << horizon
             << " (" << samples.size() << " samples), frames out "
             << node.egress_count() << ", in " << node.ingress_count()
-            << ", rejected " << node.rejected_count() << "\n"
+            << ", rejected " << node.rejected_count() << ", restarts "
+            << node.restarts() << ", send errors " << net.send_errors() << "\n"
             << "final L=" << node.logical() << " H=" << node.hardware() << "\n";
   return 0;
 }

@@ -10,18 +10,21 @@
 //   rt_loopback --nodes=4 --seconds=3 --time-scale=100        # pipe backend
 //   rt_loopback --transport=udp --nodes=2 --seconds=3
 //   rt_loopback --seconds=30 --time-scale=10 --check-bound --csv=skew.csv
+//   rt_loopback --detector --chaos=partition --chaos-seed=7 --check-bound
 //
-// --check-bound makes the exit code enforce that every post-warmup skew
-// sample is within the edge's derived gradient bound (the CI soak gate).
-#include <algorithm>
-#include <chrono>
+// --check-bound makes the exit code enforce the gradient bound: without
+// chaos, over every post-warmup sample; with chaos, per quiet phase — after
+// each scripted fault clears, every edge skew must be back within its bound
+// throughout [clear + stabilization, next fault) (the re-convergence gate).
+//
+// --chaos takes a preset name (crash|partition|churn) or an inline script
+// ("at 5 cut 0 1; at 12 heal 0 1" — see rt/chaos.h for the grammar). Chaos
+// almost always wants --detector, which arms the liveness layer that turns
+// the injected silence into real edge eviction and rediscovery.
 #include <cmath>
 #include <iostream>
-#include <memory>
-#include <thread>
-#include <vector>
+#include <string>
 
-#include "metrics/skew.h"
 #include "rt/rt_cluster.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -55,20 +58,15 @@ ScenarioSpec make_rt_spec(int n, double probe_period, double delay_max,
   return spec;
 }
 
-struct RunSummary {
-  std::vector<RtEdgeReport> reports;
-  std::uint64_t frames_out = 0;
-  std::uint64_t frames_in = 0;
-  Time horizon = 0.0;
-};
-
-int report(const RunSummary& run, bool check_bound) {
-  Table table("rt_loopback: per-edge skew over the sampled grid");
+bool print_reports(const std::string& title,
+                   const std::vector<RtEdgeReport>& reports,
+                   bool require_samples) {
+  Table table(title);
   table.headers({"edge", "samples", "max |skew|", "mean |skew|", "eps", "kappa",
                  "bound", "ok"});
   bool all_ok = true;
-  for (const RtEdgeReport& r : run.reports) {
-    const bool ok = r.samples > 0 && r.max_abs_skew <= r.bound;
+  for (const RtEdgeReport& r : reports) {
+    const bool ok = r.max_abs_skew <= r.bound && (r.samples > 0 || !require_samples);
     all_ok = all_ok && ok;
     table.row()
         .cell(r.edge.str())
@@ -81,120 +79,7 @@ int report(const RunSummary& run, bool check_bound) {
         .cell(ok ? "yes" : "NO");
   }
   table.print();
-  std::cout << "model horizon " << run.horizon << " s, frames out "
-            << run.frames_out << ", frames in " << run.frames_in << "\n";
-  if (check_bound && !all_ok) {
-    std::cout << "FAIL: a sampled edge skew exceeded its gradient bound\n";
-    return 1;
-  }
-  return 0;
-}
-
-int run_pipe(const Flags& flags, const ScenarioSpec& spec, Time horizon,
-             Duration sample_period, int warmup) {
-  MonotonicClock wall;
-  ScaledClock clock(wall, flags.get("time-scale", 10.0));
-  FaultSpec faults;
-  faults.drop = flags.get("drop", 0.0);
-  faults.dup = flags.get("dup", 0.0);
-  faults.reorder = flags.get("reorder", 0.0);
-  faults.delay = flags.get("delay", 0.2);
-  faults.jitter = flags.get("jitter", 0.0);
-  faults.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
-
-  RtCluster cluster(spec, clock, faults);
-  cluster.start();
-  cluster.schedule_samples(horizon, sample_period);
-  cluster.run_threads(horizon);
-
-  RunSummary run;
-  run.reports = cluster.edge_report(warmup);
-  run.horizon = horizon;
-  for (NodeId u = 0; u < cluster.size(); ++u) {
-    run.frames_out += cluster.node(u).egress_count();
-    run.frames_in += cluster.node(u).ingress_count();
-  }
-  const std::string csv = flags.get("csv", std::string());
-  if (!csv.empty()) {
-    cluster.write_skew_csv(csv, warmup);
-    std::cout << "wrote " << csv << "\n";
-  }
-  std::cout << "pipe hub: sent " << cluster.hub().sent() << ", dropped "
-            << cluster.hub().dropped() << ", duplicated "
-            << cluster.hub().duplicated() << ", delayed "
-            << cluster.hub().delayed() << "\n";
-  return report(run, flags.get("check-bound", false));
-}
-
-int run_udp(const Flags& flags, const ScenarioSpec& spec, Time horizon,
-            Duration sample_period, int warmup) {
-  const int n = spec.n;
-  const auto base_port =
-      static_cast<std::uint16_t>(flags.get("base-port", 29200));
-  MonotonicClock wall;
-  ScaledClock clock(wall, flags.get("time-scale", 10.0));
-
-  // One socket-backed transport and one replica per node, all in-process:
-  // the frames really cross the kernel's UDP stack.
-  std::vector<std::unique_ptr<UdpTransport>> sockets;
-  std::vector<std::unique_ptr<RtNode>> nodes;
-  for (NodeId u = 0; u < n; ++u) {
-    sockets.push_back(std::make_unique<UdpTransport>(n, u, base_port));
-    nodes.push_back(std::make_unique<RtNode>(spec, u, *sockets.back(), clock));
-  }
-  std::vector<std::vector<RtSample>> samples(static_cast<std::size_t>(n));
-  for (NodeId u = 0; u < n; ++u) nodes[u]->start();
-  const int count = static_cast<int>(std::floor(horizon / sample_period + 1e-9));
-  for (NodeId u = 0; u < n; ++u) {
-    RtNode* node = nodes[static_cast<std::size_t>(u)].get();
-    auto* out = &samples[static_cast<std::size_t>(u)];
-    for (int k = 1; k <= count; ++k) {
-      const Time t = static_cast<Time>(k) * sample_period;
-      node->at(t, [node, out, t] {
-        out->push_back(RtSample{t, node->logical(), node->hardware()});
-      });
-    }
-  }
-  std::vector<std::thread> threads;
-  for (NodeId u = 0; u < n; ++u) {
-    RtNode* node = nodes[static_cast<std::size_t>(u)].get();
-    threads.emplace_back([node, horizon] {
-      while (node->pump() < horizon) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
-      node->pump();
-    });
-  }
-  for (auto& th : threads) th.join();
-
-  RunSummary run;
-  run.horizon = horizon;
-  const AlgoParams& aopt = nodes.front()->scenario().spec().aopt;
-  for (const EdgeKey& e : nodes.front()->scenario().initial_edges()) {
-    RtEdgeReport r;
-    r.edge = e;
-    Engine& engine = nodes[static_cast<std::size_t>(e.a)]->engine();
-    r.eps = engine.edge_eps(e);
-    r.kappa = engine.metric_kappa(e);
-    r.bound = gradient_bound(r.kappa, aopt.gtilde_static, aopt.sigma());
-    const auto& sa = samples[static_cast<std::size_t>(e.a)];
-    const auto& sb = samples[static_cast<std::size_t>(e.b)];
-    const std::size_t joined = std::min(sa.size(), sb.size());
-    double sum = 0.0;
-    for (std::size_t k = static_cast<std::size_t>(warmup); k < joined; ++k) {
-      const double skew = std::abs(sa[k].logical - sb[k].logical);
-      r.max_abs_skew = std::max(r.max_abs_skew, skew);
-      sum += skew;
-      ++r.samples;
-    }
-    r.mean_abs_skew = r.samples > 0 ? sum / r.samples : 0.0;
-    run.reports.push_back(r);
-  }
-  for (const auto& node : nodes) {
-    run.frames_out += node->egress_count();
-    run.frames_in += node->ingress_count();
-  }
-  return report(run, flags.get("check-bound", false));
+  return all_ok;
 }
 
 }  // namespace
@@ -202,7 +87,12 @@ int run_udp(const Flags& flags, const ScenarioSpec& spec, Time horizon,
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::string transport = flags.get("transport", std::string("pipe"));
-  const int n = flags.get("nodes", transport == "udp" ? 2 : 4);
+  const bool udp = transport == "udp";
+  if (!udp && transport != "pipe") {
+    std::cerr << "unknown --transport=" << transport << " (pipe|udp)\n";
+    return 2;
+  }
+  const int n = flags.get("nodes", udp ? 2 : 4);
   const double scale = flags.get("time-scale", 10.0);
   const Time horizon = flags.get("seconds", 3.0) * scale;  // model seconds
   const double probe = flags.get("probe", 0.25);
@@ -212,12 +102,97 @@ int main(int argc, char** argv) {
   const double delay_max = flags.get("delay-max", std::max(0.5, 0.05 * scale));
   const int warmup = flags.get(
       "warmup", static_cast<int>(std::ceil(0.25 * horizon / sample_period)));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get("seed", 1));
 
-  const ScenarioSpec spec =
-      make_rt_spec(n, probe, delay_max,
-                   static_cast<std::uint64_t>(flags.get("seed", 1)));
-  if (transport == "udp") return run_udp(flags, spec, horizon, sample_period, warmup);
-  if (transport == "pipe") return run_pipe(flags, spec, horizon, sample_period, warmup);
-  std::cerr << "unknown --transport=" << transport << " (pipe|udp)\n";
-  return 2;
+  const ScenarioSpec spec = make_rt_spec(n, probe, delay_max, seed);
+
+  MonotonicClock wall;
+  ScaledClock clock(wall, scale);
+  FaultSpec faults;
+  faults.drop = flags.get("drop", 0.0);
+  faults.dup = flags.get("dup", 0.0);
+  faults.reorder = flags.get("reorder", 0.0);
+  faults.delay = flags.get("delay", 0.2);
+  faults.jitter = flags.get("jitter", 0.0);
+  faults.seed = seed;
+
+  RtCluster cluster(spec, clock, faults, 1024,
+                    udp ? RtBackend::kUdp : RtBackend::kPipe,
+                    static_cast<std::uint16_t>(flags.get("base-port", 29200)));
+
+  if (flags.get("detector", false) || flags.has("chaos")) {
+    DetectorConfig detector;
+    detector.suspect_after = flags.get("suspect", 3.0 * probe);
+    detector.evict_after = flags.get("evict", 8.0 * probe);
+    detector.probe_interval = flags.get("probe-interval", 2.0 * probe);
+    cluster.enable_detector(detector);
+  }
+
+  ChaosScript script;
+  // Must stay below the presets' inter-fault gaps (>= 0.14 * horizon) or
+  // the quiet windows vanish and nothing gets gated.
+  const double stabilization = flags.get("stabilization", 0.1 * horizon);
+  if (flags.has("chaos")) {
+    script = ChaosScript::from_flag(
+        flags.get("chaos", std::string("churn")), cluster.size(),
+        cluster.edges(), horizon,
+        static_cast<std::uint64_t>(flags.get("chaos-seed", 1)));
+    std::cout << "chaos script: " << script.str() << "\n";
+    cluster.arm_chaos(script);
+  }
+
+  cluster.start();
+  cluster.schedule_samples(horizon, sample_period);
+  cluster.run_threads(horizon);
+
+  std::uint64_t frames_out = 0;
+  std::uint64_t frames_in = 0;
+  for (NodeId u = 0; u < cluster.size(); ++u) {
+    frames_out += cluster.node(u).egress_count();
+    frames_in += cluster.node(u).ingress_count();
+  }
+  const std::string csv = flags.get("csv", std::string());
+  if (!csv.empty()) {
+    cluster.write_skew_csv(csv, 0);
+    std::cout << "wrote " << csv << "\n";
+  }
+  if (!udp) {
+    std::cout << "pipe hub: sent " << cluster.hub().sent() << ", dropped "
+              << cluster.hub().dropped() << ", duplicated "
+              << cluster.hub().duplicated() << ", delayed "
+              << cluster.hub().delayed() << ", chaos-dropped "
+              << cluster.hub().chaos_dropped() << ", ring-full "
+              << cluster.hub().ring_full() << "\n";
+  }
+  std::cout << "model horizon " << horizon << " s, frames out " << frames_out
+            << ", frames in " << frames_in << "\n";
+
+  const bool check = flags.get("check-bound", false);
+  bool all_ok = true;
+  if (script.empty()) {
+    all_ok = print_reports("rt_loopback: per-edge skew over the sampled grid",
+                           cluster.edge_report(warmup), /*require_samples=*/true);
+  } else {
+    print_reports("rt_loopback: whole-run skew (faulted intervals included)",
+                  cluster.edge_report(warmup), /*require_samples=*/false);
+    for (const ChaosPhase& phase : script.phases(horizon, stabilization)) {
+      if (!phase.gateable()) {
+        std::cout << "phase '" << phase.label << "' [" << phase.fault_at << ", "
+                  << phase.clear_at << "]: no quiet window, not gated\n";
+        continue;
+      }
+      const bool ok = print_reports(
+          "re-convergence gate '" + phase.label + "': quiet window [" +
+              std::to_string(phase.gate_begin) + ", " +
+              std::to_string(phase.gate_end) + ")",
+          cluster.edge_report_window(phase.gate_begin, phase.gate_end),
+          /*require_samples=*/true);
+      all_ok = all_ok && ok;
+    }
+  }
+  if (check && !all_ok) {
+    std::cout << "FAIL: a sampled edge skew exceeded its gradient bound\n";
+    return 1;
+  }
+  return 0;
 }

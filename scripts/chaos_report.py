@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Join per-daemon clock CSVs into a fault-timeline skew table and gate it.
+
+Each gcsd daemon self-samples its own clocks on a start-relative model-time
+grid and writes one CSV (schema: t,node,logical,hardware,live). Daemons
+start at slightly different wall instants, so their grids do not line up;
+this script linearly interpolates every node's logical clock onto a common
+grid (the overlap of all per-node time ranges), joins the per-edge skew
+|L_a(t) - L_b(t)|, and compares each phase's maximum against the edge's
+derived gradient bound from the --bounds table (schema: a,b,eps,kappa,bound,
+written by `gcsd --bounds-csv`).
+
+Phases come from repeated --gate label:begin:end flags — the quiet windows
+after each scripted fault clears (ChaosScript::phases in src/rt/chaos.h
+derives the same windows in-process; CI passes them explicitly because it
+runs an explicit inline chaos script). A grid point only contributes where
+BOTH endpoints were live: samples recorded by a crashed or catching-up
+daemon never trip the gate.
+
+    chaos_report.py --bounds bounds.csv \
+        --gate cut:24:40 --gate crash:52:60 \
+        [--out timeline.csv] node0.csv node1.csv ...
+
+Exit status is non-zero iff a gated phase has an edge whose max skew
+exceeds its bound, or has no live joined samples at all (a gate that
+cannot observe anything must fail loudly, not vacuously pass).
+"""
+
+import argparse
+import bisect
+import csv
+import sys
+
+
+def read_node_csv(path):
+    """-> (node_id, [(t, logical, live)]) sorted by t."""
+    rows = []
+    node = None
+    with open(path, newline="") as f:
+        for rec in csv.DictReader(f):
+            node = int(rec["node"])
+            rows.append((float(rec["t"]), float(rec["logical"]),
+                         rec.get("live", "1") == "1"))
+    if node is None:
+        sys.exit(f"chaos_report: {path}: no samples")
+    rows.sort(key=lambda r: r[0])
+    return node, rows
+
+
+def read_bounds_csv(path):
+    """-> [((a, b), eps, kappa, bound)]."""
+    edges = []
+    with open(path, newline="") as f:
+        for rec in csv.DictReader(f):
+            edges.append(((int(rec["a"]), int(rec["b"])), float(rec["eps"]),
+                          float(rec["kappa"]), float(rec["bound"])))
+    if not edges:
+        sys.exit(f"chaos_report: {path}: no edges")
+    return edges
+
+
+def interpolate(rows, t):
+    """Linear interpolation of (logical, live) at time t.
+
+    live is the AND of the bracketing samples: a point between a live and a
+    dead sample is not trustworthy. Exact grid hits use that sample alone.
+    """
+    times = [r[0] for r in rows]
+    i = bisect.bisect_left(times, t)
+    if i < len(rows) and times[i] == t:
+        return rows[i][1], rows[i][2]
+    if i == 0 or i == len(rows):
+        return None, False  # outside this node's range
+    t0, l0, a0 = rows[i - 1]
+    t1, l1, a1 = rows[i]
+    w = (t - t0) / (t1 - t0)
+    return l0 + w * (l1 - l0), a0 and a1
+
+
+def parse_gate(spec):
+    label, begin, end = spec.split(":")
+    begin, end = float(begin), float(end)
+    if end <= begin:
+        sys.exit(f"chaos_report: bad gate '{spec}': end <= begin")
+    return label, begin, end
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("csvs", nargs="+", metavar="node.csv",
+                    help="per-daemon clock CSVs (one per node)")
+    ap.add_argument("--bounds", required=True,
+                    help="per-edge eps/kappa/bound table (gcsd --bounds-csv)")
+    ap.add_argument("--gate", action="append", default=[],
+                    metavar="label:begin:end",
+                    help="gated quiet window in model time (repeatable)")
+    ap.add_argument("--out", help="write the timeline table as CSV")
+    args = ap.parse_args()
+
+    series = {}
+    for path in args.csvs:
+        node, rows = read_node_csv(path)
+        if node in series:
+            sys.exit(f"chaos_report: duplicate node {node} in {path}")
+        series[node] = rows
+    edges = read_bounds_csv(args.bounds)
+    for (a, b), *_ in edges:
+        for u in (a, b):
+            if u not in series:
+                sys.exit(f"chaos_report: no CSV for node {u} (edge {a}-{b})")
+
+    # The common grid: the first node's sample times, clipped to the overlap
+    # of every node's range so interpolation never extrapolates.
+    lo = max(rows[0][0] for rows in series.values())
+    hi = min(rows[-1][0] for rows in series.values())
+    if hi <= lo:
+        sys.exit("chaos_report: node time ranges do not overlap")
+    base = series[min(series)]
+    grid = [t for (t, _, _) in base if lo <= t <= hi]
+
+    # Phase list: the whole run (reported, never gated) plus each --gate.
+    phases = [("all", lo, hi, False)]
+    phases += [(label, begin, end, True)
+               for label, begin, end in map(parse_gate, args.gate)]
+
+    timeline = []  # (phase, gated, edge, samples, max_skew, bound, ok)
+    failures = []
+    for label, begin, end, gated in phases:
+        for (a, b), eps, kappa, bound in edges:
+            skews = []
+            for t in grid:
+                if not (begin <= t < end):
+                    continue
+                la, ok_a = interpolate(series[a], t)
+                lb, ok_b = interpolate(series[b], t)
+                if la is None or lb is None or not (ok_a and ok_b):
+                    continue
+                skews.append(abs(la - lb))
+            max_skew = max(skews) if skews else 0.0
+            ok = bool(skews) and max_skew <= bound
+            timeline.append((label, gated, (a, b), len(skews), max_skew,
+                             eps, kappa, bound, ok))
+            if gated and not ok:
+                why = "no live samples" if not skews else (
+                    f"max skew {max_skew:.6g} > bound {bound:.6g}")
+                failures.append(f"phase '{label}' edge {a}-{b}: {why}")
+
+    name_w = max(len(p[0]) for p in timeline)
+    print(f"{'phase':<{name_w}}  gated  edge   samples  max|skew|   bound     ok")
+    for label, gated, (a, b), n, max_skew, eps, kappa, bound, ok in timeline:
+        print(f"{label:<{name_w}}  {'yes' if gated else 'no ':<5}"
+              f"  {a}-{b:<4} {n:>7}  {max_skew:>9.6f}  {bound:>8.4f}  "
+              f"{'yes' if ok else 'NO'}")
+
+    if args.out:
+        with open(args.out, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(["phase", "gated", "a", "b", "samples", "max_skew",
+                        "eps", "kappa", "bound", "ok"])
+            for label, gated, (a, b), n, max_skew, eps, kappa, bound, ok in timeline:
+                w.writerow([label, int(gated), a, b, n, f"{max_skew:.9g}",
+                            f"{eps:.9g}", f"{kappa:.9g}", f"{bound:.9g}",
+                            int(ok)])
+        print(f"wrote {args.out}")
+
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -232,6 +232,10 @@ double Engine::metric_kappa(const EdgeKey& e) {
 void Engine::on_edge_discovered(NodeId u, NodeId peer) {
   advance(u);
   kappa_cache_.erase(EdgeKey(u, peer));  // belt-and-braces vs ε policy changes
+  // Service mode: mirror nodes track topology but never run algorithm
+  // logic — a mirror reacting to a runtime-originated edge event would try
+  // to send from a node the transport does not own.
+  if (config_.local_node != kNoNode && u != config_.local_node) return;
   node(u).algo->on_edge_discovered(peer);
   if (started_) mark_dirty(u);
 }
@@ -239,6 +243,7 @@ void Engine::on_edge_discovered(NodeId u, NodeId peer) {
 void Engine::on_edge_lost(NodeId u, NodeId peer) {
   advance(u);
   estimates_.on_edge_lost(u, peer);
+  if (config_.local_node != kNoNode && u != config_.local_node) return;
   node(u).algo->on_edge_lost(peer);
   if (started_) mark_dirty(u);
 }

@@ -78,6 +78,16 @@ void DynamicGraph::destroy_edge(const EdgeKey& e) {
   schedule_flip(e, e.b, gen, db);
 }
 
+void DynamicGraph::destroy_edge_instant(const EdgeKey& e) {
+  auto it = edges_.find(e);
+  if (it == edges_.end() || !it->second.target) return;
+  Record& rec = it->second;
+  rec.target = false;
+  ++rec.gen;  // invalidate any in-flight flips
+  set_view(e, rec, e.a, false);
+  set_view(e, rec, e.b, false);
+}
+
 void DynamicGraph::schedule_flip(const EdgeKey& e, NodeId endpoint,
                                  std::uint64_t gen, Duration delay) {
   if (delay <= 0.0) {

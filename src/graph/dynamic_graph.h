@@ -65,6 +65,13 @@ class DynamicGraph {
   /// Destroy the edge; endpoint views flip within their detection delay.
   void destroy_edge(const EdgeKey& e);
 
+  /// Destroy the edge with both views updated immediately. Used by the
+  /// runtime failure detector (rt/liveness.h), whose suspect/evict timeout
+  /// already plays the role of the detection delay — by the time it fires,
+  /// tau has long passed, so the flip must not be delayed (or randomized)
+  /// again. The record (and its params) persists for reinsertion.
+  void destroy_edge_instant(const EdgeKey& e);
+
   // ------------------------------------------------------------- queries
 
   /// Does u currently see peer as a neighbor (peer in N_u(t))?

@@ -41,7 +41,18 @@ struct TimeResponse {
   ClockValue remote_logical = 0.0; ///< responder's L at response send
 };
 
-using Payload = std::variant<Beacon, InsertEdgeMsg, TimeRequest, TimeResponse>;
+/// Failure-detector probe (rt/liveness.h). Pings bypass the engine entirely:
+/// the runtime ingress answers a ping with a pong and feeds both into the
+/// detector as liveness evidence, so a fully partitioned edge can be
+/// rediscovered even though no protocol traffic flows over it. Never used in
+/// simulation mode.
+struct LivenessPing {
+  std::uint32_t seq = 0;   ///< sender-local probe counter
+  std::uint32_t kind = 0;  ///< 0 = ping, 1 = pong (echoes the ping's seq)
+};
+
+using Payload =
+    std::variant<Beacon, InsertEdgeMsg, TimeRequest, TimeResponse, LivenessPing>;
 
 /// A message delivered to a node. Zero-copy: `payload` points into the
 /// transport's message arena (net/arena.h) and is valid only for the

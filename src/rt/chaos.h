@@ -1,0 +1,154 @@
+// Deterministic chaos injection for the runtime.
+//
+// A ChaosScript is a time-ordered list of fault ops — node crash/restart,
+// bidirectional link cuts, asymmetric loss, latency storms — either parsed
+// from a tiny text grammar or generated from a seeded preset, so every
+// chaos run is reproducible from (script text | preset name + seed) alone.
+// A ChaosScheduler replays the script against a ChaosTarget (RtCluster
+// in-process, or a gcsd daemon applying the ops that involve itself); the
+// ops themselves are applied through lock-free per-directed-link fault
+// slots in the transports plus atomic crash/restart request flags in
+// RtNode, so the scheduler may run on any thread.
+//
+// Script grammar (ops separated by ';' or newline, '#' comments to EOL):
+//
+//   at <t> crash <u>            node u stops executing and communicating
+//   at <t> restart <u>          node u rejoins via the insertion protocol
+//   at <t> cut <a> <b>          block the link both ways (partition edge)
+//   at <t> heal <a> <b>         unblock both ways
+//   at <t> drop <a> <b> <p>     lose fraction p of frames a -> b (one way)
+//   at <t> clear <a> <b>        clear the a -> b fault slot
+//   at <t> storm <a> <b> <d>    add d seconds of delay both ways
+//   at <t> calm <a> <b>         clear both fault slots
+//
+// Each directed link has ONE LinkFault slot: cut/drop/storm overwrite each
+// other (last writer wins), which keeps the transport hot path to a single
+// atomic load.
+//
+// Phases: the script partitions time into fault intervals (first fault op
+// after quiet -> last op returning the active-fault set to empty). The
+// re-convergence gate checks each quiet window [clear + stabilization,
+// next fault): every sampled edge skew must be back within its derived
+// gradient bound — the paper's stabilization guarantee, asserted live.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gcs {
+
+/// One directed link's injected fault state. drop >= 1 means blocked.
+/// Packed into a single 64-bit atomic by the transports (two floats), so
+/// floats rather than doubles.
+struct LinkFault {
+  float drop = 0.0f;         ///< loss probability in [0,1]; >= 1 blocks
+  float extra_delay = 0.0f;  ///< added model-seconds of delivery delay
+};
+
+[[nodiscard]] inline std::uint64_t pack_link_fault(const LinkFault& f) {
+  std::uint32_t d, e;
+  static_assert(sizeof(float) == 4);
+  __builtin_memcpy(&d, &f.drop, 4);
+  __builtin_memcpy(&e, &f.extra_delay, 4);
+  return (static_cast<std::uint64_t>(d) << 32) | e;
+}
+
+[[nodiscard]] inline LinkFault unpack_link_fault(std::uint64_t bits) {
+  LinkFault f;
+  const std::uint32_t d = static_cast<std::uint32_t>(bits >> 32);
+  const std::uint32_t e = static_cast<std::uint32_t>(bits);
+  __builtin_memcpy(&f.drop, &d, 4);
+  __builtin_memcpy(&f.extra_delay, &e, 4);
+  return f;
+}
+
+/// What a chaos script runs against. All methods must be callable from the
+/// scheduler's thread (RtCluster maps them onto atomics).
+class ChaosTarget {
+ public:
+  virtual ~ChaosTarget() = default;
+  virtual void chaos_crash(NodeId u) = 0;
+  virtual void chaos_restart(NodeId u) = 0;
+  /// Set the fault slot of the directed link from -> to.
+  virtual void chaos_link(NodeId from, NodeId to, const LinkFault& f) = 0;
+};
+
+struct ChaosOp {
+  enum class Kind { kCrash, kRestart, kCut, kHeal, kDrop, kClear, kStorm, kCalm };
+  Time at = 0.0;
+  Kind kind = Kind::kCrash;
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;    ///< second endpoint for link ops
+  double value = 0.0;    ///< drop probability / storm delay
+};
+
+[[nodiscard]] const char* to_string(ChaosOp::Kind k);
+
+/// A quiet-window gate derived from the script: after the fault interval
+/// [fault_at, clear_at] the skew must be back within bounds throughout
+/// [gate_begin, gate_end). gateable() is false when the next fault arrives
+/// before the stabilization window elapses.
+struct ChaosPhase {
+  Time fault_at = 0.0;
+  Time clear_at = 0.0;
+  Time gate_begin = 0.0;
+  Time gate_end = 0.0;
+  std::string label;
+  [[nodiscard]] bool gateable() const { return gate_end > gate_begin; }
+};
+
+class ChaosScript {
+ public:
+  /// Parse the text grammar above. Throws on malformed input. Ops are
+  /// sorted by time (stable: equal-time ops keep text order).
+  static ChaosScript parse(const std::string& text);
+
+  /// Seeded preset generator. Names: "crash" (two crash/restart cycles on
+  /// rng-picked nodes), "partition" (cut + heal an rng-picked edge),
+  /// "churn" (loss storm, crash cycle, cut cycle interleaved). Ops are
+  /// placed at fixed fractions of `horizon`; node/edge picks come from
+  /// Rng(seed), so (name, topology, horizon, seed) fully determine the run.
+  static ChaosScript preset(const std::string& name, int n,
+                            const std::vector<EdgeKey>& edges, Time horizon,
+                            std::uint64_t seed);
+
+  /// parse() if `spec` contains "at ", else preset(spec, ...).
+  static ChaosScript from_flag(const std::string& spec, int n,
+                               const std::vector<EdgeKey>& edges, Time horizon,
+                               std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<ChaosOp>& ops() const { return ops_; }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+
+  /// Derive the re-convergence gates (see header comment).
+  [[nodiscard]] std::vector<ChaosPhase> phases(Time horizon,
+                                               Duration stabilization) const;
+
+  /// Canonical text form (round-trips through parse()).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<ChaosOp> ops_;
+};
+
+/// Replays a script against a target. poll(now) applies every op with
+/// at <= now, in order, exactly once.
+class ChaosScheduler {
+ public:
+  ChaosScheduler(ChaosScript script, ChaosTarget& target)
+      : script_(std::move(script)), target_(target) {}
+
+  void poll(Time now);
+  [[nodiscard]] bool done() const { return next_ >= script_.ops().size(); }
+  [[nodiscard]] std::size_t applied() const { return next_; }
+
+ private:
+  ChaosScript script_;
+  ChaosTarget& target_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,113 @@
+#include "rt/liveness.h"
+
+#include <algorithm>
+
+namespace gcs {
+
+const char* to_string(PeerLiveness s) {
+  switch (s) {
+    case PeerLiveness::kAlive: return "alive";
+    case PeerLiveness::kSuspect: return "suspect";
+    case PeerLiveness::kDown: return "down";
+  }
+  return "?";
+}
+
+LivenessDetector::LivenessDetector(const DetectorConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+LivenessDetector::Peer* LivenessDetector::find(NodeId peer) {
+  const auto it = std::lower_bound(
+      peers_.begin(), peers_.end(), peer,
+      [](const Peer& p, NodeId id) { return p.id < id; });
+  return it != peers_.end() && it->id == peer ? &*it : nullptr;
+}
+
+const LivenessDetector::Peer* LivenessDetector::find(NodeId peer) const {
+  return const_cast<LivenessDetector*>(this)->find(peer);
+}
+
+void LivenessDetector::add_peer(NodeId peer, Time now, bool alive) {
+  require(find(peer) == nullptr, "LivenessDetector: duplicate peer");
+  Peer p;
+  p.id = peer;
+  p.heard = now;
+  if (alive) {
+    p.state = PeerLiveness::kAlive;
+  } else {
+    p.state = PeerLiveness::kDown;
+    start_probing(p, now);
+    p.next_probe = now;  // first probe immediately
+  }
+  const auto pos = std::lower_bound(
+      peers_.begin(), peers_.end(), peer,
+      [](const Peer& q, NodeId id) { return q.id < id; });
+  peers_.insert(pos, p);
+}
+
+void LivenessDetector::start_probing(Peer& p, Time now) {
+  p.probe_gap = config_.probe_interval;
+  p.next_probe = now + p.probe_gap;
+}
+
+bool LivenessDetector::on_frame(NodeId peer, Time now) {
+  Peer* p = find(peer);
+  if (p == nullptr) return false;
+  p->heard = now;
+  const bool revived = p->state == PeerLiveness::kDown;
+  if (revived) ++revivals_;
+  p->state = PeerLiveness::kAlive;
+  return revived;
+}
+
+void LivenessDetector::mark_down(NodeId peer, Time now) {
+  Peer* p = find(peer);
+  require(p != nullptr, "LivenessDetector: mark_down on unknown peer");
+  p->state = PeerLiveness::kDown;
+  p->heard = now;  // restart the silence window from the fault we witnessed
+  start_probing(*p, now);
+  p->next_probe = now;  // probe immediately: rejoin latency matters
+}
+
+void LivenessDetector::poll(Time now, std::vector<LivenessAction>& out) {
+  for (Peer& p : peers_) {
+    const Duration silence = now - p.heard;
+    if (p.state == PeerLiveness::kAlive && silence >= config_.suspect_after) {
+      p.state = PeerLiveness::kSuspect;
+      start_probing(p, now);
+      p.next_probe = now;  // probe at the moment of suspicion
+    }
+    if (p.state == PeerLiveness::kSuspect && silence >= config_.evict_after) {
+      p.state = PeerLiveness::kDown;
+      ++evictions_;
+      out.push_back({LivenessAction::Kind::kEvict, p.id});
+      // Down probing continues from the Suspect-phase schedule; backoff
+      // starts compounding below.
+    }
+    if (p.state != PeerLiveness::kAlive && now >= p.next_probe) {
+      ++probes_;
+      out.push_back({LivenessAction::Kind::kProbe, p.id});
+      if (p.state == PeerLiveness::kDown) {
+        p.probe_gap = std::min(p.probe_gap * config_.probe_backoff,
+                               config_.probe_max);
+      }
+      p.next_probe = now + p.probe_gap;
+    }
+  }
+}
+
+PeerLiveness LivenessDetector::state(NodeId peer) const {
+  const Peer* p = find(peer);
+  require(p != nullptr, "LivenessDetector: state of unknown peer");
+  return p->state;
+}
+
+Time LivenessDetector::last_heard(NodeId peer) const {
+  const Peer* p = find(peer);
+  require(p != nullptr, "LivenessDetector: last_heard of unknown peer");
+  return p->heard;
+}
+
+}  // namespace gcs

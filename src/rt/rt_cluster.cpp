@@ -28,22 +28,64 @@ TopologyResult resolve_topology(const ScenarioSpec& spec) {
 }  // namespace
 
 RtCluster::RtCluster(const ScenarioSpec& spec, TimeSource& clock,
-                     const FaultSpec& faults, std::size_t ring_capacity)
-    : clock_(clock) {
+                     const FaultSpec& faults, std::size_t ring_capacity,
+                     RtBackend backend, std::uint16_t base_port)
+    : clock_(clock), backend_(backend) {
   TopologyResult topo = resolve_topology(spec);
   edges_ = std::move(topo.edges);
-  hub_ = std::make_unique<PipeHub>(topo.n, clock, faults, ring_capacity);
+  if (backend_ == RtBackend::kPipe) {
+    hub_ = std::make_unique<PipeHub>(topo.n, clock, faults, ring_capacity);
+  } else {
+    udp_.reserve(static_cast<std::size_t>(topo.n));
+    for (NodeId u = 0; u < topo.n; ++u) {
+      udp_.push_back(std::make_unique<UdpTransport>(topo.n, u, base_port,
+                                                    &clock, faults.seed));
+    }
+  }
   nodes_.reserve(static_cast<std::size_t>(topo.n));
   for (NodeId u = 0; u < topo.n; ++u) {
-    nodes_.push_back(std::make_unique<RtNode>(spec, u, *hub_, clock));
+    nodes_.push_back(std::make_unique<RtNode>(spec, u, transport_of(u), clock));
   }
   samples_.resize(nodes_.size());
+}
+
+RtTransport& RtCluster::transport_of(NodeId u) {
+  if (backend_ == RtBackend::kPipe) return *hub_;
+  return *udp_[static_cast<std::size_t>(u)];
+}
+
+void RtCluster::enable_detector(const DetectorConfig& config) {
+  require(!started_, "RtCluster: enable_detector() after start()");
+  for (auto& node : nodes_) node->enable_detector(config);
+}
+
+void RtCluster::arm_chaos(const ChaosScript& script) {
+  require(!chaos_, "RtCluster: chaos already armed");
+  chaos_.emplace(script, *this);
 }
 
 void RtCluster::start() {
   require(!started_, "RtCluster: start() called twice");
   started_ = true;
   for (auto& node : nodes_) node->start();
+}
+
+void RtCluster::chaos_crash(NodeId u) {
+  node(u).request_crash();
+}
+
+void RtCluster::chaos_restart(NodeId u) {
+  node(u).request_restart();
+}
+
+void RtCluster::chaos_link(NodeId from, NodeId to, const LinkFault& f) {
+  if (backend_ == RtBackend::kPipe) {
+    hub_->set_link_fault(from, to, f);
+  } else {
+    // Only the sender's transport owns the outbound slot; the scheduler
+    // calls this once per direction, so forwarding to the owner suffices.
+    udp_[static_cast<std::size_t>(from)]->set_link_fault(from, to, f);
+  }
 }
 
 void RtCluster::schedule_samples(Time horizon, Duration period) {
@@ -58,7 +100,8 @@ void RtCluster::schedule_samples(Time horizon, Duration period) {
     for (int k = 1; k <= count; ++k) {
       const Time t = static_cast<Time>(k) * period;
       node->at(t, [node, out, t] {
-        out->push_back(RtSample{t, node->logical(), node->hardware()});
+        out->push_back(RtSample{t, node->logical(), node->hardware(),
+                                node->sampling_live()});
       });
     }
   }
@@ -73,6 +116,9 @@ void RtCluster::run_lockstep(VirtualClock& vclock, Time horizon, Duration step) 
   constexpr int kRounds = 4;
   for (Time t = step; t < horizon + step * 0.5; t += step) {
     vclock.advance_to(std::min(t, horizon));
+    // Chaos ops land at step boundaries, before any node pumps: the whole
+    // run is then a pure function of (spec, faults, script).
+    if (chaos_) chaos_->poll(vclock.now());
     for (int round = 0; round < kRounds; ++round) {
       for (auto& node : nodes_) node->pump();
     }
@@ -82,6 +128,20 @@ void RtCluster::run_lockstep(VirtualClock& vclock, Time horizon, Duration step) 
 void RtCluster::run_threads(Time horizon, Duration poll_interval) {
   require(started_, "RtCluster: run before start()");
   require(poll_interval > 0.0, "RtCluster: poll interval must be positive");
+  std::atomic<bool> stop{false};
+  std::thread chaos_thread;
+  if (chaos_) {
+    ChaosScheduler* sched = &*chaos_;
+    TimeSource* clock = &clock_;
+    chaos_thread = std::thread([sched, clock, &stop, poll_interval] {
+      while (!stop.load(std::memory_order_acquire)) {
+        sched->poll(clock->now());
+        if (sched->done()) return;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(poll_interval));
+      }
+    });
+  }
   std::vector<std::thread> threads;
   threads.reserve(nodes_.size());
   for (auto& node_ptr : nodes_) {
@@ -97,48 +157,77 @@ void RtCluster::run_threads(Time horizon, Duration poll_interval) {
     });
   }
   for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  if (chaos_thread.joinable()) chaos_thread.join();
 }
 
-TimeSeries RtCluster::edge_skew_series(const EdgeKey& e) const {
+std::vector<RtCluster::JoinedSample> RtCluster::join_edge(const EdgeKey& e) const {
   const auto& sa = samples_[static_cast<std::size_t>(e.a)];
   const auto& sb = samples_[static_cast<std::size_t>(e.b)];
   const std::size_t count = std::min(sa.size(), sb.size());
-  TimeSeries series;
+  std::vector<JoinedSample> out;
+  out.reserve(count);
   for (std::size_t k = 0; k < count; ++k) {
-    series.add(sa[k].t, std::abs(sa[k].logical - sb[k].logical));
+    out.push_back(JoinedSample{sa[k].t, std::abs(sa[k].logical - sb[k].logical),
+                               sa[k].live && sb[k].live});
   }
+  return out;
+}
+
+TimeSeries RtCluster::edge_skew_series(const EdgeKey& e) const {
+  TimeSeries series;
+  for (const JoinedSample& s : join_edge(e)) series.add(s.t, s.skew);
   return series;
+}
+
+RtEdgeReport RtCluster::summarize(const EdgeKey& e, Time begin, Time end,
+                                  bool live_only) {
+  RtEdgeReport r;
+  r.edge = e;
+  Engine& engine = node(e.a).engine();
+  const AlgoParams& params = nodes_.front()->scenario().spec().aopt;
+  r.eps = engine.edge_eps(e);
+  r.kappa = engine.metric_kappa(e);
+  r.bound = gradient_bound(r.kappa, params.gtilde_static, params.sigma());
+  double sum = 0.0;
+  for (const JoinedSample& s : join_edge(e)) {
+    if (s.t < begin || s.t >= end) continue;
+    if (live_only && !s.live) continue;
+    r.max_abs_skew = std::max(r.max_abs_skew, s.skew);
+    sum += s.skew;
+    ++r.samples;
+  }
+  r.mean_abs_skew = r.samples > 0 ? sum / r.samples : 0.0;
+  return r;
 }
 
 std::vector<RtEdgeReport> RtCluster::edge_report(int warmup_samples) {
   std::vector<RtEdgeReport> reports;
   reports.reserve(edges_.size());
-  const AlgoParams& params = nodes_.front()->scenario().spec().aopt;
   for (const EdgeKey& e : edges_) {
-    RtEdgeReport r;
-    r.edge = e;
-    Engine& engine = node(e.a).engine();
-    r.eps = engine.edge_eps(e);
-    r.kappa = engine.metric_kappa(e);
-    r.bound = gradient_bound(r.kappa, params.gtilde_static, params.sigma());
-    const TimeSeries series = edge_skew_series(e);
-    double sum = 0.0;
-    for (std::size_t k = static_cast<std::size_t>(warmup_samples);
-         k < series.size(); ++k) {
-      const double skew = series.points()[k].second;
-      r.max_abs_skew = std::max(r.max_abs_skew, skew);
-      sum += skew;
-      ++r.samples;
-    }
-    r.mean_abs_skew = r.samples > 0 ? sum / r.samples : 0.0;
-    reports.push_back(r);
+    // Warmup is expressed in grid points; convert to a time cut using the
+    // joined series' own grid (uniform by construction).
+    const auto joined = join_edge(e);
+    const std::size_t w = static_cast<std::size_t>(std::max(warmup_samples, 0));
+    Time begin = 0.0;
+    if (w > 0) begin = w <= joined.size() ? joined[w - 1].t + 1e-12 : kTimeInf;
+    reports.push_back(summarize(e, begin, kTimeInf, /*live_only=*/true));
+  }
+  return reports;
+}
+
+std::vector<RtEdgeReport> RtCluster::edge_report_window(Time begin, Time end) {
+  std::vector<RtEdgeReport> reports;
+  reports.reserve(edges_.size());
+  for (const EdgeKey& e : edges_) {
+    reports.push_back(summarize(e, begin, end, /*live_only=*/true));
   }
   return reports;
 }
 
 void RtCluster::write_skew_csv(const std::string& path, int warmup_samples) {
   CsvWriter csv(path);
-  csv.row({"t", "a", "b", "skew", "eps", "kappa", "bound"});
+  csv.row({"t", "a", "b", "skew", "eps", "kappa", "bound", "live"});
   for (const EdgeKey& e : edges_) {
     Engine& engine = node(e.a).engine();
     const double eps = engine.edge_eps(e);
@@ -146,16 +235,17 @@ void RtCluster::write_skew_csv(const std::string& path, int warmup_samples) {
     const double bound =
         gradient_bound(kappa, nodes_.front()->scenario().spec().aopt.gtilde_static,
                        nodes_.front()->scenario().spec().aopt.sigma());
-    const TimeSeries series = edge_skew_series(e);
+    const auto joined = join_edge(e);
     for (std::size_t k = static_cast<std::size_t>(warmup_samples);
-         k < series.size(); ++k) {
-      csv.field(series.points()[k].first)
+         k < joined.size(); ++k) {
+      csv.field(joined[k].t)
           .field(e.a)
           .field(e.b)
-          .field(series.points()[k].second)
+          .field(joined[k].skew)
           .field(eps)
           .field(kappa)
           .field(bound)
+          .field(joined[k].live ? 1 : 0)
           .endrow();
     }
   }

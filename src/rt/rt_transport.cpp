@@ -20,19 +20,33 @@ PipeHub::PipeHub(int n, TimeSource& clock, const FaultSpec& faults,
   const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
   rings_.reserve(nn);
   rngs_.reserve(nn);
+  chaos_rngs_.reserve(nn);
   Rng root(faults.seed ^ 0x9d1eULL);
+  Rng chaos_root(faults.seed ^ 0xc4a05ULL);
   for (std::size_t i = 0; i < nn; ++i) {
     rings_.push_back(std::make_unique<SpscRing<WireMsg>>(ring_capacity));
     rngs_.push_back(root.fork(i));
+    chaos_rngs_.push_back(chaos_root.fork(i));
   }
+  link_faults_ = std::make_unique<std::atomic<std::uint64_t>[]>(nn);
+  ring_full_link_ = std::make_unique<std::atomic<std::uint64_t>[]>(nn);
   inboxes_.resize(static_cast<std::size_t>(n));
+}
+
+void PipeHub::set_link_fault(NodeId from, NodeId to, const LinkFault& f) {
+  require(from >= 0 && from < n_ && to >= 0 && to < n_ && from != to,
+          "PipeHub: bad link");
+  link_faults_[link_index(from, to)].store(pack_link_fault(f),
+                                           std::memory_order_relaxed);
 }
 
 bool PipeHub::push_one(const WireMsg& m) {
   if (!ring(m.from, m.to).push(m)) {
     // Ring full: backpressure means loss, exactly like a saturated NIC
-    // queue. The protocol tolerates loss by design.
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    // queue. The protocol tolerates loss by design — but the operator must
+    // be able to see it, so it gets its own counter, per directed link.
+    ring_full_.fetch_add(1, std::memory_order_relaxed);
+    ring_full_link_[link_index(m.from, m.to)].fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   sent_.fetch_add(1, std::memory_order_relaxed);
@@ -42,6 +56,7 @@ bool PipeHub::push_one(const WireMsg& m) {
 bool PipeHub::send(const WireMsg& m) {
   require(m.from >= 0 && m.from < n_ && m.to >= 0 && m.to < n_ && m.from != m.to,
           "PipeHub: bad addressing");
+  const std::size_t link = link_index(m.from, m.to);
   Rng& rng = edge_rng(m.from, m.to);
   // Always draw the full decision tuple: the per-edge RNG stream is then a
   // pure function of the send count, so a fixed seed reproduces the same
@@ -51,12 +66,20 @@ bool PipeHub::send(const WireMsg& m) {
   const double roll_reorder = rng.uniform(0.0, 1.0);
   const double draw_delay = rng.uniform(0.0, 1.0);
   const double draw_jitter = rng.uniform(0.0, 1.0);
+  // Same discipline for the chaos stream (one roll per send, armed or not).
+  const double roll_chaos = chaos_rngs_[link].uniform(0.0, 1.0);
   if (roll_drop < faults_.drop) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return true;  // swallowed in flight; the sender cannot tell
   }
+  const LinkFault chaos =
+      unpack_link_fault(link_faults_[link].load(std::memory_order_relaxed));
+  if (roll_chaos < chaos.drop) {
+    chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   WireMsg out = m;
-  Duration hold = draw_jitter * faults_.jitter;
+  Duration hold = draw_jitter * faults_.jitter + chaos.extra_delay;
   if (roll_reorder < faults_.reorder) {
     hold += draw_delay * faults_.delay;
     delayed_.fetch_add(1, std::memory_order_relaxed);
@@ -92,8 +115,9 @@ bool PipeHub::poll(NodeId self, WireMsg& out) {
 
 // --------------------------------------------------------------------- udp
 
-UdpTransport::UdpTransport(int n, NodeId self, std::uint16_t base_port)
-    : n_(n), self_(self), base_port_(base_port) {
+UdpTransport::UdpTransport(int n, NodeId self, std::uint16_t base_port,
+                           TimeSource* clock, std::uint64_t chaos_seed)
+    : n_(n), self_(self), base_port_(base_port), clock_(clock) {
   require(n >= 1 && self >= 0 && self < n, "UdpTransport: bad node");
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   require(fd_ >= 0, "UdpTransport: socket() failed");
@@ -109,29 +133,91 @@ UdpTransport::UdpTransport(int n, NodeId self, std::uint16_t base_port)
                        std::to_string(base_port + self) + ") failed: " +
                        std::strerror(errno));
   }
+  // Per-destination chaos stream, forked the same way PipeHub forks its
+  // per-link streams: every daemon derives the same decisions for its own
+  // outbound links from (chaos_seed, self, to, send count) alone.
+  Rng chaos_root(chaos_seed ^ 0xc4a05ULL);
+  chaos_rngs_.reserve(static_cast<std::size_t>(n));
+  for (NodeId to = 0; to < n; ++to) {
+    chaos_rngs_.push_back(chaos_root.fork(
+        static_cast<std::uint64_t>(self) * static_cast<std::uint64_t>(n) +
+        static_cast<std::uint64_t>(to)));
+  }
+  link_faults_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(n));
 }
 
 UdpTransport::~UdpTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-bool UdpTransport::send(const WireMsg& m) {
-  require(m.to >= 0 && m.to < n_ && m.to != self_, "UdpTransport: bad addressing");
+void UdpTransport::set_link_fault(NodeId from, NodeId to, const LinkFault& f) {
+  if (from != self_) return;  // the peer's transport owns the reverse slot
+  require(to >= 0 && to < n_ && to != self_, "UdpTransport: bad link");
+  link_faults_[static_cast<std::size_t>(to)].store(pack_link_fault(f),
+                                                   std::memory_order_relaxed);
+}
+
+bool UdpTransport::transmit(const WireMsg& m) {
   std::uint8_t buf[kWireMax];
   const std::size_t len = wire_encode(m, buf);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + m.to));
-  const ssize_t rc = ::sendto(fd_, buf, len, 0,
-                              reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (rc != static_cast<ssize_t>(len)) return false;  // EWOULDBLOCK etc: a drop
-  ++sent_;
-  return true;
+  // Bounded retry on transient kernel-side backpressure: a loopback socket
+  // buffer drains in microseconds, so a couple of immediate retries clear
+  // almost every EAGAIN without ever blocking the pump thread.
+  constexpr int kAttempts = 3;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    const ssize_t rc = ::sendto(fd_, buf, len, 0,
+                                reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof(addr));
+    if (rc == static_cast<ssize_t>(len)) {
+      ++sent_;
+      return true;
+    }
+    const bool transient =
+        rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS);
+    if (!transient) break;
+    ++send_retries_;
+  }
+  // A real socket failure, NOT an injected fault: dropped() stays a pure
+  // function of the chaos script.
+  ++send_errors_;
+  return false;
+}
+
+void UdpTransport::flush_stash() {
+  if (stash_.empty() || clock_ == nullptr) return;
+  const Time now = clock_->now();
+  while (!stash_.empty() && stash_.top().release_at <= now) {
+    transmit(stash_.top().msg);
+    stash_.pop();
+  }
+}
+
+bool UdpTransport::send(const WireMsg& m) {
+  require(m.to >= 0 && m.to < n_ && m.to != self_, "UdpTransport: bad addressing");
+  flush_stash();
+  // One chaos roll per send, armed or not (see PipeHub::send).
+  const double roll = chaos_rngs_[static_cast<std::size_t>(m.to)].uniform(0.0, 1.0);
+  const LinkFault chaos = unpack_link_fault(
+      link_faults_[static_cast<std::size_t>(m.to)].load(std::memory_order_relaxed));
+  if (roll < chaos.drop) {
+    ++dropped_;
+    return true;  // swallowed in flight; the sender cannot tell
+  }
+  if (chaos.extra_delay > 0.0f && clock_ != nullptr) {
+    stash_.push(Stashed{clock_->now() + chaos.extra_delay, stash_seq_++, m});
+    return true;
+  }
+  return transmit(m);
 }
 
 bool UdpTransport::poll(NodeId self, WireMsg& out) {
   require(self == self_, "UdpTransport: instance serves one node");
+  flush_stash();
   std::uint8_t buf[kWireMax];
   for (;;) {
     const ssize_t rc = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);

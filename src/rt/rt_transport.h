@@ -14,13 +14,25 @@
 //
 //  * UdpTransport — one non-blocking UDP socket per node on 127.0.0.1,
 //    frames encoded with the length-prefixed wire format (rt/wire.h).
-//    Real sockets bring their own faults; no injection here.
+//    Real sockets bring their own faults; transient send failures
+//    (EAGAIN/ENOBUFS) get a bounded retry and land in send_errors(), never
+//    in the injected-fault counters.
+//
+// Both backends additionally carry one chaos LinkFault slot per directed
+// link (rt/chaos.h): a lock-free atomic the ChaosScheduler writes from any
+// thread and the sender reads per frame. Chaos decisions come from their
+// own per-link RNG stream which draws exactly one uniform per send whether
+// or not a fault is armed — like the FaultSpec stream, the decision
+// sequence is a pure function of the per-link send count, which is what
+// makes lockstep chaos runs bit-reproducible.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "rt/chaos.h"
 #include "rt/spsc_ring.h"
 #include "rt/time_source.h"
 #include "rt/wire.h"
@@ -38,6 +50,9 @@ class RtTransport {
 
   /// Non-blocking receive for node `self`. False when nothing is ready.
   virtual bool poll(NodeId self, WireMsg& out) = 0;
+
+  /// Chaos fault slot of the directed link from -> to (see rt/chaos.h).
+  virtual void set_link_fault(NodeId from, NodeId to, const LinkFault& f) = 0;
 };
 
 /// Sender-side fault injection for the pipe backend. Probabilities are per
@@ -60,11 +75,23 @@ class PipeHub final : public RtTransport {
 
   bool send(const WireMsg& m) override;
   bool poll(NodeId self, WireMsg& out) override;
+  void set_link_fault(NodeId from, NodeId to, const LinkFault& f) override;
 
   [[nodiscard]] std::uint64_t sent() const { return sent_.load(std::memory_order_relaxed); }
+  /// FaultSpec-injected drops only: a pure function of the fault spec and
+  /// the per-link send counts. Chaos and backpressure count separately.
   [[nodiscard]] std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t delayed() const { return delayed_.load(std::memory_order_relaxed); }
+  /// ChaosScheduler-injected drops (LinkFault slots).
+  [[nodiscard]] std::uint64_t chaos_dropped() const { return chaos_dropped_.load(std::memory_order_relaxed); }
+  /// SPSC-ring-full producer failures: backpressure loss, total and per
+  /// directed link. Nonzero means the cluster is outrunning its consumers —
+  /// distinct from every injected-fault counter.
+  [[nodiscard]] std::uint64_t ring_full() const { return ring_full_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t ring_full(NodeId from, NodeId to) const {
+    return ring_full_link_[link_index(from, to)].load(std::memory_order_relaxed);
+  }
 
  private:
   struct PendingOrder {  // min-heap on (deliver_at, arrival seq)
@@ -85,33 +112,41 @@ class PipeHub final : public RtTransport {
     std::uint64_t seq = 0;
   };
 
+  [[nodiscard]] std::size_t link_index(NodeId from, NodeId to) const {
+    return static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(to);
+  }
   SpscRing<WireMsg>& ring(NodeId from, NodeId to) {
-    return *rings_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
-                   static_cast<std::size_t>(to)];
+    return *rings_[link_index(from, to)];
   }
-  Rng& edge_rng(NodeId from, NodeId to) {
-    return rngs_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
-                 static_cast<std::size_t>(to)];
-  }
+  Rng& edge_rng(NodeId from, NodeId to) { return rngs_[link_index(from, to)]; }
   bool push_one(const WireMsg& m);
 
   int n_;
   TimeSource& clock_;
   FaultSpec faults_;
   std::vector<std::unique_ptr<SpscRing<WireMsg>>> rings_;  ///< [from * n + to]
-  std::vector<Rng> rngs_;                                  ///< sender-owned, per directed edge
-  std::vector<Inbox> inboxes_;                             ///< receiver-owned, per node
+  std::vector<Rng> rngs_;        ///< sender-owned, per directed edge (FaultSpec)
+  std::vector<Rng> chaos_rngs_;  ///< sender-owned, per directed edge (chaos)
+  std::unique_ptr<std::atomic<std::uint64_t>[]> link_faults_;    ///< packed LinkFault
+  std::unique_ptr<std::atomic<std::uint64_t>[]> ring_full_link_; ///< per directed edge
+  std::vector<Inbox> inboxes_;   ///< receiver-owned, per node
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> duplicated_{0};
   std::atomic<std::uint64_t> delayed_{0};
+  std::atomic<std::uint64_t> chaos_dropped_{0};
+  std::atomic<std::uint64_t> ring_full_{0};
 };
 
 /// UDP loopback backend: node u binds 127.0.0.1:(base_port + u). One
 /// instance serves one node (`self`); send() addresses peers by port.
+/// `clock` is only needed for chaos latency storms (stashed frames are
+/// released against it); without one, storm delays degrade to zero.
 class UdpTransport final : public RtTransport {
  public:
-  UdpTransport(int n, NodeId self, std::uint16_t base_port);
+  UdpTransport(int n, NodeId self, std::uint16_t base_port,
+               TimeSource* clock = nullptr, std::uint64_t chaos_seed = 1);
   ~UdpTransport() override;
 
   UdpTransport(const UdpTransport&) = delete;
@@ -119,17 +154,50 @@ class UdpTransport final : public RtTransport {
 
   bool send(const WireMsg& m) override;
   bool poll(NodeId self, WireMsg& out) override;
+  /// Only the outbound (from == self) direction is stored; the peer's
+  /// transport owns the reverse slot. Other `from` values are ignored, so a
+  /// full-mesh scheduler can broadcast ops and each node keeps its side.
+  void set_link_fault(NodeId from, NodeId to, const LinkFault& f) override;
 
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
   [[nodiscard]] std::uint64_t received() const { return received_; }
+  /// Chaos-injected drops only (pure function of the chaos script + seed).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Real socket-level send failures after the bounded retry — never mixed
+  /// into the injected-fault accounting.
+  [[nodiscard]] std::uint64_t send_errors() const { return send_errors_; }
+  [[nodiscard]] std::uint64_t send_retries() const { return send_retries_; }
 
  private:
+  struct Stashed {  // min-heap on release_at, FIFO within ties
+    Time release_at = 0.0;
+    std::uint64_t seq = 0;
+    WireMsg msg;
+  };
+  struct StashOrder {
+    bool operator()(const Stashed& a, const Stashed& b) const {
+      if (a.release_at != b.release_at) return a.release_at > b.release_at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool transmit(const WireMsg& m);
+  void flush_stash();
+
   int n_;
   NodeId self_;
   std::uint16_t base_port_;
   int fd_ = -1;
+  TimeSource* clock_ = nullptr;
+  std::vector<Rng> chaos_rngs_;  ///< per destination, sender-thread owned
+  std::unique_ptr<std::atomic<std::uint64_t>[]> link_faults_;  ///< per destination
+  std::priority_queue<Stashed, std::vector<Stashed>, StashOrder> stash_;
+  std::uint64_t stash_seq_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t send_errors_ = 0;
+  std::uint64_t send_retries_ = 0;
 };
 
 }  // namespace gcs

@@ -63,6 +63,12 @@ std::size_t wire_encode(const WireMsg& m, std::uint8_t* buf) {
       put<double>(p, resp.remote_logical);
       break;
     }
+    case 4: {
+      const auto& ping = std::get<LivenessPing>(m.payload);
+      put<std::uint32_t>(p, ping.seq);
+      put<std::uint32_t>(p, ping.kind);
+      break;
+    }
     default:
       require(false, "wire_encode: unknown payload alternative");
   }
@@ -119,6 +125,14 @@ bool wire_decode(const std::uint8_t* buf, std::size_t len, WireMsg& out) {
       resp.echo_hw = get<double>(p);
       resp.remote_logical = get<double>(p);
       out.payload = resp;
+      return true;
+    }
+    case 4: {
+      if (rest != 8) return false;
+      LivenessPing ping;
+      ping.seq = get<std::uint32_t>(p);
+      ping.kind = get<std::uint32_t>(p);
+      out.payload = ping;
       return true;
     }
     default:

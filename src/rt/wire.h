@@ -5,7 +5,8 @@
 //   u16 length   (bytes after this field: the whole frame minus 2)
 //   u8  version  (kWireVersion; receivers drop unknown versions)
 //   u8  tag      (payload alternative: 0 Beacon, 1 InsertEdge, 2 TimeRequest,
-//                 3 TimeResponse — the Payload variant order, pinned here)
+//                 3 TimeResponse, 4 LivenessPing — the Payload variant order,
+//                 pinned here)
 //   u32 from, u32 to
 //   f64 sent_at  (sender model time)
 //   payload fields (fixed per tag, doubles and u32s, little-endian)

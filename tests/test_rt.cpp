@@ -1,16 +1,22 @@
 // Runtime subsystem tests: SPSC ring, wire codec, time sources, pipe fault
 // injection, and live AOPT clusters (lockstep-deterministic) including
-// re-convergence under drop/duplicate/reorder faults. Also covers the RTT
-// estimate source in plain simulation mode (registry-selected).
+// re-convergence under drop/duplicate/reorder faults, liveness-driven
+// membership (failure detector, partition/heal, crash/restart) and the
+// deterministic chaos layer. Also covers the RTT estimate source in plain
+// simulation mode (registry-selected).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "estimate/rtt_estimate.h"
 #include "metrics/skew.h"
+#include "rt/chaos.h"
+#include "rt/liveness.h"
 #include "rt/rt_cluster.h"
 #include "rt/rt_node.h"
 #include "rt/rt_transport.h"
@@ -115,6 +121,12 @@ TEST(Wire, RoundTripsEveryPayload) {
   EXPECT_EQ(std::get<TimeResponse>(resp.payload).id, 77u);
   EXPECT_DOUBLE_EQ(std::get<TimeResponse>(resp.payload).echo_hw, 3.25);
   EXPECT_DOUBLE_EQ(std::get<TimeResponse>(resp.payload).remote_logical, 4.5);
+
+  m.payload = LivenessPing{123u, 1u};
+  WireMsg ping = roundtrip(m);
+  ASSERT_TRUE(std::holds_alternative<LivenessPing>(ping.payload));
+  EXPECT_EQ(std::get<LivenessPing>(ping.payload).seq, 123u);
+  EXPECT_EQ(std::get<LivenessPing>(ping.payload).kind, 1u);
 }
 
 TEST(Wire, DeliverAtNeverOnTheWire) {
@@ -271,6 +283,255 @@ TEST(PipeHub, DuplicateYieldsTwoCopies) {
   EXPECT_EQ(hub.duplicated(), 1u);
 }
 
+TEST(PipeHub, RingFullCountsPerDirectedLink) {
+  VirtualClock clock;
+  PipeHub hub(2, clock, {}, 2);  // capacity-2 rings: backpressure on purpose
+  for (int i = 0; i < 5; ++i) hub.send(beacon_msg(0, 1, i));
+  EXPECT_EQ(hub.sent(), 2u);
+  EXPECT_EQ(hub.ring_full(), 3u);
+  EXPECT_EQ(hub.ring_full(0, 1), 3u);
+  EXPECT_EQ(hub.ring_full(1, 0), 0u);
+  EXPECT_EQ(hub.dropped(), 0u) << "backpressure is not an injected fault";
+  // Draining frees the ring and sends succeed again.
+  WireMsg out;
+  EXPECT_TRUE(hub.poll(1, out));
+  EXPECT_TRUE(hub.poll(1, out));
+  EXPECT_FALSE(hub.poll(1, out));
+  EXPECT_TRUE(hub.send(beacon_msg(0, 1, 9)));
+  EXPECT_EQ(hub.ring_full(0, 1), 3u);
+}
+
+TEST(PipeHub, ChaosFaultSlotsAreDirectionalAndClearable) {
+  VirtualClock clock;
+  PipeHub hub(2, clock);
+  hub.set_link_fault(0, 1, LinkFault{1.0f, 0.0f});  // block 0 -> 1
+  WireMsg out;
+  for (int i = 0; i < 10; ++i) hub.send(beacon_msg(0, 1, i));
+  EXPECT_FALSE(hub.poll(1, out));
+  EXPECT_EQ(hub.chaos_dropped(), 10u);
+  EXPECT_EQ(hub.dropped(), 0u) << "chaos drops never pollute FaultSpec drops";
+  // The reverse direction is a separate slot.
+  EXPECT_TRUE(hub.send(beacon_msg(1, 0, 0)));
+  EXPECT_TRUE(hub.poll(0, out));
+  // Clearing restores the link.
+  hub.set_link_fault(0, 1, LinkFault{});
+  EXPECT_TRUE(hub.send(beacon_msg(0, 1, 42)));
+  ASSERT_TRUE(hub.poll(1, out));
+  EXPECT_DOUBLE_EQ(out.sent_at, 42.0);
+  // A latency storm holds frames back until the clock passes the delay.
+  hub.set_link_fault(0, 1, LinkFault{0.0f, 2.0f});
+  hub.send(beacon_msg(0, 1, 43));
+  EXPECT_FALSE(hub.poll(1, out));
+  clock.advance_to(2.0);
+  ASSERT_TRUE(hub.poll(1, out));
+  EXPECT_DOUBLE_EQ(out.sent_at, 43.0);
+}
+
+TEST(UdpTransportSuite, ChaosDropsAreNotSendErrors) {
+  VirtualClock clock;
+  UdpTransport a(2, 0, 34710, &clock);
+  UdpTransport b(2, 1, 34710, &clock);
+  a.set_link_fault(0, 1, LinkFault{1.0f, 0.0f});
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(a.send(beacon_msg(0, 1, i)));
+  EXPECT_EQ(a.dropped(), 5u);
+  EXPECT_EQ(a.sent(), 0u);
+  EXPECT_EQ(a.send_errors(), 0u) << "injected drops must not count as errors";
+  // Foreign `from` slots are the peer's concern: ignored here.
+  a.set_link_fault(1, 0, LinkFault{1.0f, 0.0f});
+  a.set_link_fault(0, 1, LinkFault{});
+  EXPECT_TRUE(a.send(beacon_msg(0, 1, 9)));
+  EXPECT_EQ(a.sent(), 1u);
+  WireMsg out;
+  bool got = false;
+  for (int i = 0; i < 500 && !(got = b.poll(1, out)); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(got) << "cleared link must deliver";
+  EXPECT_DOUBLE_EQ(out.sent_at, 9.0);
+  EXPECT_EQ(b.received(), 1u);
+}
+
+// ------------------------------------------------------------------ liveness
+
+DetectorConfig fast_detector() {
+  DetectorConfig cfg;
+  cfg.suspect_after = 1.0;
+  cfg.evict_after = 3.0;
+  cfg.probe_interval = 0.5;
+  cfg.probe_backoff = 2.0;
+  cfg.probe_max = 4.0;
+  return cfg;
+}
+
+TEST(Liveness, SilenceSuspectsThenEvicts) {
+  LivenessDetector det(fast_detector());
+  det.add_peer(1, 0.0, true);
+  std::vector<LivenessAction> acts;
+  det.poll(0.9, acts);
+  EXPECT_TRUE(acts.empty());
+  EXPECT_EQ(det.state(1), PeerLiveness::kAlive);
+
+  det.poll(1.0, acts);  // silence hits suspect_after: probe at once
+  EXPECT_EQ(det.state(1), PeerLiveness::kSuspect);
+  ASSERT_EQ(acts.size(), 1u);
+  EXPECT_EQ(acts[0].kind, LivenessAction::Kind::kProbe);
+  EXPECT_EQ(acts[0].peer, 1);
+  EXPECT_EQ(det.evictions(), 0u);
+
+  acts.clear();
+  det.poll(3.0, acts);  // silence hits evict_after: evict, keep probing
+  EXPECT_EQ(det.state(1), PeerLiveness::kDown);
+  ASSERT_GE(acts.size(), 1u);
+  EXPECT_EQ(acts[0].kind, LivenessAction::Kind::kEvict);
+  EXPECT_EQ(det.evictions(), 1u);
+}
+
+TEST(Liveness, AnyFrameRevivesADownPeer) {
+  LivenessDetector det(fast_detector());
+  det.add_peer(1, 0.0, true);
+  std::vector<LivenessAction> acts;
+  det.poll(3.0, acts);
+  ASSERT_EQ(det.state(1), PeerLiveness::kDown);
+  EXPECT_TRUE(det.on_frame(1, 3.5)) << "Down -> Alive must signal re-insertion";
+  EXPECT_EQ(det.state(1), PeerLiveness::kAlive);
+  EXPECT_EQ(det.revivals(), 1u);
+  EXPECT_FALSE(det.on_frame(1, 3.6)) << "Alive -> Alive is not a revival";
+  EXPECT_FALSE(det.on_frame(99, 3.7)) << "unmonitored peers are ignored";
+  EXPECT_DOUBLE_EQ(det.last_heard(1), 3.6);
+}
+
+TEST(Liveness, ProbesBackOffWhileDownAndCap) {
+  LivenessDetector det(fast_detector());
+  det.add_peer(1, 0.0, true);
+  std::vector<LivenessAction> probe_times_scratch;
+  std::vector<Time> probes;
+  for (Time t = 3.0; t <= 14.01; t += 0.5) {
+    probe_times_scratch.clear();
+    det.poll(t, probe_times_scratch);
+    for (const LivenessAction& a : probe_times_scratch) {
+      if (a.kind == LivenessAction::Kind::kProbe) probes.push_back(t);
+    }
+  }
+  // Down at 3.0 with gap 0.5 doubling per probe, capped at 4.0:
+  // 3.0 (gap->1), 4.0 (->2), 6.0 (->4), 10.0 (capped), 14.0.
+  const std::vector<Time> expect = {3.0, 4.0, 6.0, 10.0, 14.0};
+  EXPECT_EQ(probes, expect);
+  EXPECT_EQ(det.probes(), expect.size());
+}
+
+TEST(Liveness, MarkDownSkipsEvictionAndProbesImmediately) {
+  LivenessDetector det(fast_detector());
+  det.add_peer(1, 0.0, true);
+  det.mark_down(1, 5.0);  // the caller already knows (restart path)
+  EXPECT_EQ(det.state(1), PeerLiveness::kDown);
+  EXPECT_EQ(det.evictions(), 0u);
+  std::vector<LivenessAction> acts;
+  det.poll(5.0, acts);
+  ASSERT_EQ(acts.size(), 1u);
+  EXPECT_EQ(acts[0].kind, LivenessAction::Kind::kProbe);
+  acts.clear();
+  det.poll(20.0, acts);  // long silence on a Down peer never re-evicts
+  for (const LivenessAction& a : acts) {
+    EXPECT_NE(a.kind, LivenessAction::Kind::kEvict);
+  }
+  EXPECT_EQ(det.evictions(), 0u);
+}
+
+TEST(Liveness, PeerAddedDownMustProveItself) {
+  LivenessDetector det(fast_detector());
+  det.add_peer(2, 1.0, /*alive=*/false);
+  EXPECT_EQ(det.state(2), PeerLiveness::kDown);
+  std::vector<LivenessAction> acts;
+  det.poll(1.0, acts);
+  ASSERT_EQ(acts.size(), 1u);
+  EXPECT_EQ(acts[0].kind, LivenessAction::Kind::kProbe);
+  EXPECT_TRUE(det.on_frame(2, 1.2));
+  EXPECT_EQ(det.state(2), PeerLiveness::kAlive);
+}
+
+// ------------------------------------------------------------------- chaos
+
+TEST(Chaos, LinkFaultPacksLosslessly) {
+  const LinkFault f{0.25f, 1.5f};
+  const LinkFault g = unpack_link_fault(pack_link_fault(f));
+  EXPECT_EQ(g.drop, f.drop);
+  EXPECT_EQ(g.extra_delay, f.extra_delay);
+  const LinkFault zero = unpack_link_fault(0);
+  EXPECT_EQ(zero.drop, 0.0f);
+  EXPECT_EQ(zero.extra_delay, 0.0f);
+}
+
+TEST(Chaos, ParsesInlineScriptsSortedByTime) {
+  const ChaosScript s = ChaosScript::parse(
+      "at 12 heal 0 1 # trailing comment\n"
+      "at 5 cut 0 1; at 20 drop 1 2 0.5;; at 25 storm 0 2 0.3");
+  ASSERT_EQ(s.ops().size(), 4u);
+  EXPECT_EQ(s.ops()[0].kind, ChaosOp::Kind::kCut);
+  EXPECT_DOUBLE_EQ(s.ops()[0].at, 5.0);
+  EXPECT_EQ(s.ops()[1].kind, ChaosOp::Kind::kHeal);
+  EXPECT_EQ(s.ops()[2].kind, ChaosOp::Kind::kDrop);
+  EXPECT_DOUBLE_EQ(s.ops()[2].value, 0.5);
+  EXPECT_EQ(s.ops()[3].kind, ChaosOp::Kind::kStorm);
+  // The canonical form round-trips.
+  EXPECT_EQ(ChaosScript::parse(s.str()).str(), s.str());
+}
+
+TEST(Chaos, RejectsMalformedScripts) {
+  EXPECT_THROW(ChaosScript::parse("crash 0"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at -1 crash 0"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 explode 1"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 cut 0 0"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 drop 0 1"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 crash 0 junk"), std::runtime_error);
+}
+
+TEST(Chaos, DerivesQuietPhaseGates) {
+  const ChaosScript s = ChaosScript::parse(
+      "at 10 cut 0 1; at 20 heal 0 1; at 40 crash 2; at 50 restart 2");
+  const auto phases = s.phases(100.0, 5.0);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(phases[0].fault_at, 10.0);
+  EXPECT_DOUBLE_EQ(phases[0].clear_at, 20.0);
+  EXPECT_DOUBLE_EQ(phases[0].gate_begin, 25.0);
+  EXPECT_DOUBLE_EQ(phases[0].gate_end, 40.0);
+  EXPECT_TRUE(phases[0].gateable());
+  EXPECT_DOUBLE_EQ(phases[1].gate_begin, 55.0);
+  EXPECT_DOUBLE_EQ(phases[1].gate_end, 100.0);
+
+  // Overlapping faults merge into one phase that clears when the active
+  // set empties.
+  const auto merged =
+      ChaosScript::parse(
+          "at 10 cut 0 1; at 15 crash 2; at 20 heal 0 1; at 30 restart 2")
+          .phases(100.0, 5.0);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].fault_at, 10.0);
+  EXPECT_DOUBLE_EQ(merged[0].clear_at, 30.0);
+
+  // A never-cleared fault runs to the horizon and gates nothing.
+  const auto open = ChaosScript::parse("at 10 cut 0 1").phases(50.0, 5.0);
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_DOUBLE_EQ(open[0].clear_at, 50.0);
+  EXPECT_FALSE(open[0].gateable());
+}
+
+TEST(Chaos, PresetsAreSeedDeterministic) {
+  const std::vector<EdgeKey> edges{EdgeKey(0, 1), EdgeKey(1, 2), EdgeKey(0, 2)};
+  for (const char* name : {"crash", "partition", "churn"}) {
+    const ChaosScript a = ChaosScript::preset(name, 3, edges, 40.0, 7);
+    const ChaosScript b = ChaosScript::preset(name, 3, edges, 40.0, 7);
+    EXPECT_EQ(a.str(), b.str()) << name;
+    EXPECT_FALSE(a.empty()) << name;
+    // Every preset phase gets a usable quiet window at the default
+    // stabilization fraction (0.1 * horizon).
+    for (const ChaosPhase& p : a.phases(40.0, 4.0)) {
+      EXPECT_TRUE(p.gateable()) << name << " phase " << p.label;
+    }
+  }
+  EXPECT_THROW(ChaosScript::preset("nope", 3, edges, 40.0, 7),
+               std::runtime_error);
+}
+
 // ----------------------------------------------- rt cluster (lockstep, pipe)
 
 ScenarioSpec rt_spec(int n) {
@@ -388,6 +649,141 @@ TEST(RtNode, RejectsFramesFromUnknownPeers) {
   node.pump();
   EXPECT_EQ(node.ingress_count(), 2u);
   EXPECT_EQ(node.rejected_count(), 1u);
+}
+
+// ------------------------------------- membership + chaos (lockstep, pipe)
+
+/// A lockstep run with the failure detector armed and a chaos script
+/// installed: the deterministic harness behind the partition/heal,
+/// crash/restart and reproducibility tests.
+LockstepRun run_chaos_cluster(const ScenarioSpec& spec,
+                              const std::string& script, Time horizon) {
+  LockstepRun run;
+  run.cluster = std::make_unique<RtCluster>(spec, *run.clock);
+  DetectorConfig det;
+  det.suspect_after = 1.5;
+  det.evict_after = 4.0;
+  det.probe_interval = 0.5;
+  run.cluster->enable_detector(det);
+  run.cluster->arm_chaos(ChaosScript::parse(script));
+  run.cluster->start();
+  run.cluster->schedule_samples(horizon, 1.0);
+  run.cluster->run_lockstep(*run.clock, horizon, 0.25);
+  for (NodeId u = 0; u < run.cluster->size(); ++u) {
+    run.logical.push_back(run.cluster->node(u).logical());
+  }
+  return run;
+}
+
+TEST(RtChaos, PartitionHealEvictsThenReinsertsAndReconverges) {
+  // The lockstep port of examples/partition_heal.cpp, with the detector
+  // doing the work the simulated adversary does there: cut {0,1} -> silence
+  // -> eviction at both endpoints; heal -> probe answered -> revival ->
+  // insertion protocol -> skew back within the gradient bound.
+  LockstepRun run =
+      run_chaos_cluster(rt_spec(3), "at 15 cut 0 1; at 30 heal 0 1", 60.0);
+  RtCluster& cluster = *run.cluster;
+
+  const LivenessDetector* d0 = cluster.node(0).detector();
+  const LivenessDetector* d1 = cluster.node(1).detector();
+  ASSERT_NE(d0, nullptr);
+  ASSERT_NE(d1, nullptr);
+  EXPECT_GE(d0->evictions(), 1u) << "node 0 never noticed the partition";
+  EXPECT_GE(d1->evictions(), 1u) << "node 1 never noticed the partition";
+  EXPECT_GE(d0->revivals(), 1u) << "node 0 never rediscovered its peer";
+  EXPECT_GE(d1->revivals(), 1u) << "node 1 never rediscovered its peer";
+  EXPECT_EQ(d0->state(1), PeerLiveness::kAlive);
+  EXPECT_EQ(d1->state(0), PeerLiveness::kAlive);
+  EXPECT_GT(cluster.hub().chaos_dropped(), 0u);
+
+  for (std::size_t u = 0; u < run.logical.size(); ++u) {
+    EXPECT_GT(run.logical[u], 59.0) << "node " << u << " stalled";
+  }
+  // Re-convergence gate: well after the heal, every edge (including the
+  // re-inserted one) is back within its derived bound.
+  const auto gated = cluster.edge_report_window(45.0, 60.0);
+  ASSERT_EQ(gated.size(), cluster.edges().size());
+  for (const RtEdgeReport& r : gated) {
+    EXPECT_GT(r.samples, 0) << "edge " << r.edge.str();
+    EXPECT_LE(r.max_abs_skew, r.bound) << "edge " << r.edge.str();
+  }
+}
+
+TEST(RtChaos, CrashRestartRejoinsMonotonically) {
+  LockstepRun run =
+      run_chaos_cluster(rt_spec(3), "at 15 crash 1; at 25 restart 1", 60.0);
+  RtCluster& cluster = *run.cluster;
+
+  EXPECT_EQ(cluster.node(1).restarts(), 1u);
+  EXPECT_GT(cluster.node(1).discarded_count(), 0u)
+      << "a crashed node must discard its ingress";
+  // Neighbors saw the death and the rebirth.
+  EXPECT_GE(cluster.node(0).detector()->evictions(), 1u);
+  EXPECT_GE(cluster.node(0).detector()->revivals(), 1u);
+  EXPECT_EQ(cluster.node(0).detector()->state(1), PeerLiveness::kAlive);
+
+  // The restarted node's own samples: logical time never steps backwards
+  // across the crash (monotone rejoin), and the dead stretch is flagged.
+  const std::vector<RtSample>& s = cluster.samples()[1];
+  int dead = 0;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    if (!s[k].live) ++dead;
+    if (k > 0) {
+      EXPECT_GE(s[k].logical, s[k - 1].logical)
+          << "logical clock stepped backwards at grid point " << k;
+    }
+  }
+  EXPECT_GE(dead, 5) << "~10 model seconds of downtime must flag samples";
+  EXPECT_LT(dead, static_cast<int>(s.size()));
+
+  for (std::size_t u = 0; u < run.logical.size(); ++u) {
+    EXPECT_GT(run.logical[u], 59.0) << "node " << u << " stalled";
+  }
+  const auto gated = cluster.edge_report_window(40.0, 60.0);
+  ASSERT_EQ(gated.size(), cluster.edges().size());
+  for (const RtEdgeReport& r : gated) {
+    EXPECT_GT(r.samples, 0) << "edge " << r.edge.str();
+    EXPECT_LE(r.max_abs_skew, r.bound) << "edge " << r.edge.str();
+  }
+}
+
+TEST(RtChaos, LockstepChaosRunsAreBitDeterministic) {
+  const std::string script =
+      "at 10 drop 0 1 0.5; at 18 clear 0 1; at 30 crash 2; at 38 restart 2";
+  const LockstepRun a = run_chaos_cluster(rt_spec(3), script, 50.0);
+  const LockstepRun b = run_chaos_cluster(rt_spec(3), script, 50.0);
+  ASSERT_EQ(a.logical.size(), b.logical.size());
+  for (std::size_t u = 0; u < a.logical.size(); ++u) {
+    EXPECT_EQ(a.logical[u], b.logical[u]) << "node " << u << " diverged";
+  }
+  // The whole sampled series must match bit for bit, live flags included.
+  const auto& sa = a.cluster->samples();
+  const auto& sb = b.cluster->samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t u = 0; u < sa.size(); ++u) {
+    ASSERT_EQ(sa[u].size(), sb[u].size());
+    for (std::size_t k = 0; k < sa[u].size(); ++k) {
+      EXPECT_EQ(sa[u][k].logical, sb[u][k].logical);
+      EXPECT_EQ(sa[u][k].hardware, sb[u][k].hardware);
+      EXPECT_EQ(sa[u][k].live, sb[u][k].live);
+    }
+  }
+  EXPECT_EQ(a.cluster->hub().chaos_dropped(), b.cluster->hub().chaos_dropped());
+  EXPECT_EQ(a.cluster->node(2).restarts(), b.cluster->node(2).restarts());
+}
+
+TEST(RtNode, RecoverLogicalNeverLowers) {
+  VirtualClock clock;
+  PipeHub hub(2, clock);
+  RtNode node(rt_spec(2), 0, hub, clock);
+  node.start();
+  node.pump();
+  const ClockValue before = node.logical();
+  node.recover_logical(before + 100.0);  // persisted anchor from a past life
+  EXPECT_GE(node.logical(), before + 100.0);
+  const ClockValue high = node.logical();
+  node.recover_logical(1.0);  // a stale anchor must be a no-op
+  EXPECT_GE(node.logical(), high);
 }
 
 // ------------------------------------------------- rtt estimates (sim mode)
