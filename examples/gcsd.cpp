@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
         flags.get("chaos", std::string("churn")), spec.n,
         node.scenario().initial_edges(), horizon - start,
         static_cast<std::uint64_t>(flags.get("chaos-seed", 1)));
+    script.validate(spec.n);
     std::cout << "gcsd node " << self << ": chaos script: " << script.str()
               << "\n";
   }

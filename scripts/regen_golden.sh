@@ -24,4 +24,16 @@ cmake --build "$BUILD_DIR" -j --target test_kernel_trace
 
 GCS_REGEN_KERNEL_TRACE=1 "$BUILD_DIR"/test_kernel_trace \
   --gtest_filter='KernelTrace.*'
-echo "regenerated tests/golden/ — now rerun the full suite and commit the diff"
+
+# The fingerprint table pins the same reference trajectory (its
+# beacon-reference row hashes the run the golden trace records in full), so
+# a golden regeneration must regenerate the table too...
+scripts/regen_fingerprints.sh "$BUILD_DIR"
+
+# ...and the two must agree afterwards: test_kernel_trace cross-checks the
+# fresh golden trace against the fresh beacon-reference row and fails here
+# if they pin different trajectories.
+"$BUILD_DIR"/test_kernel_trace --gtest_filter='KernelTrace.*'
+
+echo "regenerated tests/golden/ + tests/fingerprints/ —" \
+     "now rerun the full suite and commit the diff"

@@ -218,6 +218,12 @@ class Engine final : public DynamicGraph::Listener,
   // Clock reads are defined inline (after the class): they run several
   // times per event inside the re-evaluation scan.
   ClockValue logical(NodeId u);
+  /// Logical clock of u extrapolated to now() WITHOUT advancing the lazy
+  /// integration state — a pure read for passive observers (the trajectory
+  /// fingerprinter). logical(u) advances (mutates) the accumulation state,
+  /// so an observer calling it would change the float path of the very run
+  /// it observes; this read is guaranteed side-effect-free.
+  [[nodiscard]] ClockValue peek_logical(NodeId u) const;
   ClockValue hardware(NodeId u);
   ClockValue max_estimate(NodeId u);
   /// Flooded lower bound on the network-wide minimum logical clock
@@ -449,6 +455,10 @@ inline ClockValue Engine::logical(NodeId u) {
 inline ClockValue Engine::hardware(NodeId u) {
   advance(u);
   return hot(u).clocks.value[NodeClocks::kHw];
+}
+
+inline ClockValue Engine::peek_logical(NodeId u) const {
+  return hot(u).clocks.value_at(NodeClocks::kLog, sim_.now());
 }
 
 inline ClockValue Engine::max_estimate(NodeId u) {

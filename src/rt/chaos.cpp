@@ -116,10 +116,10 @@ ChaosScript ChaosScript::parse(const std::string& text) {
     const OpShape* shape = op_shape(word);
     require(shape != nullptr, "ChaosScript: unknown op '" + word + "'");
     op.kind = shape->kind;
-    require(static_cast<bool>(in >> op.a),
-            "ChaosScript: missing node in '" + stmt + "'");
+    require(static_cast<bool>(in >> op.a) && op.a >= 0,
+            "ChaosScript: bad node in '" + stmt + "'");
     if (shape->ids == 2) {
-      require(static_cast<bool>(in >> op.b) && op.b != op.a,
+      require(static_cast<bool>(in >> op.b) && op.b >= 0 && op.b != op.a,
               "ChaosScript: bad link in '" + stmt + "'");
     }
     if (shape->value) {
@@ -129,9 +129,24 @@ ChaosScript ChaosScript::parse(const std::string& text) {
     require(!(in >> word), "ChaosScript: trailing junk in '" + stmt + "'");
     script.ops_.push_back(op);
   }
+  // An all-blank/all-comment script is almost certainly a mangled flag or a
+  // file that failed to load — reject loudly rather than silently running
+  // fault-free (a default-constructed ChaosScript is the explicit "no chaos").
+  require(!script.ops_.empty(), "ChaosScript: empty script (no ops parsed)");
   std::stable_sort(script.ops_.begin(), script.ops_.end(),
                    [](const ChaosOp& x, const ChaosOp& y) { return x.at < y.at; });
   return script;
+}
+
+void ChaosScript::validate(int n) const {
+  for (const ChaosOp& op : ops_) {
+    require(op.a < n, "ChaosScript: node id " + std::to_string(op.a) +
+                          " out of range for " + std::to_string(n) + " nodes");
+    if (op.kind != ChaosOp::Kind::kCrash && op.kind != ChaosOp::Kind::kRestart) {
+      require(op.b < n, "ChaosScript: node id " + std::to_string(op.b) +
+                            " out of range for " + std::to_string(n) + " nodes");
+    }
+  }
 }
 
 ChaosScript ChaosScript::preset(const std::string& name, int n,

@@ -102,8 +102,11 @@ struct ChaosPhase {
 
 class ChaosScript {
  public:
-  /// Parse the text grammar above. Throws on malformed input. Ops are
-  /// sorted by time (stable: equal-time ops keep text order).
+  /// Parse the text grammar above. Throws on malformed input — including
+  /// negative node ids and scripts that parse to zero ops (an all-comment
+  /// or empty string is a mangled flag, not a request for no chaos; use a
+  /// default-constructed ChaosScript for that). Ops are sorted by time
+  /// (stable: equal-time ops keep text order).
   static ChaosScript parse(const std::string& text);
 
   /// Seeded preset generator. Names: "crash" (two crash/restart cycles on
@@ -119,6 +122,12 @@ class ChaosScript {
   static ChaosScript from_flag(const std::string& spec, int n,
                                const std::vector<EdgeKey>& edges, Time horizon,
                                std::uint64_t seed);
+
+  /// Throw if any op references a node id >= n. parse() already rejects
+  /// negative ids; this closes the other side once the cluster size is
+  /// known (RtCluster::arm_chaos calls it — a stray id would otherwise
+  /// index straight past the node vector).
+  void validate(int n) const;
 
   [[nodiscard]] const std::vector<ChaosOp>& ops() const { return ops_; }
   [[nodiscard]] bool empty() const { return ops_.empty(); }

@@ -61,6 +61,7 @@ void RtCluster::enable_detector(const DetectorConfig& config) {
 
 void RtCluster::arm_chaos(const ChaosScript& script) {
   require(!chaos_, "RtCluster: chaos already armed");
+  script.validate(size());
   chaos_.emplace(script, *this);
 }
 

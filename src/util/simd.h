@@ -1,0 +1,84 @@
+// Portable SIMD capability + dispatch plumbing for the vectorized AOPT
+// trigger scan (core/triggers.cpp).
+//
+// Policy: the build stays at the baseline ISA (x86-64 / aarch64) — vector
+// kernels are compiled per-function with GCC/Clang target attributes
+// (__attribute__((target("avx2")))) and selected at runtime via CPUID. That
+// keeps the binary portable AND, critically, keeps the compiler from
+// contracting the *scalar* reference path with FMA or re-vectorizing it
+// behind our back: the scalar expressions in triggers.cpp are the bit-exact
+// reference that every trajectory fingerprint pins, and the vector path is
+// only trusted because test_fingerprint proves it hash-identical per lane
+// (same IEEE mul/add/sub sequence, no FMA intrinsics, no reassociation).
+//
+// Runtime control:
+//   - simd::available(): a vector kernel is compiled in AND the CPU has it.
+//   - simd::enabled():   available() AND the vector path was opted into —
+//                        GCS_SIMD=on|avx2|1 in the environment, or
+//                        simd::set_enabled(true) (the fingerprint and
+//                        trigger suites use the hook to run both paths in
+//                        one process and compare results).
+//   - simd::backend():   "avx2" or "scalar", for logs and bench metadata.
+//
+// The SCALAR path is the default. The vector scan is proven
+// decision-identical (test_triggers) and trajectory-identical on every
+// pinned fingerprint row (test_fingerprint), and it is ~3x faster in
+// isolation (BM_TriggerEvaluation) — but the whole-simulation gain on the
+// line-1024 workload measured 1.08x, short of the 1.3x bar set for making
+// it the default (Amdahl: PR 3's dirty gating, PR 5's instant coalescing
+// and the ratio quick-reject already removed most scans; see
+// docs/ARCHITECTURE.md "Fingerprint pinning" for the full accounting).
+// Flip it on with GCS_SIMD=on where the trigger scan dominates.
+//
+// aarch64 note: the dispatch seam is ISA-agnostic — a NEON float64x2 kernel
+// slots into triggers.cpp behind the same enabled() check — but no NEON
+// kernel is implemented yet, so aarch64 reports "scalar" and always takes
+// the reference path.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gcs::simd {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GCS_SIMD_AVX2_DISPATCH 1
+#endif
+
+/// A vector trigger-scan kernel is compiled in and this CPU supports it.
+inline bool available() {
+#if defined(GCS_SIMD_AVX2_DISPATCH)
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+inline bool& enabled_flag() {
+  static bool flag = [] {
+    const char* env = std::getenv("GCS_SIMD");
+    return env != nullptr && (std::strcmp(env, "on") == 0 ||
+                              std::strcmp(env, "avx2") == 0 ||
+                              std::strcmp(env, "1") == 0);
+  }();
+  return flag;
+}
+}  // namespace detail
+
+/// Test hook: select the vector path (or back to the scalar reference)
+/// within a process. No effect on availability.
+inline void set_enabled(bool on) { detail::enabled_flag() = on; }
+
+/// Take the vector path right now?
+inline bool enabled() { return available() && detail::enabled_flag(); }
+
+inline const char* backend() {
+#if defined(GCS_SIMD_AVX2_DISPATCH)
+  if (available()) return "avx2";
+#endif
+  return "scalar";
+}
+
+}  // namespace gcs::simd

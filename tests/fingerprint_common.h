@@ -1,0 +1,417 @@
+// Shared fingerprint-table machinery: the scenario catalog behind
+// tests/fingerprints/fingerprints.csv, the CSV row codec, and the "run one
+// catalog entry" helper. Used by test_fingerprint.cpp (per-row pinning +
+// regeneration mode), test_kernel_trace.cpp (golden-trace cross-check) and
+// test_fuzz.cpp (thread-invariance property).
+//
+// The committed CSV is the source of truth for verification: each row
+// carries the full serialized spec, so a row is checkable in isolation
+// (ctest registers one test per row by name). The catalog() here is the
+// source of truth for REGENERATION: regen mode recomputes every catalog
+// entry and rewrites the table, and a dedicated test pins catalog ↔ table
+// agreement so the two cannot drift apart silently.
+//
+// CSV layout (comma-separated, '#' comments):
+//
+//   name,kind,horizon,chaos,coalesce_inv,hash,events,spec
+//
+// `spec` is ScenarioSpec::str() — space-separated key=value pairs whose
+// values may contain commas (component params) — so it is the LAST field
+// and rows are parsed by splitting only the first seven commas. `chaos` is
+// "-" for simulation rows; for rt rows it is a chaos preset name (presets
+// contain no commas; inline scripts are not allowed in the table).
+// `coalesce_inv` marks rows proven bit-identical under both instant
+// -coalescing modes (see Case::coalesce_invariant).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/fingerprint.h"
+#include "runner/scenario.h"
+#include "util/common.h"
+
+namespace gcs::fptable {
+
+struct Case {
+  std::string name;   ///< unique row id; also the per-row ctest suffix
+  std::string kind;   ///< "sim" (event-fold) or "rt" (lockstep sample-fold)
+  double horizon = 20.0;
+  std::string chaos;  ///< rt rows: preset name ("" = no chaos)
+  /// This row's trajectory is bit-identical under both instant-coalescing
+  /// modes, and the invariance suite + coalesce-flipped regeneration enforce
+  /// that. PR 5 proved the equivalence only where trigger scans draw no
+  /// per-scan state (beacon estimates; the baseline algorithms) — oracle
+  ///-estimate AOPT rows legitimately diverge (test_instant.cpp pins why),
+  /// so they are pinned per-mode (at the spec's own coalesce setting) and
+  /// excluded from the flip.
+  bool coalesce_invariant = false;
+  ScenarioSpec spec;
+};
+
+/// One committed table row (Case flattened to strings + the pinned result).
+struct Row {
+  std::string name;
+  std::string kind;
+  double horizon = 0.0;
+  std::string chaos;
+  bool coalesce_invariant = false;
+  std::uint64_t hash = 0;
+  std::uint64_t events = 0;
+  std::string spec;  ///< ScenarioSpec::str(), reconstructable via set()
+};
+
+inline std::string table_path() {
+  return std::string(GCS_SOURCE_DIR) + "/tests/fingerprints/fingerprints.csv";
+}
+
+/// Rebuild a spec from its str() rendering (explicit_edges excepted, which
+/// the catalog never uses — registry topologies only).
+inline ScenarioSpec spec_from_str(const std::string& text) {
+  ScenarioSpec spec;
+  for (const std::string& token : split(text, ' ')) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    require(eq != std::string::npos, "fingerprint table: bad spec token '" + token + "'");
+    spec.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------- catalog
+
+/// The golden-trace reference scenario (test_kernel_trace.cpp runs the same
+/// spec against the committed event trace; the "beacon-reference" table row
+/// pins its fingerprint, and regen_golden.sh requires the two to agree).
+inline ScenarioSpec kernel_trace_reference_spec() {
+  ScenarioSpec spec;
+  spec.name = "kernel-trace-reference";
+  spec.n = 12;
+  spec.topology = ComponentSpec("line");
+  spec.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
+  spec.aopt.rho = 1e-3;
+  spec.aopt.mu = 0.1;
+  spec.gtilde_auto = true;
+  spec.drift = ComponentSpec::parse("walk:period=5");
+  spec.estimates = ComponentSpec("beacon");
+  // keep_connected=false: on a line every removal disconnects, so a
+  // connectivity-preserving churn would never act. Transient partitions are
+  // fine here — they also exercise the transport's drop path.
+  spec.adversary = ComponentSpec::parse("churn:rate=0.6,start=5,keep_connected=false");
+  spec.seed = 20260728;
+  return spec;
+}
+
+namespace detail {
+
+inline ScenarioSpec sim_base(const std::string& name, int n, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.n = n;
+  spec.seed = seed;
+  spec.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
+  spec.aopt.rho = 1e-3;
+  spec.aopt.mu = 0.1;
+  spec.gtilde_auto = true;
+  return spec;
+}
+
+/// The lockstep-runtime base: mirrors tests/test_rt.cpp's rt_spec (ring,
+/// oscillator drift, measured-RTT estimates) — the configuration whose
+/// lockstep bit-reproducibility PR 7 established.
+inline ScenarioSpec rt_base(const std::string& name, int n, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.n = n;
+  spec.seed = seed;
+  spec.topology = ComponentSpec(n >= 3 ? "ring" : "line");
+  spec.drift = ComponentSpec::parse("osc-const:ppm=150/-200/80");
+  spec.estimates = ComponentSpec("rtt");
+  spec.edge_params.eps = 0.1;
+  spec.edge_params.tau = 0.5;
+  spec.edge_params.msg_delay_max = 0.6;
+  spec.edge_params.msg_delay_min = 0.0;
+  spec.gtilde_auto = true;
+  return spec;
+}
+
+}  // namespace detail
+
+/// The pinned catalog: ≥20 simulation combinations spanning the registry's
+/// topology × algorithm × drift × estimate × gskew × adversary families,
+/// plus lockstep-runtime chaos rows. Rows flagged coalesce-invariant are
+/// additionally pinned across both instant-coalescing modes —
+/// test_fingerprint verifies the flag continuously, so a mislabeled row
+/// fails loudly rather than silently pinning a mode-dependent hash.
+inline std::vector<Case> catalog() {
+  using detail::rt_base;
+  using detail::sim_base;
+  std::vector<Case> cases;
+  // `inv`: the row is coalesce-invariant (see Case::coalesce_invariant) —
+  // beacon-estimate rows and the baseline algorithms qualify; AOPT rows on
+  // oracle estimates do not (their trigger scans read scan-time state).
+  const auto sim = [&cases](const std::string& name, ScenarioSpec spec,
+                            bool inv, double horizon = 20.0) {
+    cases.push_back(Case{name, "sim", horizon, "", inv, std::move(spec)});
+  };
+
+  // The golden-trace reference, pinned at the same horizon as the trace
+  // (beacon estimates: PR 5's regeneration came back byte-identical).
+  sim("beacon-reference", kernel_trace_reference_spec(), true, 30.0);
+
+  // Topology family sweep (AOPT, spread drift, uniform estimates).
+  {
+    ScenarioSpec s = sim_base("fp-line", 24, 101);
+    s.topology = ComponentSpec("line");
+    sim("line-spread-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-ring", 24, 102);
+    s.topology = ComponentSpec("ring");
+    sim("ring-spread-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-star", 16, 103);
+    s.topology = ComponentSpec("star");
+    sim("star-spread-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-complete", 12, 104);
+    s.topology = ComponentSpec("complete");
+    s.drift = ComponentSpec("none");
+    sim("complete-none-uniform", s, true);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-grid", 24, 105);
+    s.topology = ComponentSpec::parse("grid:rows=4,cols=6");
+    s.drift = ComponentSpec::parse("walk:period=5");
+    sim("grid-walk-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-torus", 16, 106);
+    s.topology = ComponentSpec::parse("torus:rows=4,cols=4");
+    s.drift = ComponentSpec::parse("blocks:period=8,blocks=4");
+    sim("torus-blocks-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-hypercube", 16, 107);
+    s.topology = ComponentSpec::parse("hypercube:dim=4");
+    s.estimates = ComponentSpec("beacon");
+    sim("hypercube-spread-beacon", s, true);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-barbell", 16, 108);
+    s.topology = ComponentSpec::parse("barbell:k=5,path=6");
+    s.drift = ComponentSpec::parse("walk:period=5");
+    sim("barbell-walk-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-tree", 24, 109);
+    s.topology = ComponentSpec("tree");
+    sim("tree-spread-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-gnp", 20, 110);
+    s.topology = ComponentSpec::parse("gnp:p=0.2");
+    sim("gnp-spread-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-geometric", 20, 111);
+    s.topology = ComponentSpec::parse("geometric:radius=0.35");
+    sim("geometric-spread-uniform", s, false);
+  }
+
+  // Algorithm family (same line workload, every registered algorithm).
+  {
+    ScenarioSpec s = sim_base("fp-maxjump", 16, 112);
+    s.topology = ComponentSpec("line");
+    s.algo = ComponentSpec("max-jump");
+    sim("line-maxjump-spread-uniform", s, true);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-brm", 16, 113);
+    s.topology = ComponentSpec("ring");
+    s.algo = ComponentSpec("bounded-rate-max");
+    sim("ring-boundedratemax-spread-uniform", s, true);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-free", 16, 114);
+    s.topology = ComponentSpec("line");
+    s.algo = ComponentSpec("free-running");
+    sim("line-freerunning-spread-uniform", s, true);
+  }
+
+  // Drift family (line/ring AOPT under every remaining drift model).
+  {
+    ScenarioSpec s = sim_base("fp-sine", 20, 115);
+    s.topology = ComponentSpec("ring");
+    s.drift = ComponentSpec::parse("sine:period=10,steps=16");
+    s.estimates = ComponentSpec("zero");
+    sim("ring-sine-zero", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-osc-const", 18, 116);
+    s.topology = ComponentSpec("line");
+    s.drift = ComponentSpec::parse("osc-const:ppm=150/-200/80");
+    sim("line-oscconst-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-osc-random", 18, 117);
+    s.topology = ComponentSpec("ring");
+    s.drift = ComponentSpec::parse("osc-random:interval=4,change=50");
+    s.estimates = ComponentSpec("beacon");
+    sim("ring-oscrandom-beacon", s, true);
+  }
+
+  // Estimate + G̃-source families.
+  {
+    ScenarioSpec s = sim_base("fp-adversarial", 16, 118);
+    s.topology = ComponentSpec("star");
+    s.estimates = ComponentSpec("adversarial");
+    sim("star-spread-adversarial", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-gskew-oracle", 16, 119);
+    s.topology = ComponentSpec("line");
+    s.gskew = ComponentSpec("oracle");
+    sim("line-gskew-oracle", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-gskew-dist", 16, 120);
+    s.topology = ComponentSpec("ring");
+    s.estimates = ComponentSpec("beacon");
+    s.gskew = ComponentSpec("distributed");
+    sim("ring-beacon-gskew-distributed", s, true);
+  }
+
+  // Dynamic-topology family (churn adversary; the reference row above
+  // already pins line churn under beacons).
+  {
+    ScenarioSpec s = sim_base("fp-churn-grid", 24, 121);
+    s.topology = ComponentSpec::parse("grid:rows=4,cols=6");
+    s.adversary = ComponentSpec::parse("churn:rate=0.4,start=5");
+    sim("grid-churn-uniform", s, false);
+  }
+  {
+    ScenarioSpec s = sim_base("fp-churn-ring", 16, 122);
+    s.topology = ComponentSpec("ring");
+    s.estimates = ComponentSpec("beacon");
+    s.adversary = ComponentSpec::parse("churn:rate=0.6,start=5,keep_connected=false");
+    sim("ring-churn-beacon", s, true);
+  }
+
+  // Lockstep-runtime chaos rows (preset names resolve deterministically
+  // from (preset, topology, horizon, seed) — see rt/chaos.h).
+  // rt rows are pinned at their spec's own coalescing mode only (the flip
+  // equivalence is a simulation-engine claim; lockstep runs stay out of it).
+  cases.push_back(Case{"rt-ring-crash", "rt", 30.0, "crash", false,
+                       rt_base("fp-rt-crash", 5, 201)});
+  cases.push_back(Case{"rt-ring-partition", "rt", 30.0, "partition", false,
+                       rt_base("fp-rt-partition", 5, 202)});
+  cases.push_back(Case{"rt-ring-churn", "rt", 30.0, "churn", false,
+                       rt_base("fp-rt-churn", 4, 203)});
+
+  return cases;
+}
+
+// ------------------------------------------------------------ execution
+
+constexpr Duration kRtStep = 0.25;
+constexpr Duration kRtSamplePeriod = 1.0;
+
+/// Compute one catalog entry's fingerprint (sim: event fold to horizon;
+/// rt: lockstep sample fold under the row's chaos preset).
+inline FingerprintResult run_case(const Case& c) {
+  if (c.kind == "rt") {
+    return fingerprint_lockstep(c.spec, c.chaos, c.horizon, kRtStep, kRtSamplePeriod);
+  }
+  return fingerprint_run(c.spec, c.horizon);
+}
+
+// ------------------------------------------------------------- CSV codec
+
+inline std::string format_row(const Row& row) {
+  std::ostringstream os;
+  os << row.name << ',' << row.kind << ',' << ParamMap::format(row.horizon) << ','
+     << (row.chaos.empty() ? "-" : row.chaos) << ','
+     << (row.coalesce_invariant ? "yes" : "no") << ',' << std::hex;
+  os.width(16);
+  os.fill('0');
+  os << row.hash << std::dec << ',' << row.events << ',' << row.spec;
+  return os.str();
+}
+
+inline Row parse_row(const std::string& line) {
+  // The spec field is last and may contain commas: split only the first 7.
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (int i = 0; i < 7; ++i) {
+    const std::size_t comma = line.find(',', start);
+    require(comma != std::string::npos, "fingerprint table: short row '" + line + "'");
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  fields.push_back(line.substr(start));
+  Row row;
+  row.name = fields[0];
+  row.kind = fields[1];
+  row.horizon = std::stod(fields[2]);
+  row.chaos = fields[3] == "-" ? "" : fields[3];
+  require(fields[4] == "yes" || fields[4] == "no",
+          "fingerprint table: bad coalesce_inv in row '" + line + "'");
+  row.coalesce_invariant = fields[4] == "yes";
+  row.hash = std::stoull(fields[5], nullptr, 16);
+  row.events = std::stoull(fields[6]);
+  row.spec = fields[7];
+  require(row.kind == "sim" || row.kind == "rt",
+          "fingerprint table: unknown kind in row '" + line + "'");
+  return row;
+}
+
+inline std::vector<Row> load_table(const std::string& path = table_path()) {
+  std::ifstream f(path);
+  require(f.good(), "fingerprint table missing: " + path +
+                        " — run scripts/regen_fingerprints.sh");
+  std::vector<Row> rows;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    rows.push_back(parse_row(line));
+  }
+  return rows;
+}
+
+/// load_table(), except a missing file yields a single sentinel row (name
+/// "table_missing") instead of throwing — safe to call during gtest's
+/// static-init parameter expansion, where a throw would abort the binary
+/// before the regeneration test could ever run to create the file.
+inline std::vector<Row> load_table_or_sentinel() {
+  std::ifstream f(table_path());
+  if (!f.good()) return {Row{"table_missing", "", 0.0, "", false, 0, 0, ""}};
+  return load_table();
+}
+
+inline void save_table(const std::vector<Row>& rows,
+                       const std::string& path = table_path()) {
+  std::ofstream f(path);
+  require(f.good(), "cannot write fingerprint table: " + path);
+  f << "# Trajectory fingerprint table — one pinned hash per scenario.\n"
+       "# Regenerate CONSCIOUSLY via scripts/regen_fingerprints.sh; see\n"
+       "# docs/ARCHITECTURE.md (Fingerprint pinning) for when regeneration\n"
+       "# is legitimate vs when a mismatch is a trajectory regression.\n"
+       "# name,kind,horizon,chaos,coalesce_inv,hash,events,spec\n";
+  for (const Row& row : rows) f << format_row(row) << '\n';
+}
+
+/// Reconstruct the Case a committed row describes (used by the per-row
+/// tests: the row is self-contained, no catalog lookup needed).
+inline Case case_from_row(const Row& row) {
+  return Case{row.name,  row.kind,
+              row.horizon, row.chaos,
+              row.coalesce_invariant, spec_from_str(row.spec)};
+}
+
+}  // namespace gcs::fptable

@@ -14,8 +14,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "metrics/fingerprint.h"
 #include "runner/scenario.h"
+#include "runner/sweep.h"
 
 namespace gcs {
 namespace {
@@ -200,6 +205,68 @@ TEST_P(FuzzTest, InvariantsHoldUnderRandomAdversary) {
       ADD_FAILURE() << "invariants broke with seed " << GetParam().seed
                     << " at step " << step;
       return;
+    }
+  }
+}
+
+// ----------------------------- fingerprint determinism (property test)
+
+// The pinned-table suite proves thread-count invariance for the curated
+// catalog; this is the same property over RANDOM specs: a trajectory
+// fingerprint is a function of the spec alone, never of how the run was
+// scheduled. Each random world is fingerprinted serially, then re-run
+// through SweepRunner grids of 1, 2 and 8 workers — every hash and event
+// count must match the serial reference bit-for-bit.
+TEST(FuzzFingerprint, RandomSpecsHashIdenticallyAcrossSweepThreads) {
+  constexpr int kSpecs = 6;
+  constexpr Time kHorizon = 15.0;
+
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < kSpecs; ++i) {
+    Rng rng(0x5eedULL + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+    ScenarioSpec cfg = random_config(rng);
+    cfg.name = "fuzz-fp-" + std::to_string(i);
+    specs.push_back(std::move(cfg));
+  }
+
+  std::vector<FingerprintResult> serial(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    serial[i] = fingerprint_run(specs[i], kHorizon);
+    ASSERT_GT(serial[i].events, 0u) << specs[i].name << " produced no events";
+  }
+
+  std::map<std::string, const ScenarioSpec*> by_name;
+  std::vector<std::string> names;
+  for (const ScenarioSpec& s : specs) {
+    by_name[s.name] = &s;
+    names.push_back(s.name);
+  }
+
+  for (int threads : {1, 2, 8}) {
+    // Heterogeneous specs through a sweep grid: the axis carries the name,
+    // the spec_fn swaps in the full random spec (as in test_fingerprint).
+    Sweep sweep(specs.front());
+    sweep.axis("name", names);
+    SweepOptions options;
+    options.threads = threads;
+    SweepRunner runner(options);
+    runner.set_spec_fn(
+        [&by_name](ScenarioSpec& spec) { spec = *by_name.at(spec.name); });
+    std::vector<FingerprintResult> got(specs.size());
+    runner.set_run_fn([&got](Scenario& scenario, RunResult& res) {
+      got[static_cast<std::size_t>(res.index)] =
+          fingerprint_run(scenario, kHorizon);
+    });
+    const std::vector<RunResult> results = runner.run(sweep);
+    for (const RunResult& r : results) {
+      ASSERT_TRUE(r.ok()) << "run '" << r.axes.at("name")
+                          << "' failed: " << r.error;
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(got[i].hash, serial[i].hash)
+          << specs[i].name << " diverged at threads=" << threads;
+      EXPECT_EQ(got[i].events, serial[i].events)
+          << specs[i].name << " event count at threads=" << threads;
     }
   }
 }

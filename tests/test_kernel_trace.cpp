@@ -32,12 +32,15 @@
 // the standard library. Runs remain deterministic for a given seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "fingerprint_common.h"
+#include "metrics/fingerprint.h"
 #include "runner/scenario.h"
 #include "sim/event.h"
 
@@ -57,24 +60,11 @@ struct TraceRecorder final : public KernelTraceSink {
   }
 };
 
-ScenarioSpec reference_spec() {
-  ScenarioSpec spec;
-  spec.name = "kernel-trace-reference";
-  spec.n = 12;
-  spec.topology = ComponentSpec("line");
-  spec.edge_params = default_edge_params(0.05, 0.25, 0.5, 0.1);
-  spec.aopt.rho = 1e-3;
-  spec.aopt.mu = 0.1;
-  spec.gtilde_auto = true;
-  spec.drift = ComponentSpec::parse("walk:period=5");
-  spec.estimates = ComponentSpec("beacon");
-  // keep_connected=false: on a line every removal disconnects, so a
-  // connectivity-preserving churn would never act. Transient partitions are
-  // fine here — they also exercise the transport's drop path.
-  spec.adversary = ComponentSpec::parse("churn:rate=0.6,start=5,keep_connected=false");
-  spec.seed = 20260728;
-  return spec;
-}
+// The reference spec is shared with the fingerprint catalog
+// (tests/fingerprint_common.h): its "beacon-reference" table row pins the
+// 64-bit hash of the very trajectory this golden trace records in full,
+// so the two artifacts can never drift apart silently.
+ScenarioSpec reference_spec() { return fptable::kernel_trace_reference_spec(); }
 
 std::string golden_path() {
   return std::string(GCS_SOURCE_DIR) + "/tests/golden/kernel_trace_reference.txt";
@@ -83,8 +73,13 @@ std::string golden_path() {
 TEST(KernelTrace, GoldenSequenceFromOldKernelIsReproduced) {
   Scenario s(reference_spec());
   TraceRecorder rec;
-  s.engine().set_kernel_trace(&rec);
-  s.transport().set_kernel_trace(&rec);
+  // One run feeds both artifacts: the fingerprinter folds each event into
+  // its hash, then forwards it unchanged to the recorder. The full trace is
+  // compared against the golden file below; the hash is compared against
+  // the table's beacon-reference row — so "the 64-bit row pins the same
+  // trajectory the golden trace spells out" is checked, not assumed.
+  TrajectoryFingerprinter fp;
+  fp.attach(s, &rec);
   s.start();
   s.run_until(30.0);
   const std::string got = rec.out.str();
@@ -128,6 +123,22 @@ TEST(KernelTrace, GoldenSequenceFromOldKernelIsReproduced) {
       ASSERT_EQ(got_line, want_line) << "first divergence at event " << line;
     }
   }
+
+  // Cross-check the committed fingerprint table: its beacon-reference row
+  // must pin this exact run. A kernel change licensed to move trajectories
+  // regenerates BOTH artifacts together (scripts/regen_golden.sh chains
+  // into scripts/regen_fingerprints.sh and then re-runs this test).
+  const std::vector<fptable::Row> rows = fptable::load_table_or_sentinel();
+  const auto row =
+      std::find_if(rows.begin(), rows.end(),
+                   [](const fptable::Row& r) { return r.name == "beacon-reference"; });
+  ASSERT_NE(row, rows.end()) << "fingerprint table has no beacon-reference row"
+                             << " — run scripts/regen_fingerprints.sh";
+  EXPECT_EQ(fp.value(), row->hash)
+      << "golden trace and fingerprint table disagree on the reference"
+      << " trajectory — regenerate both via scripts/regen_golden.sh";
+  EXPECT_EQ(fp.events(), row->events);
+
   SUCCEED() << rec.events << " events matched";
 }
 

@@ -485,6 +485,52 @@ TEST(Chaos, RejectsMalformedScripts) {
   EXPECT_THROW(ChaosScript::parse("at 5 crash 0 junk"), std::runtime_error);
 }
 
+TEST(Chaos, RejectsEmptyScripts) {
+  // An empty / all-comment / all-separator script is a mangled flag or a
+  // file that failed to load, not a request for no chaos — the explicit
+  // way to say "no chaos" is a default-constructed ChaosScript.
+  EXPECT_THROW(ChaosScript::parse(""), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("   \n   \n"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("# only comments\n# all the way down"),
+               std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse(";;;"), std::runtime_error);
+  // ...but comments/blanks alongside at least one op are fine.
+  EXPECT_NO_THROW(ChaosScript::parse("# header\n\nat 5 crash 0 # eol"));
+  EXPECT_TRUE(ChaosScript{}.empty());
+}
+
+TEST(Chaos, RejectsNegativeNodeIds) {
+  EXPECT_THROW(ChaosScript::parse("at 5 crash -1"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 restart -3"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 cut -2 1"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 cut 1 -2"), std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 drop 0 -1 0.5"), std::runtime_error);
+}
+
+TEST(Chaos, ValidateRejectsOutOfRangeIds) {
+  const ChaosScript s = ChaosScript::parse("at 5 crash 4; at 10 cut 0 3");
+  EXPECT_NO_THROW(s.validate(5));
+  EXPECT_THROW(s.validate(4), std::runtime_error);  // crash 4 needs n >= 5
+  EXPECT_THROW(ChaosScript::parse("at 5 heal 0 9").validate(5),
+               std::runtime_error);
+  EXPECT_THROW(ChaosScript::parse("at 5 storm 9 0 0.3").validate(5),
+               std::runtime_error);
+}
+
+TEST(Chaos, OutOfOrderTimestampsAreAcceptedAndStableSorted) {
+  // Statements may be authored in any order: replay sorts by time, and
+  // equal-time ops keep their text order, so the applied sequence is
+  // deterministic regardless of how the script was written.
+  const ChaosScript s = ChaosScript::parse(
+      "at 30 heal 0 1; at 10 cut 0 1; at 10 crash 2; at 20 restart 2");
+  ASSERT_EQ(s.ops().size(), 4u);
+  EXPECT_EQ(s.ops()[0].kind, ChaosOp::Kind::kCut);    // t=10, first in text
+  EXPECT_EQ(s.ops()[1].kind, ChaosOp::Kind::kCrash);  // t=10, second in text
+  EXPECT_EQ(s.ops()[2].kind, ChaosOp::Kind::kRestart);
+  EXPECT_EQ(s.ops()[3].kind, ChaosOp::Kind::kHeal);
+  EXPECT_EQ(ChaosScript::parse(s.str()).str(), s.str());
+}
+
 TEST(Chaos, DerivesQuietPhaseGates) {
   const ChaosScript s = ChaosScript::parse(
       "at 10 cut 0 1; at 20 heal 0 1; at 40 crash 2; at 50 restart 2");
@@ -673,6 +719,20 @@ LockstepRun run_chaos_cluster(const ScenarioSpec& spec,
     run.logical.push_back(run.cluster->node(u).logical());
   }
   return run;
+}
+
+TEST(RtChaos, ArmChaosRejectsUnknownIds) {
+  // arm_chaos validates every op against the cluster size before installing
+  // the scheduler — a stray id would otherwise index past the node vector
+  // (chaos_crash) or poke a nonexistent fault slot. A rejected script leaves
+  // the cluster unarmed, so a corrected one can still be installed.
+  VirtualClock clock;
+  RtCluster cluster(rt_spec(3), clock);
+  EXPECT_THROW(cluster.arm_chaos(ChaosScript::parse("at 5 crash 7")),
+               std::runtime_error);
+  EXPECT_THROW(cluster.arm_chaos(ChaosScript::parse("at 5 cut 0 9")),
+               std::runtime_error);
+  EXPECT_NO_THROW(cluster.arm_chaos(ChaosScript::parse("at 5 cut 0 2")));
 }
 
 TEST(RtChaos, PartitionHealEvictsThenReinsertsAndReconverges) {

@@ -5,6 +5,7 @@
 #include "core/params.h"
 #include "core/triggers.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace gcs {
 namespace {
@@ -203,6 +204,62 @@ TEST(Triggers, DataDrivenScanMatchesDeepScan) {
     EXPECT_EQ(a.slow, b.slow);
     EXPECT_EQ(a.fast_level, b.fast_level);
     EXPECT_EQ(a.slow_level, b.slow_level);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: the vectorized level scan is decision-identical to the scalar
+// reference. The pinned fingerprint rows prove this end-to-end through whole
+// runs; this is the direct unit-level form over adversarial random inputs —
+// including missing estimates, inert (level_limit < 1) entries and sub-quantum
+// near-threshold discrepancies the catalog scenarios may never produce.
+// ---------------------------------------------------------------------------
+
+TEST(Triggers, VectorScanMatchesScalarReference) {
+  if (!simd::available()) {
+    GTEST_SKIP() << "no vector kernel on this CPU (" << simd::backend() << ")";
+  }
+  Rng rng(4242);
+  AlgoParams ap;
+  ap.rho = kRho;
+  ap.mu = kMu;
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::vector<LevelPeer> peers;
+    const int count = static_cast<int>(rng.below(7));  // 0 peers included
+    for (int i = 0; i < count; ++i) {
+      EdgeParams ep;
+      ep.eps = rng.uniform(0.05, 0.3);
+      ep.tau = rng.uniform(0.0, 1.0);
+      const EdgeConstants ec = ap.edge_constants(ep);
+      LevelPeer p;
+      p.level_limit = rng.chance(0.1)   ? 0
+                      : rng.chance(0.5) ? static_cast<int>(rng.between(1, 9))
+                                        : kAllLevels;
+      p.kappa = ec.kappa;
+      p.delta = ec.delta;
+      p.eps = ep.eps;
+      p.tau = ep.tau;
+      p.has_estimate = rng.chance(0.9);
+      // Mostly large discrepancies (deep scans), sometimes values right at
+      // the first-level thresholds where a single ULP of divergence between
+      // the two paths would flip a comparison.
+      p.est_minus_own = rng.chance(0.8)
+                            ? rng.uniform(-25.0, 25.0)
+                            : ec.kappa + rng.uniform(-1e-12, 1e-12);
+      if (rng.chance(0.5)) p.est_minus_own = -p.est_minus_own;
+      peers.push_back(p);
+    }
+    const int cap = rng.chance(0.2) ? static_cast<int>(rng.between(1, 4)) : 64;
+    const bool prev = simd::enabled();
+    simd::set_enabled(false);
+    const auto scalar = evaluate_triggers(peers, kMu, kRho, cap);
+    simd::set_enabled(true);
+    const auto vector = evaluate_triggers(peers, kMu, kRho, cap);
+    simd::set_enabled(prev);
+    ASSERT_EQ(scalar.fast, vector.fast) << "iteration " << iteration;
+    ASSERT_EQ(scalar.slow, vector.slow) << "iteration " << iteration;
+    ASSERT_EQ(scalar.fast_level, vector.fast_level) << "iteration " << iteration;
+    ASSERT_EQ(scalar.slow_level, vector.slow_level) << "iteration " << iteration;
   }
 }
 
