@@ -12,6 +12,7 @@
 #include "core/triggers.h"
 #include "metrics/legality.h"
 #include "metrics/skew.h"
+#include "runner/island_runner.h"
 #include "runner/scenario.h"
 #include "runner/sweep.h"
 
@@ -239,6 +240,51 @@ void BM_InstantCoalescedSharedInstants(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * 50);
 }
 BENCHMARK(BM_InstantCoalescedSharedInstants)->Arg(256);
+
+/// ONE scenario through the island-parallel engine at 1/2/8 requested
+/// workers (the islands arg), on an island-decomposable spec shape (beacon
+/// estimates, per-edge delay streams). grid_4096 and line_1024 partition
+/// cleanly and measure the scaling curve; on a 1-core host the committed
+/// baselines instead pin the costs a multi-core run must amortize —
+/// line_1024 (long horizon) isolates window/barrier/merge overhead, while
+/// grid_4096 (short horizon, huge n) exposes the O(islands*n) full-replica
+/// construction term (see ARCHITECTURE "Island-parallel execution").
+/// complete_64 plans a serial fallback at >= 2 islands (the bipartition cut
+/// exceeds the budget), so its 2/8-island rows pin the fallback's unchanged
+/// serial rate.
+void BM_IslandScenarioSimulation(benchmark::State& state, const char* topology,
+                                 int n, Time horizon) {
+  const int islands = static_cast<int>(state.range(0));
+  ScenarioSpec base = kernel_spec(n);
+  base.topology = ComponentSpec::parse(topology);
+  base.estimates = ComponentSpec("beacon");
+  base.delays = DelayMode::kEdgeUniform;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    const IslandExecutionPlan plan = plan_islands(base, islands);
+    if (plan.islands_enabled) {
+      IslandRunner runner(base, plan);
+      runner.run(horizon);
+      for (int i = 0; i < runner.shards(); ++i) {
+        fired += runner.shard(i).sim().fired_count();
+      }
+    } else {
+      Scenario s(base);
+      s.start();
+      s.run_until(horizon);
+      fired += s.sim().fired_count();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * n * static_cast<std::int64_t>(horizon));
+}
+BENCHMARK_CAPTURE(BM_IslandScenarioSimulation, grid_4096, "grid:rows=64,cols=64",
+                  4096, 5.0)
+    ->ArgName("islands")->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
+BENCHMARK_CAPTURE(BM_IslandScenarioSimulation, line_1024, "line", 1024, 20.0)
+    ->ArgName("islands")->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
+BENCHMARK_CAPTURE(BM_IslandScenarioSimulation, complete_64, "complete", 64, 20.0)
+    ->ArgName("islands")->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 
 /// Sweep throughput through the sharded work-stealing SweepRunner: a grid
 /// of independent line scenarios, reported as runs/second. The thread-count

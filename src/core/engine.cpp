@@ -129,8 +129,9 @@ void Engine::start() {
   // sequences identical to the pre-probe engine.
   const Duration probe_period = estimates_.probe_period();
   for (NodeId u = 0; u < n; ++u) {
-    // Service mode: only the local node executes; the rest are mirrors.
-    if (config_.local_node != kNoNode && u != config_.local_node) continue;
+    // Service/island mode: only locally-executed nodes run; the rest are
+    // mirrors.
+    if (!is_local(u)) continue;
     node(u).algo->init();
     schedule_drift(u);
     // Stagger per-node periodic events so same-time bursts do not mask
@@ -232,10 +233,10 @@ double Engine::metric_kappa(const EdgeKey& e) {
 void Engine::on_edge_discovered(NodeId u, NodeId peer) {
   advance(u);
   kappa_cache_.erase(EdgeKey(u, peer));  // belt-and-braces vs ε policy changes
-  // Service mode: mirror nodes track topology but never run algorithm
+  // Service/island mode: mirror nodes track topology but never run algorithm
   // logic — a mirror reacting to a runtime-originated edge event would try
   // to send from a node the transport does not own.
-  if (config_.local_node != kNoNode && u != config_.local_node) return;
+  if (!is_local(u)) return;
   node(u).algo->on_edge_discovered(peer);
   if (started_) mark_dirty(u);
 }
@@ -243,7 +244,7 @@ void Engine::on_edge_discovered(NodeId u, NodeId peer) {
 void Engine::on_edge_lost(NodeId u, NodeId peer) {
   advance(u);
   estimates_.on_edge_lost(u, peer);
-  if (config_.local_node != kNoNode && u != config_.local_node) return;
+  if (!is_local(u)) return;
   node(u).algo->on_edge_lost(peer);
   if (started_) mark_dirty(u);
 }

@@ -167,6 +167,13 @@ struct EngineConfig {
   /// kNoNode (the default) executes every node: simulation mode, bit-exact
   /// with the pre-rt engine.
   NodeId local_node = kNoNode;
+  /// Island mode (src/runner/island_runner): the many-node generalization of
+  /// local_node. When non-empty (one byte per node, nonzero = local), this
+  /// engine instance executes exactly the masked nodes and mirrors the rest,
+  /// same semantics as local_node. Programmatic only — never serialized into
+  /// spec strings (the runner derives it from the island plan). Combines
+  /// with local_node conjunctively, though in practice only one is set.
+  std::vector<std::uint8_t> local_mask;
 };
 
 /// Passive instrumentation: notified of the engine's discrete transitions.
@@ -417,6 +424,14 @@ class Engine final : public DynamicGraph::Listener,
   GlobalSkewEstimator& gskew_;
   AlgoParams params_;
   EngineConfig config_;
+  /// Does this engine instance execute node `u` (vs mirror it)? Service mode
+  /// gates on local_node, island mode on local_mask; the default — neither
+  /// set — executes everything.
+  [[nodiscard]] bool is_local(NodeId u) const {
+    if (config_.local_node != kNoNode && u != config_.local_node) return false;
+    return config_.local_mask.empty() ||
+           config_.local_mask[static_cast<std::size_t>(u)] != 0;
+  }
   void trace(EventKind kind, NodeId u) {
     if (trace_ != nullptr) trace_->on_event_fired(sim_.now(), u, kind);
   }

@@ -1,0 +1,256 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace gcs {
+namespace {
+
+/// Union-find with path halving. Union keeps the lower root, so every root is
+/// the lowest-id member of its set — component numbering falls out for free.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+std::vector<std::vector<NodeId>> build_adjacency(int n,
+                                                 const std::vector<EdgeKey>& edges) {
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  for (const EdgeKey& e : edges) {
+    adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+    adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  for (auto& nbrs : adj) std::sort(nbrs.begin(), nbrs.end());
+  return adj;
+}
+
+}  // namespace
+
+std::vector<int> connected_components(int n, const std::vector<EdgeKey>& edges,
+                                      int* count) {
+  UnionFind uf(n);
+  for (const EdgeKey& e : edges) uf.unite(e.a, e.b);
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  for (int u = 0; u < n; ++u) {
+    const int root = uf.find(u);
+    if (comp[static_cast<std::size_t>(root)] < 0)
+      comp[static_cast<std::size_t>(root)] = next++;
+    comp[static_cast<std::size_t>(u)] = comp[static_cast<std::size_t>(root)];
+  }
+  if (count != nullptr) *count = next;
+  return comp;
+}
+
+IslandPlan partition_islands(int n, const std::vector<EdgeKey>& edges,
+                             int requested, int cut_budget) {
+  IslandPlan plan;
+  if (n <= 0) {
+    plan.reason = "empty graph";
+    return plan;
+  }
+  if (requested <= 0) {
+    plan.reason = "requested island count must be positive";
+    return plan;
+  }
+  const long budget = cut_budget < 0 ? n : cut_budget;
+
+  if (requested == 1) {
+    plan.feasible = true;
+    plan.islands = 1;
+    plan.island_of.assign(static_cast<std::size_t>(n), 0);
+    return plan;
+  }
+
+  const int k = std::min(requested, n);
+  int comp_count = 0;
+  const std::vector<int> comp = connected_components(n, edges, &comp_count);
+
+  std::vector<int> island_of(static_cast<std::size_t>(n), -1);
+  if (comp_count >= k) {
+    // Whole components bin-packed into k islands: the cut is empty by
+    // construction, so feasibility only hinges on having >= 2 islands.
+    std::vector<std::int64_t> comp_size(static_cast<std::size_t>(comp_count), 0);
+    for (int u = 0; u < n; ++u) ++comp_size[static_cast<std::size_t>(comp[static_cast<std::size_t>(u)])];
+    std::vector<int> order(static_cast<std::size_t>(comp_count));
+    for (int c = 0; c < comp_count; ++c) order[static_cast<std::size_t>(c)] = c;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const std::int64_t sa = comp_size[static_cast<std::size_t>(a)];
+      const std::int64_t sb = comp_size[static_cast<std::size_t>(b)];
+      if (sa != sb) return sa > sb;
+      return a < b;  // component ids are already ordered by lowest member
+    });
+    std::vector<std::int64_t> load(static_cast<std::size_t>(k), 0);
+    std::vector<int> island_of_comp(static_cast<std::size_t>(comp_count), -1);
+    for (const int c : order) {
+      int best = 0;
+      for (int i = 1; i < k; ++i)
+        if (load[static_cast<std::size_t>(i)] < load[static_cast<std::size_t>(best)]) best = i;
+      island_of_comp[static_cast<std::size_t>(c)] = best;
+      load[static_cast<std::size_t>(best)] += comp_size[static_cast<std::size_t>(c)];
+    }
+    for (int u = 0; u < n; ++u)
+      island_of[static_cast<std::size_t>(u)] =
+          island_of_comp[static_cast<std::size_t>(comp[static_cast<std::size_t>(u)])];
+  } else {
+    // Connected (or nearly): grow k regions from farthest-first seeds.
+    const auto adj = build_adjacency(n, edges);
+
+    std::vector<NodeId> seeds;
+    seeds.push_back(0);
+    std::vector<int> dist(static_cast<std::size_t>(n));
+    while (static_cast<int>(seeds.size()) < k) {
+      std::fill(dist.begin(), dist.end(), -1);
+      std::queue<NodeId> bfs;
+      for (const NodeId s : seeds) {
+        dist[static_cast<std::size_t>(s)] = 0;
+        bfs.push(s);
+      }
+      while (!bfs.empty()) {
+        const NodeId u = bfs.front();
+        bfs.pop();
+        for (const NodeId v : adj[static_cast<std::size_t>(u)]) {
+          if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          bfs.push(v);
+        }
+      }
+      NodeId far = kNoNode;
+      long far_dist = -1;
+      for (int u = 0; u < n; ++u) {
+        const int du = dist[static_cast<std::size_t>(u)];
+        if (du == 0) continue;  // a seed
+        const long d = du < 0 ? std::numeric_limits<long>::max() : du;
+        if (d > far_dist) {
+          far = u;
+          far_dist = d;
+        }
+      }
+      seeds.push_back(far);
+    }
+
+    // Growth: repeatedly give the smallest island (ties to the lower index)
+    // the frontier node with the most neighbors already inside it (ties to
+    // the lowest id). Equal-size alternation keeps the split balanced;
+    // max-internal-degree consumption keeps the boundary compact (low cut)
+    // and the lowest-id tie-break keeps it deterministic.
+    std::vector<std::set<NodeId>> frontier(static_cast<std::size_t>(k));
+    std::vector<std::int64_t> size(static_cast<std::size_t>(k), 0);
+    int assigned = 0;
+    for (int i = 0; i < k; ++i) {
+      island_of[static_cast<std::size_t>(seeds[static_cast<std::size_t>(i)])] = i;
+      ++size[static_cast<std::size_t>(i)];
+      ++assigned;
+    }
+    for (int i = 0; i < k; ++i)
+      for (const NodeId v : adj[static_cast<std::size_t>(seeds[static_cast<std::size_t>(i)])])
+        if (island_of[static_cast<std::size_t>(v)] < 0)
+          frontier[static_cast<std::size_t>(i)].insert(v);
+
+    NodeId rescue = 0;  // cursor for disconnected leftovers
+    while (assigned < n) {
+      int best = -1;
+      for (int i = 0; i < k; ++i) {
+        if (frontier[static_cast<std::size_t>(i)].empty()) continue;
+        if (best < 0 || size[static_cast<std::size_t>(i)] < size[static_cast<std::size_t>(best)])
+          best = i;
+      }
+      if (best < 0) {
+        // Every frontier is dry but nodes remain (leftover components):
+        // seed the smallest island with the lowest unassigned id.
+        while (island_of[static_cast<std::size_t>(rescue)] >= 0) ++rescue;
+        int tgt = 0;
+        for (int i = 1; i < k; ++i)
+          if (size[static_cast<std::size_t>(i)] < size[static_cast<std::size_t>(tgt)]) tgt = i;
+        island_of[static_cast<std::size_t>(rescue)] = tgt;
+        ++size[static_cast<std::size_t>(tgt)];
+        ++assigned;
+        for (const NodeId v : adj[static_cast<std::size_t>(rescue)])
+          if (island_of[static_cast<std::size_t>(v)] < 0)
+            frontier[static_cast<std::size_t>(tgt)].insert(v);
+        continue;
+      }
+      auto& fr = frontier[static_cast<std::size_t>(best)];
+      NodeId u = kNoNode;
+      int u_gain = -1;
+      for (auto it = fr.begin(); it != fr.end();) {
+        const NodeId cand = *it;
+        if (island_of[static_cast<std::size_t>(cand)] >= 0) {
+          it = fr.erase(it);  // stale: another island claimed it first
+          continue;
+        }
+        int gain = 0;
+        for (const NodeId v : adj[static_cast<std::size_t>(cand)])
+          if (island_of[static_cast<std::size_t>(v)] == best) ++gain;
+        if (gain > u_gain) {  // set order makes ties resolve to the lowest id
+          u = cand;
+          u_gain = gain;
+        }
+        ++it;
+      }
+      if (u == kNoNode) continue;
+      fr.erase(u);
+      island_of[static_cast<std::size_t>(u)] = best;
+      ++size[static_cast<std::size_t>(best)];
+      ++assigned;
+      for (const NodeId v : adj[static_cast<std::size_t>(u)])
+        if (island_of[static_cast<std::size_t>(v)] < 0) fr.insert(v);
+    }
+  }
+
+  // Renumber so island k's lowest node id increases with k; drop empties.
+  std::vector<int> remap(static_cast<std::size_t>(k), -1);
+  int next = 0;
+  for (int u = 0; u < n; ++u) {
+    const int raw = island_of[static_cast<std::size_t>(u)];
+    if (remap[static_cast<std::size_t>(raw)] < 0) remap[static_cast<std::size_t>(raw)] = next++;
+  }
+  for (int u = 0; u < n; ++u)
+    island_of[static_cast<std::size_t>(u)] =
+        remap[static_cast<std::size_t>(island_of[static_cast<std::size_t>(u)])];
+
+  plan.islands = next;
+  plan.island_of = std::move(island_of);
+  for (const EdgeKey& e : edges)
+    if (plan.island_of[static_cast<std::size_t>(e.a)] !=
+        plan.island_of[static_cast<std::size_t>(e.b)])
+      plan.cut.push_back(e);
+
+  if (plan.islands < 2) {
+    plan.reason = "partition produced fewer than 2 islands";
+    return plan;
+  }
+  if (static_cast<long>(plan.cut.size()) > budget) {
+    plan.reason = "cut " + std::to_string(plan.cut.size()) + " exceeds budget " +
+                  std::to_string(budget);
+    return plan;
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace gcs

@@ -1,0 +1,55 @@
+// Deterministic island partitioner for the island-parallel execution engine
+// (src/runner/island_runner). Splits the node set into K weakly-coupled
+// islands; the runner gives each island its own Simulator + Engine shard and
+// exchanges cross-island deliveries at instant boundaries.
+//
+// Pure function of (n, edge list, K, budget) — no DynamicGraph dependency, no
+// RNG — so a plan can be computed before any simulation state exists and the
+// same inputs always produce the same islands on every host and thread count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gcs {
+
+/// Result of an island partition attempt.
+struct IslandPlan {
+  bool feasible = false;       ///< true iff the partition meets the cut budget
+  std::string reason;          ///< human-readable cause when infeasible
+  int islands = 0;             ///< number of non-empty islands
+  std::vector<int> island_of;  ///< size n; island index in [0, islands) per node
+  std::vector<EdgeKey> cut;    ///< edges whose endpoints land in different islands
+};
+
+/// Connected components via union-find. Returns the component index per node;
+/// components are numbered 0.. in order of their lowest-id member. The count
+/// is written through `count` when non-null.
+std::vector<int> connected_components(int n, const std::vector<EdgeKey>& edges,
+                                      int* count = nullptr);
+
+/// Partition nodes 0..n-1 into (up to) `requested` islands.
+///
+/// Strategy, fully deterministic for a fixed input:
+///   1. requested == 1: trivially feasible — everything in island 0, empty cut.
+///   2. #components >= min(requested, n): greedy bin-packing of whole
+///      components (largest first, ties by lowest member id) into the
+///      currently smallest island — the cut is empty by construction.
+///   3. otherwise: farthest-first BFS seeds (seed 0 is node 0; each next seed
+///      maximizes hop distance to the seed set, unreachable nodes counting as
+///      infinitely far, ties by lowest id) followed by smallest-island-first
+///      frontier growth (lowest-id frontier node wins). On mesh-like
+///      topologies (line, grid, torus, clusters) this approximates a balanced
+///      min-cut split.
+///
+/// Infeasible when n == 0, requested <= 0, fewer than 2 non-empty islands
+/// result, or the cross-island cut exceeds `cut_budget` (budget < 0 means the
+/// default budget of n edges — intentionally below any complete-graph
+/// bipartition so dense topologies fall back to the serial engine). Island
+/// indices are renumbered so island k's lowest node id increases with k.
+IslandPlan partition_islands(int n, const std::vector<EdgeKey>& edges,
+                             int requested, int cut_budget = -1);
+
+}  // namespace gcs

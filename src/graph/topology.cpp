@@ -91,6 +91,21 @@ std::vector<EdgeKey> topo_barbell(int k, int path_len) {
   return edges;
 }
 
+std::vector<EdgeKey> topo_clusters(int k, int s, int bridges) {
+  require(k >= 1 && s >= 2 && bridges >= 1, "topo_clusters: k >= 1, s >= 2, bridges >= 1");
+  const int b = std::min(bridges, s);
+  std::vector<EdgeKey> edges;
+  for (int c = 0; c < k; ++c) {
+    const int base = c * s;
+    for (int i = 0; i < s; ++i)
+      for (int j = i + 1; j < s; ++j) edges.emplace_back(base + i, base + j);
+    if (c + 1 < k) {
+      for (int i = 0; i < b; ++i) edges.emplace_back(base + i, base + s + i);
+    }
+  }
+  return edges;
+}
+
 std::vector<EdgeKey> topo_random_tree(int n, Rng& rng) {
   require(n >= 1, "topo_random_tree: n >= 1");
   std::vector<EdgeKey> edges;
@@ -268,6 +283,18 @@ void register_builtin_topologies(Registry<TopologyFactory>& r) {
             const int k = p.get_int("k", 5);
             const int path = p.get_int("path", 6);
             return plain(2 * k + path, topo_barbell(k, path));
+          }});
+  r.add(E{"clusters",
+          "k s-cliques in a chain, consecutive cliques joined by `bridges` edges "
+          "(n = k*s)",
+          {{"k", "4", "clique count"},
+           {"s", "8", "clique size"},
+           {"bridges", "1", "parallel edges between consecutive cliques"}},
+          [](const ParamMap& p, const TopologyArgs&) {
+            const int k = p.get_int("k", 4);
+            const int s = p.get_int("s", 8);
+            const int bridges = p.get_int("bridges", 1);
+            return plain(k * s, topo_clusters(k, s, bridges));
           }});
   r.add(E{"tree", "uniform random spanning tree", {},
           [](const ParamMap&, const TopologyArgs& a) {

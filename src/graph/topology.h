@@ -37,6 +37,12 @@ std::vector<EdgeKey> topo_hypercube(int dim);
 /// Total nodes: 2k + path_len.
 std::vector<EdgeKey> topo_barbell(int k, int path_len);
 
+/// `k` cliques of `s` nodes each, consecutive cliques joined by `bridges`
+/// parallel edges (lowest-id nodes of each side, paired in order; bridges
+/// is clamped to s). Total nodes: k*s. The canonical weakly-coupled-islands
+/// topology: intra-clique traffic dwarfs the k-1 narrow cuts.
+std::vector<EdgeKey> topo_clusters(int k, int s, int bridges);
+
 /// Uniform random spanning tree (random attachment order).
 std::vector<EdgeKey> topo_random_tree(int n, Rng& rng);
 

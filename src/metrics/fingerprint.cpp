@@ -3,10 +3,14 @@
 #include <bit>
 #include <cmath>
 
+#include <memory>
+#include <vector>
+
 #include "core/engine.h"
 #include "rt/chaos.h"
 #include "rt/rt_cluster.h"
 #include "rt/time_source.h"
+#include "runner/island_runner.h"
 #include "runner/scenario.h"
 
 namespace gcs {
@@ -68,6 +72,93 @@ FingerprintResult fingerprint_run(Scenario& scenario, Time horizon) {
 FingerprintResult fingerprint_run(const ScenarioSpec& spec, Time horizon) {
   Scenario scenario(spec);
   return fingerprint_run(scenario, horizon);
+}
+
+namespace {
+
+/// Per-shard passive event log; owned and written by exactly one shard
+/// thread during the run, merged single-threaded afterwards.
+class IslandLogSink final : public KernelTraceSink {
+ public:
+  struct Entry {
+    Time t = 0.0;
+    NodeId node = kNoNode;
+    EventKind kind = EventKind::kClosure;
+    std::int64_t qlogical = 0;
+  };
+
+  explicit IslandLogSink(Engine& engine) : engine_(&engine) {}
+
+  void on_event_fired(Time t, NodeId node, EventKind kind) override {
+    const std::int64_t q =
+        node != kNoNode ? TrajectoryFingerprinter::quantize(engine_->peek_logical(node))
+                        : 0;
+    entries_.push_back({t, node, kind, q});
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  Engine* engine_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+FingerprintResult fingerprint_run_islands(const ScenarioSpec& spec, Time horizon,
+                                          int islands) {
+  IslandExecutionPlan plan = plan_islands(spec, islands);
+  if (!plan.islands_enabled) return fingerprint_run(spec, horizon);
+
+  IslandRunner runner(spec, std::move(plan));
+  std::vector<std::unique_ptr<IslandLogSink>> sinks;
+  sinks.reserve(static_cast<std::size_t>(runner.shards()));
+  for (int i = 0; i < runner.shards(); ++i) {
+    Scenario& shard = runner.shard(i);
+    sinks.push_back(std::make_unique<IslandLogSink>(shard.engine()));
+    shard.engine().set_kernel_trace(sinks.back().get());
+    shard.transport().set_kernel_trace(sinks.back().get());
+  }
+  runner.run(horizon);
+
+  // K-way merge by (fire time, node). Shard logs are disjoint and
+  // time-sorted (see the header doc), and equal-time events within one shard
+  // already sit in their serial relative order, so within-shard order is
+  // preserved. Cross-shard ties need care: the serial kernel breaks equal
+  // times by scheduling sequence (simulator.h HeapEntry), and the only event
+  // family that realistically collides across shards — synchronized
+  // per-node drift changes (walk/blocks/sine fire every node at k·period;
+  // ticks and beacons are phase-staggered on purpose) — is scheduled and
+  // rescheduled in ascending node order, so its serial seq order IS node-id
+  // order. Breaking cross-shard time ties by node id therefore reproduces
+  // the serial fold; node ownership is disjoint so the key never ties
+  // across shards.
+  std::vector<std::size_t> pos(sinks.size(), 0);
+  FingerprintResult out;
+  out.hash = kHashSeed;
+  const auto before = [](const IslandLogSink::Entry& a, const IslandLogSink::Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.node < b.node;
+  };
+  for (;;) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(sinks.size()); ++i) {
+      const auto& log = sinks[static_cast<std::size_t>(i)]->entries();
+      if (pos[static_cast<std::size_t>(i)] >= log.size()) continue;
+      if (best < 0 ||
+          before(log[pos[static_cast<std::size_t>(i)]],
+                 sinks[static_cast<std::size_t>(best)]->entries()[pos[static_cast<std::size_t>(best)]])) {
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    const auto& e =
+        sinks[static_cast<std::size_t>(best)]->entries()[pos[static_cast<std::size_t>(best)]++];
+    out.hash = TrajectoryFingerprinter::fold(out.hash, std::bit_cast<std::uint64_t>(e.t),
+                                             e.node, e.kind, e.qlogical);
+    ++out.events;
+  }
+  return out;
 }
 
 FingerprintResult fingerprint_lockstep(const ScenarioSpec& spec,

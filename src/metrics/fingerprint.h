@@ -117,6 +117,21 @@ FingerprintResult fingerprint_run(const ScenarioSpec& spec, Time horizon);
 /// `horizon`. Lets sweep/fuzz harnesses fingerprint inside their own run fn.
 FingerprintResult fingerprint_run(Scenario& scenario, Time horizon);
 
+/// Island-parallel fingerprint: plan `spec` for `islands` workers
+/// (plan_islands encoding: 0 = off, -1 = auto, N >= 1); serial-fallback
+/// plans delegate to fingerprint_run. Otherwise each shard logs its fired
+/// events — per-shard logs are disjoint (engine events fire only for local
+/// nodes, a delivery fires only on the destination's owner shard) and
+/// time-sorted (conservative windows never inject into a shard's past) — and
+/// the logs are k-way merged by (time, node) into the same canonical fold
+/// the serial fingerprinter computes — the node tie-break matches the serial
+/// kernel's FIFO seq order for the one family that collides across shards,
+/// synchronized per-node drift changes (see the merge comment in the .cpp).
+/// Equal hash at any worker count == the island engine reproduced the
+/// serial trajectory.
+FingerprintResult fingerprint_run_islands(const ScenarioSpec& spec, Time horizon,
+                                          int islands);
+
 /// Lockstep-runtime fingerprint: build an RtCluster (pipe backend) on a
 /// VirtualClock from `spec`, arm the chaos script/preset `chaos` (preset
 /// names resolve against the resolved topology, horizon and spec.seed, like

@@ -28,7 +28,7 @@ InlineBlob to_blob(const Payload& payload) {
 }  // namespace
 
 Transport::Transport(Simulator& sim, DynamicGraph& graph, std::uint64_t seed)
-    : sim_(sim), graph_(graph), rng_(seed) {
+    : sim_(sim), graph_(graph), seed_(seed), rng_(seed) {
   // Channel dispatch: the thunk's static_cast call devirtualizes (Transport
   // is final), so fired deliveries skip the vtable entirely.
   channel_ = sim_.register_dispatch_channel(this, [](void* self, const SimEvent& ev) {
@@ -56,8 +56,21 @@ Duration Transport::pick_delay(NodeId from, NodeId to, const EdgeParams& params)
       return rng_.uniform(params.msg_delay_min, params.msg_delay_max);
     case DelayMode::kMin: return params.msg_delay_min;
     case DelayMode::kMax: return params.msg_delay_max;
+    case DelayMode::kEdgeUniform:
+      return edge_stream(from, to).uniform(params.msg_delay_min, params.msg_delay_max);
   }
   return params.msg_delay_max;
+}
+
+Rng& Transport::edge_stream(NodeId from, NodeId to) {
+  const std::uint64_t key = dir_key(from, to);
+  const auto it = edge_rng_.find(key);
+  if (it != edge_rng_.end()) return it->second;
+  // The substream seed is a pure function of (transport seed, directed edge),
+  // so the sequence a sender draws over an edge is identical no matter which
+  // shard — or how many shards — host the run.
+  std::uint64_t sm = seed_ ^ (key + 0x9e3779b97f4a7c15ULL);
+  return edge_rng_.emplace(key, Rng(splitmix64(sm))).first->second;
 }
 
 bool Transport::send(NodeId from, NodeId to, Payload payload) {
@@ -77,6 +90,10 @@ void Transport::send_via(NodeId from, const NeighborView& to, Payload&& payload)
   // acquire at send or reclaim at fire (see send_fanout's degree rule).
   const Duration delay = pick_delay(from, to.id, *to.params);
   ++sent_;
+  if (is_cross(to.id)) {
+    cross_capture_(from, to.id, sim_.now(), sim_.now() + delay, payload);
+    return;
+  }
   SimEvent ev = SimEvent::delivery(channel_, from, to.id, sim_.now(), 0);
   ev.flags = kEventFlagInlineBlob;
   sim_.schedule_event_after(delay, ev, to_blob(payload));
@@ -98,13 +115,21 @@ void Transport::send_fanout(NodeId from, const std::vector<NeighborView>& views,
   // inline in the kernel's blob side array. Dense fan-out keeps the arena:
   // ONE payload for the whole neighborhood; every delivery holds a
   // reference, the last firing (or drop) reclaims the slot.
-  if (views.size() <= 2) {
+  // Island routing always takes the inline path: cross-island captures do
+  // not schedule kernel events here, so arena reference counts sized to the
+  // full fan-out would never balance. Payload content, delay draws and
+  // delivery times are identical either way.
+  if (views.size() <= 2 || local_mask_ != nullptr) {
     SimEvent ev = SimEvent::delivery(channel_, from, kNoNode, sim_.now(), 0);
     ev.flags = kEventFlagInlineBlob;
     const InlineBlob blob = to_blob(payload);
     for (const NeighborView& nv : views) {
       const Duration delay = pick_delay(from, nv.id, *nv.params);
       ++sent_;
+      if (is_cross(nv.id)) {
+        cross_capture_(from, nv.id, sim_.now(), sim_.now() + delay, payload);
+        continue;
+      }
       ev.node = nv.id;
       sim_.schedule_event_after(delay, ev, blob);
     }
@@ -119,6 +144,13 @@ void Transport::send_fanout(NodeId from, const std::vector<NeighborView>& views,
     ev.node = nv.id;
     sim_.schedule_event_after(delay, ev);
   }
+}
+
+void Transport::inject_delivery(NodeId from, NodeId to, Time sent_at, Time arrival,
+                                const Payload& payload) {
+  SimEvent ev = SimEvent::delivery(channel_, from, to, sent_at, 0);
+  ev.flags = kEventFlagInlineBlob;
+  sim_.schedule_event_at(arrival, ev, to_blob(payload));
 }
 
 void Transport::dispatch(const SimEvent& ev) {

@@ -21,9 +21,15 @@
 namespace gcs {
 
 enum class DelayMode {
-  kUniform,  ///< uniform in [msg_delay_min, msg_delay_max]
-  kMin,      ///< always msg_delay_min
-  kMax,      ///< always msg_delay_max
+  kUniform,      ///< uniform in [msg_delay_min, msg_delay_max], one shared stream
+  kMin,          ///< always msg_delay_min
+  kMax,          ///< always msg_delay_max
+  kEdgeUniform,  ///< uniform, but drawn from a per-directed-edge substream
+                 ///< seeded by (transport seed, edge) — the draw a sender
+                 ///< makes depends only on its own send history over that
+                 ///< edge, never on interleaving with other nodes, which is
+                 ///< what lets the island-parallel runner reproduce serial
+                 ///< delays exactly (see src/runner/island_runner.h)
 };
 
 /// Receiver of delivered messages. An interface rather than a std::function
@@ -63,6 +69,27 @@ class Transport final : public EventDispatcher {
 
   /// Probe of delivery firings (time, receiver, kDelivery); nullptr detaches.
   void set_kernel_trace(KernelTraceSink* trace) { trace_ = trace; }
+
+  /// Island-parallel routing (src/runner/island_runner): when a local mask is
+  /// installed, a send whose destination is NOT local to this shard is handed
+  /// to `capture` — with the sender-drawn delay already folded into `arrival`
+  /// — instead of being scheduled here; the runner injects it into the owning
+  /// shard at the next window barrier. Pass nullptr/empty to restore. The
+  /// mask must outlive the routing and have one byte per node (nonzero =
+  /// local). Mutually exclusive with an egress.
+  using CrossCapture = std::function<void(NodeId from, NodeId to, Time sent_at,
+                                          Time arrival, const Payload& payload)>;
+  void set_island_routing(const std::vector<std::uint8_t>* local_mask,
+                          CrossCapture capture) {
+    local_mask_ = local_mask;
+    cross_capture_ = std::move(capture);
+  }
+
+  /// Schedule a delivery captured on another shard. Fires through the normal
+  /// dispatch path (trace, drop rule, sink) at absolute time `arrival`, so
+  /// the receiver observes exactly what the serial engine would have.
+  void inject_delivery(NodeId from, NodeId to, Time sent_at, Time arrival,
+                       const Payload& payload);
 
   /// Pin the delay of all future messages from `from` to `to` (clamped to
   /// the edge's [min,max]). Used by adversarial executions.
@@ -105,12 +132,20 @@ class Transport final : public EventDispatcher {
 
  private:
   [[nodiscard]] Duration pick_delay(NodeId from, NodeId to, const EdgeParams& params);
+  [[nodiscard]] Rng& edge_stream(NodeId from, NodeId to);
+  [[nodiscard]] bool is_cross(NodeId to) const {
+    return local_mask_ != nullptr && (*local_mask_)[static_cast<std::size_t>(to)] == 0;
+  }
 
   Simulator& sim_;
   DynamicGraph& graph_;
   MessageArena arena_;
   std::uint8_t channel_ = kNoChannel;  ///< registered dispatch channel
+  std::uint64_t seed_;
   Rng rng_;
+  std::unordered_map<std::uint64_t, Rng> edge_rng_;  ///< kEdgeUniform substreams
+  const std::vector<std::uint8_t>* local_mask_ = nullptr;
+  CrossCapture cross_capture_;
   DeliverySink* sink_ = nullptr;
   TransportEgress* egress_ = nullptr;
   Handler handler_;

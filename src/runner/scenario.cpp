@@ -90,24 +90,29 @@ ScenarioSpec to_spec(const ScenarioConfig& config) {
 
 Scenario::Scenario(const ScenarioConfig& config) : Scenario(to_spec(config)) {}
 
+TopologyResult materialize_topology(const ScenarioSpec& spec) {
+  Rng topo_rng(spec.seed);
+  TopologyArgs targs{spec.n, topo_rng, &spec.explicit_edges};
+  const auto& entry = topology_registry().get(spec.topology.kind);
+  TopologyResult topo = entry.factory(spec.topology.params, targs);
+  require(topo.n >= 1, "Scenario: topology produced n < 1");
+  for (const EdgeKey& e : topo.edges) {
+    require(e.a >= 0 && e.b < topo.n,
+            "Scenario: edge " + e.str() + " out of range for n=" +
+                std::to_string(topo.n));
+  }
+  return topo;
+}
+
 Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
 
   // ---- topology (may override n) ----
   {
-    Rng topo_rng(spec_.seed);
-    TopologyArgs targs{spec_.n, topo_rng, &spec_.explicit_edges};
-    const auto& entry = topology_registry().get(spec_.topology.kind);
-    TopologyResult topo = entry.factory(spec_.topology.params, targs);
-    require(topo.n >= 1, "Scenario: topology produced n < 1");
+    TopologyResult topo = materialize_topology(spec_);
     spec_.n = topo.n;
     initial_edges_ = std::move(topo.edges);
     positions_ = std::move(topo.positions);
-    for (const EdgeKey& e : initial_edges_) {
-      require(e.a >= 0 && e.b < spec_.n,
-              "Scenario: edge " + e.str() + " out of range for n=" +
-                  std::to_string(spec_.n));
-    }
   }
 
   if (spec_.gtilde_auto) {

@@ -153,6 +153,13 @@ class Scenario {
   bool started_ = false;
 };
 
+/// Materialize the t=0 topology of a spec without building a Scenario:
+/// resolves the topology component exactly as the Scenario constructor does
+/// (same RNG seed, same draw order), so the returned (n, edges) match what a
+/// Scenario built from `spec` would use. The island planner partitions on
+/// this before committing to shard construction.
+TopologyResult materialize_topology(const ScenarioSpec& spec);
+
 /// Uniform edge-parameter preset used across experiments: eps/tau/delays
 /// scaled around a base uncertainty.
 EdgeParams default_edge_params(double eps = 0.1, double tau = 0.5,

@@ -89,7 +89,9 @@ DelayMode parse_delays(const std::string& value) {
   if (value == "uniform") return DelayMode::kUniform;
   if (value == "min") return DelayMode::kMin;
   if (value == "max") return DelayMode::kMax;
-  throw std::runtime_error("spec: delays: expected uniform|min|max, got '" + value + "'");
+  if (value == "edge-uniform") return DelayMode::kEdgeUniform;
+  throw std::runtime_error(
+      "spec: delays: expected uniform|min|max|edge-uniform, got '" + value + "'");
 }
 
 std::string delays_str(DelayMode mode) {
@@ -97,8 +99,15 @@ std::string delays_str(DelayMode mode) {
     case DelayMode::kUniform: return "uniform";
     case DelayMode::kMin: return "min";
     case DelayMode::kMax: return "max";
+    case DelayMode::kEdgeUniform: return "edge-uniform";
   }
   return "?";
+}
+
+std::string islands_str(int islands) {
+  if (islands == 0) return "off";
+  if (islands < 0) return "auto";
+  return std::to_string(islands);
 }
 
 }  // namespace
@@ -171,6 +180,15 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
   if (key == "detection") { detection = parse_detection(value); return; }
   if (key == "delays") { delays = parse_delays(value); return; }
   if (key == "reference") { reference_node = to_int(key, value); return; }
+  if (key == "islands") {
+    if (value == "off") { islands = 0; return; }
+    if (value == "auto") { islands = -1; return; }
+    const int v = to_int(key, value);
+    require(v >= 1, "spec: islands: expected off|auto|N with N >= 1");
+    islands = v;
+    return;
+  }
+  if (key == "island_budget") { island_budget = to_int(key, value); return; }
 
   // Legacy CLI aliases kept so seed-era command lines still work.
   if (key == "rows" || key == "cols" || key == "dim" || key == "k" || key == "path" ||
@@ -251,6 +269,10 @@ std::vector<std::pair<std::string, std::string>> ScenarioSpec::to_kv() const {
   kv.emplace_back("detection", detection_str(detection));
   kv.emplace_back("delays", delays_str(delays));
   kv.emplace_back("reference", std::to_string(reference_node));
+  // Island keys are emitted only when set: every spec string minted before
+  // PR 9 (golden traces, pinned fingerprint rows) stays byte-identical.
+  if (islands != 0) kv.emplace_back("islands", islands_str(islands));
+  if (island_budget >= 0) kv.emplace_back("island_budget", std::to_string(island_budget));
   return kv;
 }
 
@@ -294,7 +316,9 @@ std::string ScenarioSpec::key_help() {
      << "  gtilde=<value|auto>, insertion=staged|dynamic|immediate|decay\n"
      << "  eps, tau, delay_max, delay_min\n"
      << "  tick_period, beacon_period, beacons=<bool>, coalesce=<bool>\n"
-     << "  detection=zero|uniform|max, delays=uniform|min|max, reference=<node|-1>\n";
+     << "  detection=zero|uniform|max, delays=uniform|min|max|edge-uniform\n"
+     << "  reference=<node|-1>\n"
+     << "  islands=off|auto|N, island_budget=<max cross edges|-1 for n>\n";
   return os.str();
 }
 

@@ -71,6 +71,16 @@ struct ScenarioSpec {
   /// §3 remark: boost this node so it always carries the maximum clock.
   NodeId reference_node = kNoNode;
 
+  /// Island-parallel execution (src/runner/island_runner): 0 = off (serial),
+  /// -1 = auto (pick a worker count from the hardware), N >= 1 = exactly N
+  /// island shards. Scenarios whose spec is not island-decomposable (see
+  /// plan_islands) silently fall back to the serial engine — trajectories
+  /// are identical either way, this only selects the execution strategy.
+  int islands = 0;
+
+  /// Max cross-island edges the partitioner may leave (-1 = default of n).
+  int island_budget = -1;
+
   /// Derive G̃ from the built topology via suggest_gtilde() instead of
   /// using aopt.gtilde_static (set by "gtilde=auto" / "gtilde=0").
   bool gtilde_auto = false;

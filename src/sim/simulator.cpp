@@ -552,6 +552,57 @@ void Simulator::run_until(Time t) {
   if (now_ < t) now_ = t;
 }
 
+void Simulator::run_before(Time t) {
+  // Structurally run_until with two deliberate differences: the horizon test
+  // is `>= t` (events AT t stay queued for after the caller's barrier), and
+  // now_ is never idle-advanced to t (a peer shard may inject events at any
+  // time in [now, t)). Kept as a separate body so run_until — the path every
+  // serial scenario, golden trace and pinned fingerprint runs through — is
+  // untouched.
+  while (prepare_next()) {
+    while (run_head_ < run_.size() &&
+           (heap_.empty() || fires_before(run_[run_head_], heap_[0]))) {
+      const HeapEntry top = run_[run_head_];
+      if (flush_armed_ && top.time() > now_) {
+        flush_instant();
+        continue;
+      }
+      if (top.time() >= t) {
+        if (flush_armed_) {
+          flush_instant();
+          continue;
+        }
+        return;
+      }
+      ++run_head_;
+      if (run_head_ < run_.size()) {
+        __builtin_prefetch(&recs_[run_[run_head_].slot()]);
+      }
+      fire_entry(top);
+    }
+    if (!heap_.empty()) {
+      const HeapEntry top = heap_[0];
+      if (flush_armed_ && top.time() > now_) {
+        flush_instant();
+        continue;
+      }
+      if (top.time() >= t) {
+        if (flush_armed_) {
+          flush_instant();
+          continue;
+        }
+        return;
+      }
+      pop_root();
+      fire_entry(top);
+    }
+  }
+  if (flush_armed_) {
+    flush_instant();
+    if (prepare_next()) run_before(t);
+  }
+}
+
 void Simulator::run() {
   while (step()) {
   }

@@ -235,6 +235,14 @@ class Simulator {
   /// Afterwards now() == max(now, t) (time advances to t even if idle).
   void run_until(Time t);
 
+  /// Run events with time strictly BELOW `t` — the island runner's window
+  /// primitive (src/runner/island_runner): shards drain [now, t) between
+  /// barriers, so an event injected by a peer shard AT time t still fires in
+  /// order. Unlike run_until, now() is NOT idle-advanced to t (an injected
+  /// event may land anywhere in [now, t)); any instant left open at the
+  /// horizon is flushed before returning, exactly as run_until would.
+  void run_before(Time t);
+
   /// Run until the queue is empty.
   void run();
 

@@ -19,10 +19,13 @@
 //
 // Regeneration: GCS_REGEN_FINGERPRINTS=1 rewrites the table from the
 // in-code catalog (scripts/regen_fingerprints.sh wraps this, checks
-// 1/2/8-thread and coalesce-off agreement, and is the only sanctioned way
-// to change the committed file). GCS_FINGERPRINT_OUT overrides the output
-// path; GCS_FP_THREADS picks the sweep thread count; GCS_FP_COALESCE=off
-// flips the engine's instant-coalescing mode for the recomputation.
+// 1/2/8-thread, coalesce-off and 1/2/8-island agreement, and is the only
+// sanctioned way to change the committed file). GCS_FINGERPRINT_OUT
+// overrides the output path; GCS_FP_THREADS picks the sweep thread count;
+// GCS_FP_COALESCE=off flips the engine's instant-coalescing mode;
+// GCS_FP_ISLANDS=k recomputes every sim row through the island-parallel
+// engine with k requested workers (serial-fallback rows run serially, so
+// the k-island table must come back byte-identical to the committed one).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "fingerprint_common.h"
+#include "runner/island_runner.h"
 #include "runner/sweep.h"
 #include "util/simd.h"
 
@@ -279,6 +283,36 @@ TEST(FingerprintInvariance, CoalesceModeDoesNotChangeFlaggedHashes) {
   EXPECT_GE(flagged, 5u) << "the coalesce-invariance claim needs real coverage";
 }
 
+TEST(FingerprintInvariance, IslandWorkerCountDoesNotChangeHashes) {
+  // The island engine's determinism gate: every pinned sim row must hash
+  // identically whether it runs serially or island-parallel at 1, 2 or 8
+  // requested workers. Rows whose spec is not island-decomposable plan a
+  // serial fallback — still exercised through fingerprint_run_islands so
+  // the delegation path is covered — and are trivially equal; the final
+  // assertion makes sure enough rows take the REAL island path that the
+  // gate cannot rot into a no-op.
+  const std::vector<Case> sims = sim_cases();
+  std::size_t islanded_runs = 0;
+  for (const Case& c : sims) {
+    const FingerprintResult serial = fptable::run_case(c);
+    for (const int k : {1, 2, 8}) {
+      const IslandExecutionPlan plan = plan_islands(c.spec, k);
+      const FingerprintResult isl = fingerprint_run_islands(c.spec, c.horizon, k);
+      EXPECT_EQ(isl.hash, serial.hash)
+          << "row '" << c.name << "' hash depends on island count " << k
+          << (plan.islands_enabled
+                  ? " (island path, " + std::to_string(plan.workers) + " shards)"
+                  : " (serial fallback: " + plan.fallback_reason + ")");
+      EXPECT_EQ(isl.events, serial.events)
+          << "row '" << c.name << "' event count depends on island count " << k;
+      if (plan.islands_enabled && plan.workers > 1) ++islanded_runs;
+    }
+  }
+  EXPECT_GE(islanded_runs, 5u)
+      << "too few rows take the real multi-shard path; the island "
+         "determinism gate needs real coverage (add islandable rows)";
+}
+
 TEST(FingerprintInvariance, LockstepRtRowsAreReproducible) {
   for (const Case& c : fptable::catalog()) {
     if (c.kind != "rt") continue;
@@ -304,11 +338,22 @@ TEST(FingerprintRegen, RegenerateTable) {
       coalesce_env != nullptr && std::string(coalesce_env) == "off";
   const char* out_env = std::getenv("GCS_FINGERPRINT_OUT");
   const std::string path = out_env != nullptr ? out_env : fptable::table_path();
+  const char* islands_env = std::getenv("GCS_FP_ISLANDS");
+  const int islands = islands_env != nullptr ? std::atoi(islands_env) : 0;
 
   const std::vector<Case> cases = fptable::catalog();
   std::vector<Case> sims = sim_cases();
-  const std::vector<FingerprintResult> sim_results =
-      sweep_fingerprints(sims, threads, flip_coalesce);
+  std::vector<FingerprintResult> sim_results;
+  if (islands > 0) {
+    // Island axis: recompute every sim row through the island-parallel
+    // engine (serial-fallback specs run serially — identical by design).
+    sim_results.reserve(sims.size());
+    for (const Case& c : sims) {
+      sim_results.push_back(fingerprint_run_islands(c.spec, c.horizon, islands));
+    }
+  } else {
+    sim_results = sweep_fingerprints(sims, threads, flip_coalesce);
+  }
 
   std::vector<Row> rows;
   std::size_t sim_i = 0;
@@ -331,7 +376,8 @@ TEST(FingerprintRegen, RegenerateTable) {
   fptable::save_table(rows, path);
   GTEST_SKIP() << "regenerated " << rows.size() << " fingerprints -> " << path
                << " (threads=" << threads << ", coalesce "
-               << (flip_coalesce ? "flipped" : "default") << ")";
+               << (flip_coalesce ? "flipped" : "default") << ", islands="
+               << islands << ")";
 }
 
 }  // namespace

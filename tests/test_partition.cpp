@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/partition.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace gcs {
+namespace {
+
+/// Every node assigned, island indices dense in [0, islands), and the cut is
+/// exactly the set of edges whose endpoints differ.
+void expect_valid_partition(const IslandPlan& plan, int n,
+                            const std::vector<EdgeKey>& edges) {
+  ASSERT_EQ(plan.island_of.size(), static_cast<std::size_t>(n));
+  std::set<int> used;
+  for (int u = 0; u < n; ++u) {
+    ASSERT_GE(plan.island_of[u], 0);
+    ASSERT_LT(plan.island_of[u], plan.islands);
+    used.insert(plan.island_of[u]);
+  }
+  EXPECT_EQ(static_cast<int>(used.size()), plan.islands);
+  std::vector<EdgeKey> expect_cut;
+  for (const EdgeKey& e : edges)
+    if (plan.island_of[e.a] != plan.island_of[e.b]) expect_cut.push_back(e);
+  EXPECT_EQ(plan.cut, expect_cut);
+}
+
+std::vector<std::int64_t> island_sizes(const IslandPlan& plan) {
+  std::vector<std::int64_t> sizes(plan.islands, 0);
+  for (const int i : plan.island_of) ++sizes[i];
+  return sizes;
+}
+
+TEST(ConnectedComponents, NumberedByLowestMember) {
+  // {0,1,2} line, {3} isolated, {4,5} edge.
+  const std::vector<EdgeKey> edges = {EdgeKey(0, 1), EdgeKey(1, 2), EdgeKey(4, 5)};
+  int count = 0;
+  const std::vector<int> comp = connected_components(6, edges, &count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(comp, (std::vector<int>{0, 0, 0, 1, 2, 2}));
+}
+
+TEST(ConnectedComponents, EdgeOrderInvariant) {
+  std::vector<EdgeKey> edges = topo_grid(4, 4);
+  int count_fwd = 0;
+  const std::vector<int> fwd = connected_components(16, edges, &count_fwd);
+  std::reverse(edges.begin(), edges.end());
+  int count_rev = 0;
+  const std::vector<int> rev = connected_components(16, edges, &count_rev);
+  EXPECT_EQ(count_fwd, 1);
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(Partition, ComponentsBinPackWithEmptyCut) {
+  // Three components of sizes 3, 2, 1 into two islands: largest alone,
+  // the two smaller ones together — perfectly balanced, zero cross edges.
+  const std::vector<EdgeKey> edges = {EdgeKey(0, 1), EdgeKey(1, 2), EdgeKey(3, 4)};
+  const IslandPlan plan = partition_islands(6, edges, 2);
+  ASSERT_TRUE(plan.feasible) << plan.reason;
+  expect_valid_partition(plan, 6, edges);
+  EXPECT_EQ(plan.islands, 2);
+  EXPECT_TRUE(plan.cut.empty());
+  const auto sizes = island_sizes(plan);
+  EXPECT_EQ(sizes[0], 3);
+  EXPECT_EQ(sizes[1], 3);
+}
+
+TEST(Partition, LineSplitsAtTheMiddle) {
+  const std::vector<EdgeKey> edges = topo_line(16);
+  const IslandPlan plan = partition_islands(16, edges, 2);
+  ASSERT_TRUE(plan.feasible) << plan.reason;
+  expect_valid_partition(plan, 16, edges);
+  EXPECT_EQ(plan.islands, 2);
+  EXPECT_EQ(plan.cut.size(), 1u);
+  const auto sizes = island_sizes(plan);
+  EXPECT_EQ(sizes[0], 8);
+  EXPECT_EQ(sizes[1], 8);
+}
+
+TEST(Partition, GridTwoWayCutStaysNarrow) {
+  const std::vector<EdgeKey> edges = topo_grid(8, 8);
+  const IslandPlan plan = partition_islands(64, edges, 2);
+  ASSERT_TRUE(plan.feasible) << plan.reason;
+  expect_valid_partition(plan, 64, edges);
+  EXPECT_EQ(plan.islands, 2);
+  // A balanced bisection of an 8x8 grid cuts >= 8 edges; the greedy grower
+  // should stay within 2x of that and keep the halves balanced.
+  EXPECT_LE(plan.cut.size(), 16u);
+  const auto sizes = island_sizes(plan);
+  EXPECT_GE(*std::min_element(sizes.begin(), sizes.end()), 16);
+}
+
+TEST(Partition, TorusFourWay) {
+  const std::vector<EdgeKey> edges = topo_torus(8, 8);
+  const IslandPlan plan = partition_islands(64, edges, 4);
+  ASSERT_TRUE(plan.feasible) << plan.reason;
+  expect_valid_partition(plan, 64, edges);
+  EXPECT_EQ(plan.islands, 4);
+  const auto sizes = island_sizes(plan);
+  EXPECT_GE(*std::min_element(sizes.begin(), sizes.end()), 8);
+  // Default budget is n = 64; a 4-way torus split must fit it.
+  EXPECT_LE(plan.cut.size(), 64u);
+}
+
+TEST(Partition, CompleteGraphIsInfeasibleUnderDefaultBudget) {
+  // Any bipartition of K16 cuts 8*8 = 64 > n = 16 edges: serial fallback.
+  const std::vector<EdgeKey> edges = topo_complete(16);
+  const IslandPlan plan = partition_islands(16, edges, 2);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.reason.find("budget"), std::string::npos) << plan.reason;
+}
+
+TEST(Partition, CutBudgetForcesFallback) {
+  const std::vector<EdgeKey> edges = topo_grid(8, 8);
+  const IslandPlan feasible = partition_islands(64, edges, 2);
+  ASSERT_TRUE(feasible.feasible) << feasible.reason;
+  ASSERT_GE(feasible.cut.size(), 2u);
+  // The same partition with a budget below its own cut must refuse.
+  const IslandPlan refused =
+      partition_islands(64, edges, 2, static_cast<int>(feasible.cut.size()) - 1);
+  EXPECT_FALSE(refused.feasible);
+  EXPECT_NE(refused.reason.find("budget"), std::string::npos) << refused.reason;
+}
+
+TEST(Partition, SingleIslandIsAlwaysFeasible) {
+  const std::vector<EdgeKey> edges = topo_complete(8);
+  const IslandPlan plan = partition_islands(8, edges, 1);
+  ASSERT_TRUE(plan.feasible) << plan.reason;
+  EXPECT_EQ(plan.islands, 1);
+  EXPECT_TRUE(plan.cut.empty());
+  expect_valid_partition(plan, 8, edges);
+}
+
+TEST(Partition, MoreIslandsThanNodesClampsToSingletons) {
+  const std::vector<EdgeKey> edges = topo_line(4);
+  const IslandPlan plan = partition_islands(4, edges, 8, 8);
+  ASSERT_TRUE(plan.feasible) << plan.reason;
+  EXPECT_EQ(plan.islands, 4);
+  expect_valid_partition(plan, 4, edges);
+}
+
+TEST(Partition, DegenerateInputsAreInfeasible) {
+  EXPECT_FALSE(partition_islands(0, {}, 2).feasible);
+  EXPECT_FALSE(partition_islands(8, topo_line(8), 0).feasible);
+  // One node cannot make two islands.
+  EXPECT_FALSE(partition_islands(1, {}, 2).feasible);
+}
+
+TEST(Partition, DeterministicForFixedInput) {
+  Rng rng(7);
+  const std::vector<EdgeKey> edges = topo_gnp_connected(48, 0.08, rng);
+  const IslandPlan a = partition_islands(48, edges, 4);
+  const IslandPlan b = partition_islands(48, edges, 4);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.islands, b.islands);
+  EXPECT_EQ(a.island_of, b.island_of);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+}  // namespace
+}  // namespace gcs
