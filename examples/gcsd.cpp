@@ -1,5 +1,6 @@
 // gcsd: the gradient-clock-synchronization daemon — ONE live node per
-// process, talking UDP on loopback. Launch one instance per node:
+// process, talking UDP (default) or TCP on loopback. Launch one instance
+// per node:
 //
 //   port=29200; epoch=$(gcsd --print-epoch)
 //   gcsd --node=0 --nodes=2 --epoch=$epoch --seconds=30 --csv=node0.csv &
@@ -18,6 +19,10 @@
 // (scripts/chaos_report.py interpolates the start-relative grids).
 //
 // Robustness extras:
+//   --transport=udp|tcp  datagram sockets (default) or stream connections
+//                        with the full reconnect state machine; under tcp a
+//                        chaos conn-reset hard-closes the daemon's outbound
+//                        connection and the backoff machinery re-dials
 //   --detector           arm the liveness layer (suspect/evict/probe flags)
 //   --chaos=SPEC         preset name or inline script (rt/chaos.h grammar);
 //                        every daemon runs the SAME script and applies the
@@ -34,6 +39,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -71,11 +77,14 @@ ScenarioSpec make_spec(const Flags& flags) {
 
 /// The daemon-side chaos adapter: every daemon replays the same script and
 /// keeps the ops that involve itself — its own crash/restart, its own
-/// outbound link slots (UdpTransport ignores foreign `from`s).
+/// outbound link slots (the socket transports ignore foreign `from`s), and
+/// under tcp its own side of a conn-reset (each daemon owns exactly one of
+/// the pair's two outbound connections, so resetting it covers the link).
 class DaemonChaosTarget final : public ChaosTarget {
  public:
-  DaemonChaosTarget(NodeId self, RtNode& node, UdpTransport& net)
-      : self_(self), node_(node), net_(net) {}
+  DaemonChaosTarget(NodeId self, RtNode& node, RtTransport& net,
+                    TcpTransport* tcp)
+      : self_(self), node_(node), net_(net), tcp_(tcp) {}
   void chaos_crash(NodeId u) override {
     if (u == self_) node_.request_crash();
   }
@@ -85,11 +94,17 @@ class DaemonChaosTarget final : public ChaosTarget {
   void chaos_link(NodeId from, NodeId to, const LinkFault& f) override {
     net_.set_link_fault(from, to, f);
   }
+  void chaos_conn_reset(NodeId a, NodeId b) override {
+    if (tcp_ == nullptr) return;
+    if (a == self_) tcp_->request_reset(b);
+    if (b == self_) tcp_->request_reset(a);
+  }
 
  private:
   NodeId self_;
   RtNode& node_;
-  UdpTransport& net_;
+  RtTransport& net_;
+  TcpTransport* tcp_;  ///< non-null iff --transport=tcp
 };
 
 /// Crash-safe anchor persistence: write-then-rename, so a daemon killed
@@ -123,6 +138,7 @@ int main(int argc, char** argv) {
   }
   if (!flags.has("node")) {
     std::cerr << "usage: gcsd --node=U --nodes=N [--epoch=E] [--base-port=P]\n"
+                 "            [--transport=udp|tcp]\n"
                  "            [--seconds=S] [--time-scale=K] [--probe=T]\n"
                  "            [--topology=ring] [--ppm=120/-180] [--seed=1]\n"
                  "            [--sample-period=T] [--csv=path]\n"
@@ -141,10 +157,27 @@ int main(int argc, char** argv) {
   ScaledClock clock(wall, scale, epoch);
 
   const ScenarioSpec spec = make_spec(flags);
-  UdpTransport net(spec.n, self,
-                   static_cast<std::uint16_t>(flags.get("base-port", 29200)),
-                   &clock, static_cast<std::uint64_t>(flags.get("chaos-seed", 1)));
-  RtNode node(spec, self, net, clock);
+  const auto base_port =
+      static_cast<std::uint16_t>(flags.get("base-port", 29200));
+  const auto chaos_seed =
+      static_cast<std::uint64_t>(flags.get("chaos-seed", 1));
+  const std::string transport = flags.get("transport", std::string("udp"));
+  std::unique_ptr<UdpTransport> udp;
+  std::unique_ptr<TcpTransport> tcp;
+  RtTransport* net = nullptr;
+  if (transport == "udp") {
+    udp = std::make_unique<UdpTransport>(spec.n, self, base_port, &clock,
+                                         chaos_seed);
+    net = udp.get();
+  } else if (transport == "tcp") {
+    tcp = std::make_unique<TcpTransport>(spec.n, self, base_port, clock,
+                                         chaos_seed);
+    net = tcp.get();
+  } else {
+    std::cerr << "unknown --transport=" << transport << " (udp|tcp)\n";
+    return 2;
+  }
+  RtNode node(spec, self, *net, clock);
   const bool chaotic = flags.has("chaos");
   if (flags.get("detector", false) || chaotic) {
     DetectorConfig detector;
@@ -184,7 +217,7 @@ int main(int argc, char** argv) {
     });
   }
 
-  DaemonChaosTarget chaos_target(self, node, net);
+  DaemonChaosTarget chaos_target(self, node, *net, tcp.get());
   ChaosScript script;
   if (chaotic) {
     // Scripted times are start-relative model seconds, like --seconds.
@@ -246,8 +279,15 @@ int main(int argc, char** argv) {
   std::cout << "gcsd node " << self << ": ran to model t=" << horizon
             << " (" << samples.size() << " samples), frames out "
             << node.egress_count() << ", in " << node.ingress_count()
-            << ", rejected " << node.rejected_count() << ", restarts "
-            << node.restarts() << ", send errors " << net.send_errors() << "\n"
-            << "final L=" << node.logical() << " H=" << node.hardware() << "\n";
+            << ", rejected " << node.rejected_count() << ", wire-rejected "
+            << net->rejected() << ", restarts " << node.restarts();
+  if (udp) {
+    std::cout << ", send errors " << udp->send_errors();
+  } else {
+    std::cout << ", resets " << tcp->resets() << ", reconnects "
+              << tcp->reconnects();
+  }
+  std::cout << "\nfinal L=" << node.logical() << " H=" << node.hardware()
+            << "\n";
   return 0;
 }

@@ -9,6 +9,8 @@
 //
 //   rt_loopback --nodes=4 --seconds=3 --time-scale=100        # pipe backend
 //   rt_loopback --transport=udp --nodes=2 --seconds=3
+//   rt_loopback --transport=tcp --nodes=4 --seconds=12 --time-scale=10 \
+//       --detector --chaos=corrupt --check-bound
 //   rt_loopback --seconds=30 --time-scale=10 --check-bound --csv=skew.csv
 //   rt_loopback --detector --chaos=partition --chaos-seed=7 --check-bound
 //
@@ -16,11 +18,16 @@
 // chaos, over every post-warmup sample; with chaos, per quiet phase — after
 // each scripted fault clears, every edge skew must be back within its bound
 // throughout [clear + stabilization, next fault) (the re-convergence gate).
+// It also enforces the wire-integrity invariant on the pipe and tcp
+// backends: every chaos-injected bit flip must show up in rejected() — a
+// corrupted frame that decoded anyway would be a codec bug (UDP is exempt
+// only because the kernel may drop a corrupted datagram before delivery).
 //
-// --chaos takes a preset name (crash|partition|churn) or an inline script
-// ("at 5 cut 0 1; at 12 heal 0 1" — see rt/chaos.h for the grammar). Chaos
-// almost always wants --detector, which arms the liveness layer that turns
-// the injected silence into real edge eviction and rediscovery.
+// --chaos takes a preset name (crash|partition|churn|corrupt) or an inline
+// script ("at 5 cut 0 1; at 12 heal 0 1" — see rt/chaos.h for the
+// grammar). Chaos almost always wants --detector, which arms the liveness
+// layer that turns the injected silence into real edge eviction and
+// rediscovery.
 #include <cmath>
 #include <iostream>
 #include <string>
@@ -87,12 +94,17 @@ bool print_reports(const std::string& title,
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::string transport = flags.get("transport", std::string("pipe"));
-  const bool udp = transport == "udp";
-  if (!udp && transport != "pipe") {
-    std::cerr << "unknown --transport=" << transport << " (pipe|udp)\n";
+  RtBackend backend = RtBackend::kPipe;
+  if (transport == "udp") {
+    backend = RtBackend::kUdp;
+  } else if (transport == "tcp") {
+    backend = RtBackend::kTcp;
+  } else if (transport != "pipe") {
+    std::cerr << "unknown --transport=" << transport << " (pipe|udp|tcp)\n";
     return 2;
   }
-  const int n = flags.get("nodes", udp ? 2 : 4);
+  const bool pipe = backend == RtBackend::kPipe;
+  const int n = flags.get("nodes", backend == RtBackend::kUdp ? 2 : 4);
   const double scale = flags.get("time-scale", 10.0);
   const Time horizon = flags.get("seconds", 3.0) * scale;  // model seconds
   const double probe = flags.get("probe", 0.25);
@@ -116,8 +128,7 @@ int main(int argc, char** argv) {
   faults.jitter = flags.get("jitter", 0.0);
   faults.seed = seed;
 
-  RtCluster cluster(spec, clock, faults, 1024,
-                    udp ? RtBackend::kUdp : RtBackend::kPipe,
+  RtCluster cluster(spec, clock, faults, 1024, backend,
                     static_cast<std::uint16_t>(flags.get("base-port", 29200)));
 
   if (flags.get("detector", false) || flags.has("chaos")) {
@@ -144,6 +155,9 @@ int main(int argc, char** argv) {
   cluster.start();
   cluster.schedule_samples(horizon, sample_period);
   cluster.run_threads(horizon);
+  // Settle pass: consume frames still sitting in socket buffers at the
+  // horizon so the ingress counters cover everything transmitted.
+  cluster.drain();
 
   std::uint64_t frames_out = 0;
   std::uint64_t frames_in = 0;
@@ -156,13 +170,42 @@ int main(int argc, char** argv) {
     cluster.write_skew_csv(csv, 0);
     std::cout << "wrote " << csv << "\n";
   }
-  if (!udp) {
+  if (pipe) {
     std::cout << "pipe hub: sent " << cluster.hub().sent() << ", dropped "
               << cluster.hub().dropped() << ", duplicated "
               << cluster.hub().duplicated() << ", delayed "
               << cluster.hub().delayed() << ", chaos-dropped "
               << cluster.hub().chaos_dropped() << ", ring-full "
-              << cluster.hub().ring_full() << "\n";
+              << cluster.hub().ring_full() << ", corrupted "
+              << cluster.hub().corrupted() << ", wire-rejected "
+              << cluster.hub().rejected() << "\n";
+  } else if (backend == RtBackend::kUdp) {
+    std::uint64_t sent = 0, dropped = 0, errors = 0;
+    for (NodeId u = 0; u < cluster.size(); ++u) {
+      sent += cluster.udp(u).sent();
+      dropped += cluster.udp(u).dropped();
+      errors += cluster.udp(u).send_errors();
+    }
+    std::cout << "udp: sent " << sent << ", chaos-dropped " << dropped
+              << ", send-errors " << errors << ", corrupted "
+              << cluster.total_corrupted() << ", wire-rejected "
+              << cluster.total_rejected() << "\n";
+  } else {
+    std::uint64_t sent = 0, dropped = 0, backpressure = 0, conn_down = 0,
+                  resets = 0, reconnects = 0;
+    for (NodeId u = 0; u < cluster.size(); ++u) {
+      sent += cluster.tcp(u).sent();
+      dropped += cluster.tcp(u).dropped();
+      backpressure += cluster.tcp(u).backpressure();
+      conn_down += cluster.tcp(u).conn_down();
+      resets += cluster.tcp(u).resets();
+      reconnects += cluster.tcp(u).reconnects();
+    }
+    std::cout << "tcp: sent " << sent << ", chaos-dropped " << dropped
+              << ", backpressure " << backpressure << ", conn-down "
+              << conn_down << ", resets " << resets << ", reconnects "
+              << reconnects << ", corrupted " << cluster.total_corrupted()
+              << ", wire-rejected " << cluster.total_rejected() << "\n";
   }
   std::cout << "model horizon " << horizon << " s, frames out " << frames_out
             << ", frames in " << frames_in << "\n";
@@ -192,6 +235,17 @@ int main(int argc, char** argv) {
   }
   if (check && !all_ok) {
     std::cout << "FAIL: a sampled edge skew exceeded its gradient bound\n";
+    return 1;
+  }
+  // Wire-integrity gate: on backends with reliable in-process delivery
+  // every injected bit flip must have been caught by the CRC and counted —
+  // zero corrupted frames may reach the engine. (UDP is exempt: the kernel
+  // may legitimately shed a corrupted datagram before our decoder sees it.)
+  if (check && backend != RtBackend::kUdp &&
+      cluster.total_rejected() != cluster.total_corrupted()) {
+    std::cout << "FAIL: wire integrity: " << cluster.total_corrupted()
+              << " corrupted frames but " << cluster.total_rejected()
+              << " rejected at ingress\n";
     return 1;
   }
   return 0;

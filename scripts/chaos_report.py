@@ -13,9 +13,13 @@ written by `gcsd --bounds-csv`).
 Phases come from repeated --gate label:begin:end flags — the quiet windows
 after each scripted fault clears (ChaosScript::phases in src/rt/chaos.h
 derives the same windows in-process; CI passes them explicitly because it
-runs an explicit inline chaos script). A grid point only contributes where
-BOTH endpoints were live: samples recorded by a crashed or catching-up
-daemon never trip the gate.
+runs an explicit inline chaos script). The script grammar covers
+crash/restart, cut/heal, drop/clear, storm/calm, corrupt (seeded bit
+flips, every one CRC-rejected at ingress) and conn-reset (TCP connection
+hard-close; instantaneous, so its gate window runs from the reset itself
+to the next fault) — any cleared or instantaneous fault can head a gated
+phase here. A grid point only contributes where BOTH endpoints were live:
+samples recorded by a crashed or catching-up daemon never trip the gate.
 
     chaos_report.py --bounds bounds.csv \
         --gate cut:24:40 --gate crash:52:60 \

@@ -17,6 +17,8 @@ const char* to_string(ChaosOp::Kind k) {
     case ChaosOp::Kind::kClear: return "clear";
     case ChaosOp::Kind::kStorm: return "storm";
     case ChaosOp::Kind::kCalm: return "calm";
+    case ChaosOp::Kind::kCorrupt: return "corrupt";
+    case ChaosOp::Kind::kConnReset: return "conn-reset";
   }
   return "?";
 }
@@ -39,6 +41,8 @@ const OpShape* op_shape(const std::string& word) {
       {"clear", {ChaosOp::Kind::kClear, 2, false}},
       {"storm", {ChaosOp::Kind::kStorm, 2, true}},
       {"calm", {ChaosOp::Kind::kCalm, 2, false}},
+      {"corrupt", {ChaosOp::Kind::kCorrupt, 2, true}},
+      {"conn-reset", {ChaosOp::Kind::kConnReset, 2, false}},
   };
   for (const auto& [name, shape] : kTable) {
     if (word == name) return &shape;
@@ -64,6 +68,7 @@ bool starts_fault(const ChaosOp& op) {
     case ChaosOp::Kind::kCut:
     case ChaosOp::Kind::kDrop:
     case ChaosOp::Kind::kStorm:
+    case ChaosOp::Kind::kCorrupt:
       return true;
     default:
       return false;
@@ -185,9 +190,23 @@ ChaosScript ChaosScript::preset(const std::string& name, int n,
       << "; at " << at(0.46) << " restart " << u
       << "; at " << at(0.62) << " storm " << f.a << " " << f.b << " 0.3"
       << "; at " << at(0.70) << " calm " << f.a << " " << f.b;
+  } else if (name == "corrupt") {
+    const EdgeKey e = edge();
+    const EdgeKey f = edge();
+    const EdgeKey g = edge();
+    // Corrupt probabilities are powers of two so the bfloat16 fault slot
+    // stores them exactly; the reset burst sits between the two corruption
+    // phases with its last reset leaving a full quiet gate before 0.62h.
+    s << "at " << at(0.10) << " corrupt " << e.a << " " << e.b << " 0.5"
+      << "; at " << at(0.22) << " clear " << e.a << " " << e.b
+      << "; at " << at(0.38) << " conn-reset " << f.a << " " << f.b
+      << "; at " << at(0.41) << " conn-reset " << f.a << " " << f.b
+      << "; at " << at(0.44) << " conn-reset " << f.a << " " << f.b
+      << "; at " << at(0.62) << " corrupt " << g.a << " " << g.b << " 0.25"
+      << "; at " << at(0.72) << " clear " << g.a << " " << g.b;
   } else {
     require(false, "ChaosScript: unknown preset '" + name +
-                       "' (want crash|partition|churn)");
+                       "' (want crash|partition|churn|corrupt)");
   }
   return parse(s.str());
 }
@@ -204,6 +223,22 @@ std::vector<ChaosPhase> ChaosScript::phases(Time horizon,
   std::vector<ChaosPhase> out;
   std::vector<FaultKey> active;
   for (const ChaosOp& op : ops_) {
+    if (op.kind == ChaosOp::Kind::kConnReset) {
+      // Instantaneous fault: the disturbance starts and "clears" at the
+      // same instant (the transport heals itself), so it opens a phase of
+      // its own when the air is otherwise quiet and merely extends the
+      // label of an already-active one.
+      if (active.empty()) {
+        ChaosPhase phase;
+        phase.fault_at = op.at;
+        phase.clear_at = op.at;
+        phase.label = to_string(op.kind);
+        out.push_back(phase);
+      } else if (!out.empty()) {
+        out.back().label += "+" + std::string(to_string(op.kind));
+      }
+      continue;
+    }
     const FaultKey key = fault_key(op);
     const auto it = std::find(active.begin(), active.end(), key);
     if (starts_fault(op)) {
@@ -241,7 +276,8 @@ std::string ChaosScript::str() const {
     if (op.kind != ChaosOp::Kind::kCrash && op.kind != ChaosOp::Kind::kRestart) {
       s << " " << op.b;
     }
-    if (op.kind == ChaosOp::Kind::kDrop || op.kind == ChaosOp::Kind::kStorm) {
+    if (op.kind == ChaosOp::Kind::kDrop || op.kind == ChaosOp::Kind::kStorm ||
+        op.kind == ChaosOp::Kind::kCorrupt) {
       s << " " << op.value;
     }
   }
@@ -281,6 +317,15 @@ void ChaosScheduler::poll(Time now) {
         target_.chaos_link(op.b, op.a, f);
         break;
       }
+      case ChaosOp::Kind::kCorrupt: {
+        LinkFault f;
+        f.corrupt = static_cast<float>(op.value);
+        target_.chaos_link(op.a, op.b, f);
+        break;
+      }
+      case ChaosOp::Kind::kConnReset:
+        target_.chaos_conn_reset(op.a, op.b);
+        break;
     }
   }
 }

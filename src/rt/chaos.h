@@ -20,10 +20,14 @@
 //   at <t> clear <a> <b>        clear the a -> b fault slot
 //   at <t> storm <a> <b> <d>    add d seconds of delay both ways
 //   at <t> calm <a> <b>         clear both fault slots
+//   at <t> corrupt <a> <b> <p>  flip one bit in fraction p of frames
+//                               a -> b (one way; CRC must catch every one)
+//   at <t> conn-reset <a> <b>   reset the transport connection both ways
+//                               (stream backends; instantaneous, no clear)
 //
-// Each directed link has ONE LinkFault slot: cut/drop/storm overwrite each
-// other (last writer wins), which keeps the transport hot path to a single
-// atomic load.
+// Each directed link has ONE LinkFault slot: cut/drop/storm/corrupt
+// overwrite each other (last writer wins), which keeps the transport hot
+// path to a single atomic load.
 //
 // Phases: the script partitions time into fault intervals (first fault op
 // after quiet -> last op returning the active-fault set to empty). The
@@ -41,26 +45,36 @@
 namespace gcs {
 
 /// One directed link's injected fault state. drop >= 1 means blocked.
-/// Packed into a single 64-bit atomic by the transports (two floats), so
-/// floats rather than doubles.
+/// Packed into a single 64-bit atomic by the transports, so floats rather
+/// than doubles — and the two probabilities are stored as bfloat16 (top 16
+/// bits of the float32) to keep all three fields in one word. Probabilities
+/// round-trip only at bfloat16 precision (powers of two like 0.5 and 1.0
+/// are exact; 0.3 quantizes to ~0.0007 relative error), which is far below
+/// anything a chaos script cares about and keeps the hot path at a single
+/// atomic load.
 struct LinkFault {
   float drop = 0.0f;         ///< loss probability in [0,1]; >= 1 blocks
   float extra_delay = 0.0f;  ///< added model-seconds of delivery delay
+  float corrupt = 0.0f;      ///< probability of a single in-flight bit flip
 };
 
 [[nodiscard]] inline std::uint64_t pack_link_fault(const LinkFault& f) {
-  std::uint32_t d, e;
+  std::uint32_t d, e, c;
   static_assert(sizeof(float) == 4);
   __builtin_memcpy(&d, &f.drop, 4);
   __builtin_memcpy(&e, &f.extra_delay, 4);
-  return (static_cast<std::uint64_t>(d) << 32) | e;
+  __builtin_memcpy(&c, &f.corrupt, 4);
+  return (static_cast<std::uint64_t>(d >> 16) << 48) |
+         (static_cast<std::uint64_t>(c >> 16) << 32) | e;
 }
 
 [[nodiscard]] inline LinkFault unpack_link_fault(std::uint64_t bits) {
   LinkFault f;
-  const std::uint32_t d = static_cast<std::uint32_t>(bits >> 32);
+  const std::uint32_t d = static_cast<std::uint32_t>(bits >> 48) << 16;
+  const std::uint32_t c = static_cast<std::uint32_t>((bits >> 32) & 0xFFFFu) << 16;
   const std::uint32_t e = static_cast<std::uint32_t>(bits);
   __builtin_memcpy(&f.drop, &d, 4);
+  __builtin_memcpy(&f.corrupt, &c, 4);
   __builtin_memcpy(&f.extra_delay, &e, 4);
   return f;
 }
@@ -74,10 +88,20 @@ class ChaosTarget {
   virtual void chaos_restart(NodeId u) = 0;
   /// Set the fault slot of the directed link from -> to.
   virtual void chaos_link(NodeId from, NodeId to, const LinkFault& f) = 0;
+  /// Reset the transport connection between a and b (both directions).
+  /// Meaningful for stream backends (TCP); datagram and in-process
+  /// backends have no connection to reset, hence the default no-op.
+  virtual void chaos_conn_reset(NodeId a, NodeId b) {
+    (void)a;
+    (void)b;
+  }
 };
 
 struct ChaosOp {
-  enum class Kind { kCrash, kRestart, kCut, kHeal, kDrop, kClear, kStorm, kCalm };
+  enum class Kind {
+    kCrash, kRestart, kCut, kHeal, kDrop, kClear, kStorm, kCalm,
+    kCorrupt, kConnReset
+  };
   Time at = 0.0;
   Kind kind = Kind::kCrash;
   NodeId a = kNoNode;
@@ -111,9 +135,11 @@ class ChaosScript {
 
   /// Seeded preset generator. Names: "crash" (two crash/restart cycles on
   /// rng-picked nodes), "partition" (cut + heal an rng-picked edge),
-  /// "churn" (loss storm, crash cycle, cut cycle interleaved). Ops are
-  /// placed at fixed fractions of `horizon`; node/edge picks come from
-  /// Rng(seed), so (name, topology, horizon, seed) fully determine the run.
+  /// "churn" (loss storm, crash cycle, cut cycle interleaved), "corrupt"
+  /// (bit-flip storms on rng-picked edges plus a burst of connection
+  /// resets — the wire-integrity stressor). Ops are placed at fixed
+  /// fractions of `horizon`; node/edge picks come from Rng(seed), so
+  /// (name, topology, horizon, seed) fully determine the run.
   static ChaosScript preset(const std::string& name, int n,
                             const std::vector<EdgeKey>& edges, Time horizon,
                             std::uint64_t seed);

@@ -35,11 +35,17 @@ RtCluster::RtCluster(const ScenarioSpec& spec, TimeSource& clock,
   edges_ = std::move(topo.edges);
   if (backend_ == RtBackend::kPipe) {
     hub_ = std::make_unique<PipeHub>(topo.n, clock, faults, ring_capacity);
-  } else {
+  } else if (backend_ == RtBackend::kUdp) {
     udp_.reserve(static_cast<std::size_t>(topo.n));
     for (NodeId u = 0; u < topo.n; ++u) {
       udp_.push_back(std::make_unique<UdpTransport>(topo.n, u, base_port,
                                                     &clock, faults.seed));
+    }
+  } else {
+    tcp_.reserve(static_cast<std::size_t>(topo.n));
+    for (NodeId u = 0; u < topo.n; ++u) {
+      tcp_.push_back(std::make_unique<TcpTransport>(topo.n, u, base_port,
+                                                    clock, faults.seed));
     }
   }
   nodes_.reserve(static_cast<std::size_t>(topo.n));
@@ -51,7 +57,8 @@ RtCluster::RtCluster(const ScenarioSpec& spec, TimeSource& clock,
 
 RtTransport& RtCluster::transport_of(NodeId u) {
   if (backend_ == RtBackend::kPipe) return *hub_;
-  return *udp_[static_cast<std::size_t>(u)];
+  if (backend_ == RtBackend::kUdp) return *udp_[static_cast<std::size_t>(u)];
+  return *tcp_[static_cast<std::size_t>(u)];
 }
 
 void RtCluster::enable_detector(const DetectorConfig& config) {
@@ -85,8 +92,51 @@ void RtCluster::chaos_link(NodeId from, NodeId to, const LinkFault& f) {
   } else {
     // Only the sender's transport owns the outbound slot; the scheduler
     // calls this once per direction, so forwarding to the owner suffices.
-    udp_[static_cast<std::size_t>(from)]->set_link_fault(from, to, f);
+    transport_of(from).set_link_fault(from, to, f);
   }
+}
+
+void RtCluster::chaos_conn_reset(NodeId a, NodeId b) {
+  // Only the stream backend has connections to reset; over pipes and UDP
+  // the op is a no-op by design (the grammar stays backend-agnostic).
+  if (backend_ != RtBackend::kTcp) return;
+  // Each side owns its outbound connection; resetting both covers the link.
+  tcp_[static_cast<std::size_t>(a)]->request_reset(b);
+  tcp_[static_cast<std::size_t>(b)]->request_reset(a);
+}
+
+std::uint64_t RtCluster::total_corrupted() const {
+  switch (backend_) {
+    case RtBackend::kPipe: return hub_->corrupted();
+    case RtBackend::kUdp: {
+      std::uint64_t sum = 0;
+      for (const auto& t : udp_) sum += t->corrupted();
+      return sum;
+    }
+    case RtBackend::kTcp: {
+      std::uint64_t sum = 0;
+      for (const auto& t : tcp_) sum += t->corrupted();
+      return sum;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t RtCluster::total_rejected() const {
+  switch (backend_) {
+    case RtBackend::kPipe: return hub_->rejected();
+    case RtBackend::kUdp: {
+      std::uint64_t sum = 0;
+      for (const auto& t : udp_) sum += t->rejected();
+      return sum;
+    }
+    case RtBackend::kTcp: {
+      std::uint64_t sum = 0;
+      for (const auto& t : tcp_) sum += t->rejected();
+      return sum;
+    }
+  }
+  return 0;
 }
 
 void RtCluster::schedule_samples(Time horizon, Duration period) {
@@ -160,6 +210,13 @@ void RtCluster::run_threads(Time horizon, Duration poll_interval) {
   for (auto& th : threads) th.join();
   stop.store(true, std::memory_order_release);
   if (chaos_thread.joinable()) chaos_thread.join();
+}
+
+void RtCluster::drain(int rounds) {
+  require(started_, "RtCluster: drain before start()");
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& node : nodes_) node->pump();
+  }
 }
 
 std::vector<RtCluster::JoinedSample> RtCluster::join_edge(const EdgeKey& e) const {

@@ -29,6 +29,7 @@
 #include "rt/liveness.h"
 #include "rt/rt_node.h"
 #include "rt/rt_transport.h"
+#include "rt/tcp_transport.h"
 #include "rt/time_source.h"
 
 namespace gcs {
@@ -52,14 +53,15 @@ struct RtEdgeReport {
   int samples = 0;
 };
 
-enum class RtBackend { kPipe, kUdp };
+enum class RtBackend { kPipe, kUdp, kTcp };
 
 class RtCluster final : public ChaosTarget {
  public:
   /// Builds one replica per node of the resolved topology, all sharing
-  /// `clock`. kPipe: one PipeHub carrying `faults`. kUdp: one loopback
-  /// socket per node at base_port + id (FaultSpec injection does not apply,
-  /// but its seed still feeds the chaos streams).
+  /// `clock`. kPipe: one PipeHub carrying `faults`. kUdp / kTcp: one
+  /// loopback socket (or listener + outbound connections) per node at
+  /// base_port + id (FaultSpec injection does not apply, but its seed
+  /// still feeds the chaos and reconnect-jitter streams).
   explicit RtCluster(const ScenarioSpec& spec, TimeSource& clock,
                      const FaultSpec& faults = {},
                      std::size_t ring_capacity = 1024,
@@ -93,14 +95,36 @@ class RtCluster final : public ChaosTarget {
   /// between pumps. An armed chaos script runs on its own polling thread.
   void run_threads(Time horizon, Duration poll_interval = 0.002);
 
+  /// Single-threaded settle pass after a run: pump every node round-robin a
+  /// few rounds so frames still sitting in socket buffers at the horizon
+  /// are consumed. Makes the ingress counters (rejected() in particular)
+  /// account for everything that was actually transmitted.
+  void drain(int rounds = 4);
+
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] RtNode& node(NodeId u) { return *nodes_[static_cast<std::size_t>(u)]; }
   /// Pipe backend only (throws otherwise).
   [[nodiscard]] PipeHub& hub() {
-    require(hub_ != nullptr, "RtCluster: no hub (UDP backend)");
+    require(hub_ != nullptr, "RtCluster: no hub (socket backend)");
     return *hub_;
   }
+  /// UDP backend only (throws otherwise).
+  [[nodiscard]] UdpTransport& udp(NodeId u) {
+    require(backend_ == RtBackend::kUdp, "RtCluster: not the UDP backend");
+    return *udp_[static_cast<std::size_t>(u)];
+  }
+  /// TCP backend only (throws otherwise).
+  [[nodiscard]] TcpTransport& tcp(NodeId u) {
+    require(backend_ == RtBackend::kTcp, "RtCluster: not the TCP backend");
+    return *tcp_[static_cast<std::size_t>(u)];
+  }
   [[nodiscard]] RtBackend backend() const { return backend_; }
+  /// Cluster-wide transport integrity counters (summed over per-node
+  /// transports on the socket backends): chaos-injected bit flips and
+  /// rejected ingress frames. With corruption chaos armed, CI asserts the
+  /// two agree — every flip caught, none delivered.
+  [[nodiscard]] std::uint64_t total_corrupted() const;
+  [[nodiscard]] std::uint64_t total_rejected() const;
   [[nodiscard]] const std::vector<EdgeKey>& edges() const { return edges_; }
   [[nodiscard]] const std::vector<std::vector<RtSample>>& samples() const {
     return samples_;
@@ -110,6 +134,7 @@ class RtCluster final : public ChaosTarget {
   void chaos_crash(NodeId u) override;
   void chaos_restart(NodeId u) override;
   void chaos_link(NodeId from, NodeId to, const LinkFault& f) override;
+  void chaos_conn_reset(NodeId a, NodeId b) override;
 
   /// |L_u − L_v| per grid point for one edge, as a recorder series (all
   /// grid points joined, live or not).
@@ -144,6 +169,7 @@ class RtCluster final : public ChaosTarget {
   RtBackend backend_;
   std::unique_ptr<PipeHub> hub_;                          ///< kPipe
   std::vector<std::unique_ptr<UdpTransport>> udp_;        ///< kUdp, per node
+  std::vector<std::unique_ptr<TcpTransport>> tcp_;        ///< kTcp, per node
   std::vector<std::unique_ptr<RtNode>> nodes_;
   std::vector<EdgeKey> edges_;
   std::vector<std::vector<RtSample>> samples_;  ///< [node][grid index]

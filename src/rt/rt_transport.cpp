@@ -11,6 +11,35 @@
 
 namespace gcs {
 
+namespace {
+
+/// The chaos corruption decision for one send, derived from ONE u64 draw of
+/// the per-link corruption stream. The top 53 bits decide whether to flip
+/// (uniform in [0,1) against the armed probability); the low bits pick the
+/// bit to flip once the frame length is known. Shared by every backend so
+/// "corrupt 0.5" means the same thing over pipes, UDP and TCP.
+struct CorruptDraw {
+  std::uint64_t raw = 0;
+  [[nodiscard]] bool hit(float probability) const {
+    if (probability <= 0.0f) return false;
+    const double u = static_cast<double>(raw >> 11) * 0x1.0p-53;
+    return u < static_cast<double>(probability);
+  }
+  /// Bit index within [first_byte, len) of an encoded frame.
+  [[nodiscard]] std::size_t bit(std::size_t first_byte, std::size_t len) const {
+    const std::size_t nbits = (len - first_byte) * 8;
+    return first_byte * 8 + static_cast<std::size_t>(raw % nbits);
+  }
+};
+
+/// Flip one bit past the length prefix of an encoded frame.
+void flip_frame_bit(std::uint8_t* frame, std::size_t len, const CorruptDraw& d) {
+  const std::size_t bit = d.bit(/*first_byte=*/2, len);
+  frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace
+
 // -------------------------------------------------------------------- pipe
 
 PipeHub::PipeHub(int n, TimeSource& clock, const FaultSpec& faults,
@@ -23,10 +52,13 @@ PipeHub::PipeHub(int n, TimeSource& clock, const FaultSpec& faults,
   chaos_rngs_.reserve(nn);
   Rng root(faults.seed ^ 0x9d1eULL);
   Rng chaos_root(faults.seed ^ 0xc4a05ULL);
+  Rng corrupt_root(faults.seed ^ 0xf11bULL);
+  corrupt_rngs_.reserve(nn);
   for (std::size_t i = 0; i < nn; ++i) {
     rings_.push_back(std::make_unique<SpscRing<WireMsg>>(ring_capacity));
     rngs_.push_back(root.fork(i));
     chaos_rngs_.push_back(chaos_root.fork(i));
+    corrupt_rngs_.push_back(corrupt_root.fork(i));
   }
   link_faults_ = std::make_unique<std::atomic<std::uint64_t>[]>(nn);
   ring_full_link_ = std::make_unique<std::atomic<std::uint64_t>[]>(nn);
@@ -68,6 +100,7 @@ bool PipeHub::send(const WireMsg& m) {
   const double draw_jitter = rng.uniform(0.0, 1.0);
   // Same discipline for the chaos stream (one roll per send, armed or not).
   const double roll_chaos = chaos_rngs_[link].uniform(0.0, 1.0);
+  const CorruptDraw corrupt{corrupt_rngs_[link].next()};
   if (roll_drop < faults_.drop) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return true;  // swallowed in flight; the sender cannot tell
@@ -77,6 +110,23 @@ bool PipeHub::send(const WireMsg& m) {
   if (roll_chaos < chaos.drop) {
     chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
     return true;
+  }
+  if (corrupt.hit(chaos.corrupt)) {
+    // Pipe frames are structs, not bytes, so corruption goes through the
+    // real codec: encode, flip one bit, re-decode. CRC32C detects every
+    // single-bit error, so the decode fails and the frame dies in flight,
+    // counted exactly as a socket backend's receiver would count it.
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+    std::uint8_t frame[kWireMax];
+    const std::size_t len = wire_encode(m, frame);
+    flip_frame_bit(frame, len, corrupt);
+    WireMsg decoded;
+    if (!wire_decode(frame, len, decoded)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return true;  // swallowed in flight, like a chaos drop
+    }
+    // Unreachable for single-bit flips, but if the codec ever let one
+    // through, delivering the decoded bytes is the honest behavior.
   }
   WireMsg out = m;
   Duration hold = draw_jitter * faults_.jitter + chaos.extra_delay;
@@ -137,11 +187,15 @@ UdpTransport::UdpTransport(int n, NodeId self, std::uint16_t base_port,
   // per-link streams: every daemon derives the same decisions for its own
   // outbound links from (chaos_seed, self, to, send count) alone.
   Rng chaos_root(chaos_seed ^ 0xc4a05ULL);
+  Rng corrupt_root(chaos_seed ^ 0xf11bULL);
   chaos_rngs_.reserve(static_cast<std::size_t>(n));
+  corrupt_rngs_.reserve(static_cast<std::size_t>(n));
   for (NodeId to = 0; to < n; ++to) {
-    chaos_rngs_.push_back(chaos_root.fork(
+    const std::uint64_t stream =
         static_cast<std::uint64_t>(self) * static_cast<std::uint64_t>(n) +
-        static_cast<std::uint64_t>(to)));
+        static_cast<std::uint64_t>(to);
+    chaos_rngs_.push_back(chaos_root.fork(stream));
+    corrupt_rngs_.push_back(corrupt_root.fork(stream));
   }
   link_faults_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(n));
@@ -154,23 +208,26 @@ UdpTransport::~UdpTransport() {
 void UdpTransport::set_link_fault(NodeId from, NodeId to, const LinkFault& f) {
   if (from != self_) return;  // the peer's transport owns the reverse slot
   require(to >= 0 && to < n_ && to != self_, "UdpTransport: bad link");
+  // A latency storm needs a clock to measure the hold against. Refusing to
+  // arm one here beats the old behavior (silently releasing stashed frames
+  // with zero delay — a storm that quietly tests nothing).
+  require(f.extra_delay <= 0.0f || clock_ != nullptr,
+          "UdpTransport: latency fault armed without a clock");
   link_faults_[static_cast<std::size_t>(to)].store(pack_link_fault(f),
                                                    std::memory_order_relaxed);
 }
 
-bool UdpTransport::transmit(const WireMsg& m) {
-  std::uint8_t buf[kWireMax];
-  const std::size_t len = wire_encode(m, buf);
+bool UdpTransport::transmit(const std::uint8_t* frame, std::size_t len, NodeId to) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + m.to));
+  addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + to));
   // Bounded retry on transient kernel-side backpressure: a loopback socket
   // buffer drains in microseconds, so a couple of immediate retries clear
   // almost every EAGAIN without ever blocking the pump thread.
   constexpr int kAttempts = 3;
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
-    const ssize_t rc = ::sendto(fd_, buf, len, 0,
+    const ssize_t rc = ::sendto(fd_, frame, len, 0,
                                 reinterpret_cast<const sockaddr*>(&addr),
                                 sizeof(addr));
     if (rc == static_cast<ssize_t>(len)) {
@@ -192,7 +249,8 @@ void UdpTransport::flush_stash() {
   if (stash_.empty() || clock_ == nullptr) return;
   const Time now = clock_->now();
   while (!stash_.empty() && stash_.top().release_at <= now) {
-    transmit(stash_.top().msg);
+    const Stashed& top = stash_.top();
+    transmit(top.frame.data(), top.len, top.to);
     stash_.pop();
   }
 }
@@ -200,19 +258,33 @@ void UdpTransport::flush_stash() {
 bool UdpTransport::send(const WireMsg& m) {
   require(m.to >= 0 && m.to < n_ && m.to != self_, "UdpTransport: bad addressing");
   flush_stash();
-  // One chaos roll per send, armed or not (see PipeHub::send).
+  // One chaos roll per send, armed or not (see PipeHub::send); the
+  // corruption stream keeps the same discipline independently.
   const double roll = chaos_rngs_[static_cast<std::size_t>(m.to)].uniform(0.0, 1.0);
+  const CorruptDraw corrupt{corrupt_rngs_[static_cast<std::size_t>(m.to)].next()};
   const LinkFault chaos = unpack_link_fault(
       link_faults_[static_cast<std::size_t>(m.to)].load(std::memory_order_relaxed));
   if (roll < chaos.drop) {
     ++dropped_;
     return true;  // swallowed in flight; the sender cannot tell
   }
+  std::uint8_t frame[kWireMax];
+  const std::size_t len = wire_encode(m, frame);
+  if (corrupt.hit(chaos.corrupt)) {
+    flip_frame_bit(frame, len, corrupt);
+    ++corrupted_;
+  }
   if (chaos.extra_delay > 0.0f && clock_ != nullptr) {
-    stash_.push(Stashed{clock_->now() + chaos.extra_delay, stash_seq_++, m});
+    Stashed stashed;
+    stashed.release_at = clock_->now() + chaos.extra_delay;
+    stashed.seq = stash_seq_++;
+    std::memcpy(stashed.frame.data(), frame, len);
+    stashed.len = len;
+    stashed.to = m.to;
+    stash_.push(stashed);
     return true;
   }
-  return transmit(m);
+  return transmit(frame, len, m.to);
 }
 
 bool UdpTransport::poll(NodeId self, WireMsg& out) {
@@ -226,8 +298,10 @@ bool UdpTransport::poll(NodeId self, WireMsg& out) {
       ++received_;
       return true;
     }
-    // Undecodable datagram (foreign sender, truncation): skip and keep
-    // draining — the socket is ours alone, so this is defensive only.
+    // Undecodable datagram (chaos corruption, foreign sender, truncation):
+    // count it and keep draining. The counter is what lets CI prove every
+    // injected bit flip was caught rather than silently absorbed.
+    ++rejected_;
   }
 }
 

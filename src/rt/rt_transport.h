@@ -24,9 +24,17 @@
 // own per-link RNG stream which draws exactly one uniform per send whether
 // or not a fault is armed — like the FaultSpec stream, the decision
 // sequence is a pure function of the per-link send count, which is what
-// makes lockstep chaos runs bit-reproducible.
+// makes lockstep chaos runs bit-reproducible. Corruption faults draw from
+// a third, equally disciplined per-link stream (one u64 per send): the
+// decision AND the flipped bit position come from that single draw, so
+// arming corruption never perturbs the drop-roll sequence. Flips land
+// anywhere past the 2-byte length prefix — corrupting the prefix would
+// break stream framing, which is a transport invariant, not an integrity
+// property the CRC is meant to catch. Every transport counts undecodable
+// ingress in rejected().
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <queue>
@@ -53,6 +61,12 @@ class RtTransport {
 
   /// Chaos fault slot of the directed link from -> to (see rt/chaos.h).
   virtual void set_link_fault(NodeId from, NodeId to, const LinkFault& f) = 0;
+
+  /// Ingress frames discarded as malformed — truncated, unknown version,
+  /// or failing the CRC check. Every chaos-injected corruption must end up
+  /// here; a nonzero count with no corruption armed means a real integrity
+  /// problem on the wire.
+  [[nodiscard]] virtual std::uint64_t rejected() const = 0;
 };
 
 /// Sender-side fault injection for the pipe backend. Probabilities are per
@@ -92,6 +106,12 @@ class PipeHub final : public RtTransport {
   [[nodiscard]] std::uint64_t ring_full(NodeId from, NodeId to) const {
     return ring_full_link_[link_index(from, to)].load(std::memory_order_relaxed);
   }
+  /// Chaos-injected bit flips. Pipe frames never leave the process, so the
+  /// corruption is simulated faithfully: the frame is wire-encoded, one bit
+  /// flipped, and re-decoded; a decode failure (CRC catches every single-bit
+  /// flip) lands in rejected() and the frame dies in flight.
+  [[nodiscard]] std::uint64_t corrupted() const { return corrupted_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t rejected() const override { return rejected_.load(std::memory_order_relaxed); }
 
  private:
   struct PendingOrder {  // min-heap on (deliver_at, arrival seq)
@@ -128,6 +148,10 @@ class PipeHub final : public RtTransport {
   std::vector<std::unique_ptr<SpscRing<WireMsg>>> rings_;  ///< [from * n + to]
   std::vector<Rng> rngs_;        ///< sender-owned, per directed edge (FaultSpec)
   std::vector<Rng> chaos_rngs_;  ///< sender-owned, per directed edge (chaos)
+  /// Sender-owned corruption stream, separate from chaos_rngs_ so arming a
+  /// corrupt fault cannot shift the established drop-roll sequence (both
+  /// streams draw exactly once per send, armed or not).
+  std::vector<Rng> corrupt_rngs_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> link_faults_;    ///< packed LinkFault
   std::unique_ptr<std::atomic<std::uint64_t>[]> ring_full_link_; ///< per directed edge
   std::vector<Inbox> inboxes_;   ///< receiver-owned, per node
@@ -137,12 +161,16 @@ class PipeHub final : public RtTransport {
   std::atomic<std::uint64_t> delayed_{0};
   std::atomic<std::uint64_t> chaos_dropped_{0};
   std::atomic<std::uint64_t> ring_full_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 };
 
 /// UDP loopback backend: node u binds 127.0.0.1:(base_port + u). One
 /// instance serves one node (`self`); send() addresses peers by port.
 /// `clock` is only needed for chaos latency storms (stashed frames are
-/// released against it); without one, storm delays degrade to zero.
+/// released against it); a clock-less instance REJECTS arming a latency
+/// fault (set_link_fault throws) rather than silently degrading the storm
+/// to zero delay.
 class UdpTransport final : public RtTransport {
  public:
   UdpTransport(int n, NodeId self, std::uint16_t base_port,
@@ -167,12 +195,23 @@ class UdpTransport final : public RtTransport {
   /// into the injected-fault accounting.
   [[nodiscard]] std::uint64_t send_errors() const { return send_errors_; }
   [[nodiscard]] std::uint64_t send_retries() const { return send_retries_; }
+  /// Chaos-injected bit flips (applied to the encoded datagram before it
+  /// hits the socket).
+  [[nodiscard]] std::uint64_t corrupted() const { return corrupted_; }
+  /// Undecodable ingress datagrams (truncation, foreign sender, CRC
+  /// mismatch) — previously swallowed silently by poll().
+  [[nodiscard]] std::uint64_t rejected() const override { return rejected_; }
 
  private:
   struct Stashed {  // min-heap on release_at, FIFO within ties
     Time release_at = 0.0;
     std::uint64_t seq = 0;
-    WireMsg msg;
+    // Encoded (and possibly already corrupted) frame: the corruption
+    // decision belongs to send time, not release time, so bytes are what
+    // the stash holds.
+    std::array<std::uint8_t, kWireMax> frame{};
+    std::size_t len = 0;
+    NodeId to = kNoNode;
   };
   struct StashOrder {
     bool operator()(const Stashed& a, const Stashed& b) const {
@@ -181,7 +220,7 @@ class UdpTransport final : public RtTransport {
     }
   };
 
-  bool transmit(const WireMsg& m);
+  bool transmit(const std::uint8_t* frame, std::size_t len, NodeId to);
   void flush_stash();
 
   int n_;
@@ -189,7 +228,8 @@ class UdpTransport final : public RtTransport {
   std::uint16_t base_port_;
   int fd_ = -1;
   TimeSource* clock_ = nullptr;
-  std::vector<Rng> chaos_rngs_;  ///< per destination, sender-thread owned
+  std::vector<Rng> chaos_rngs_;    ///< per destination, sender-thread owned
+  std::vector<Rng> corrupt_rngs_;  ///< per destination, sender-thread owned
   std::unique_ptr<std::atomic<std::uint64_t>[]> link_faults_;  ///< per destination
   std::priority_queue<Stashed, std::vector<Stashed>, StashOrder> stash_;
   std::uint64_t stash_seq_ = 0;
@@ -198,6 +238,8 @@ class UdpTransport final : public RtTransport {
   std::uint64_t dropped_ = 0;
   std::uint64_t send_errors_ = 0;
   std::uint64_t send_retries_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace gcs

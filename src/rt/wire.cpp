@@ -26,7 +26,30 @@ T get(const std::uint8_t*& p) {
   return v;
 }
 
+// 256-entry table for the reflected Castagnoli polynomial, built once at
+// compile time.
+struct Crc32cTable {
+  std::uint32_t t[256];
+  constexpr Crc32cTable() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+
+constexpr Crc32cTable kCrcTable{};
+
 }  // namespace
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kCrcTable.t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 std::size_t wire_encode(const WireMsg& m, std::uint8_t* buf) {
   std::uint8_t* p = buf + 2;  // length prefix is back-patched below
@@ -72,10 +95,13 @@ std::size_t wire_encode(const WireMsg& m, std::uint8_t* buf) {
     default:
       require(false, "wire_encode: unknown payload alternative");
   }
-  const std::size_t total = static_cast<std::size_t>(p - buf);
+  const std::size_t total = static_cast<std::size_t>(p - buf) + kWireCrcBytes;
   require(total <= kWireMax, "wire_encode: frame exceeds kWireMax");
   std::uint8_t* len_p = buf;
   put<std::uint16_t>(len_p, static_cast<std::uint16_t>(total - 2));
+  // The CRC covers everything before it, length prefix included, so a
+  // corrupted prefix fails the check even when the framing still lines up.
+  put<std::uint32_t>(p, crc32c(buf, total - kWireCrcBytes));
   return total;
 }
 
@@ -85,13 +111,25 @@ bool wire_decode(const std::uint8_t* buf, std::size_t len, WireMsg& out) {
   const std::uint8_t* p = buf;
   const std::uint16_t body = get<std::uint16_t>(p);
   if (static_cast<std::size_t>(body) + 2 != len) return false;
-  if (get<std::uint8_t>(p) != kWireVersion) return false;
+  const std::uint8_t version = get<std::uint8_t>(p);
+  std::size_t payload_end = len;
+  if (version == kWireVersion) {
+    // Integrity first: no field is trusted until the trailer checks out.
+    if (len < kHeader + kWireCrcBytes) return false;
+    const std::uint8_t* crc_p = buf + len - kWireCrcBytes;
+    if (get<std::uint32_t>(crc_p) != crc32c(buf, len - kWireCrcBytes)) {
+      return false;
+    }
+    payload_end = len - kWireCrcBytes;
+  } else if (version != kWireVersionLegacy) {
+    return false;  // unknown version: drop, never guess at the layout
+  }
   const std::uint8_t tag = get<std::uint8_t>(p);
   out.from = static_cast<NodeId>(get<std::uint32_t>(p));
   out.to = static_cast<NodeId>(get<std::uint32_t>(p));
   out.sent_at = get<double>(p);
   out.deliver_at = 0.0;
-  const std::size_t rest = len - kHeader;
+  const std::size_t rest = payload_end - kHeader;
   switch (tag) {
     case 0: {
       if (rest != 24) return false;

@@ -10,12 +10,20 @@
 //   u32 from, u32 to
 //   f64 sent_at  (sender model time)
 //   payload fields (fixed per tag, doubles and u32s, little-endian)
+//   u32 crc32c   (v2+: Castagnoli CRC of every preceding byte, length
+//                 prefix included)
 //
 // The prefix is redundant for UDP (datagram boundaries frame for free) but
 // makes the same frames usable over stream transports, and lets a receiver
 // reject truncated datagrams in one check. Field-wise encoding rather than
 // a struct memcpy: the frame layout is a contract between *processes*, and
 // must not silently follow compiler padding.
+//
+// Version history. v1 had no integrity trailer: a flipped payload bit
+// decoded into a plausible message. v2 appends the CRC32C trailer; the
+// decoder verifies it before looking at any field and still accepts v1
+// frames for one release so mixed-version clusters can upgrade node by
+// node (encoders always emit v2).
 #pragma once
 
 #include <cstddef>
@@ -36,16 +44,25 @@ struct WireMsg {
   Payload payload{};
 };
 
-inline constexpr std::uint8_t kWireVersion = 1;
-/// Largest encoded frame (header + widest payload alternative).
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Still accepted on decode (one-release migration window); never emitted.
+inline constexpr std::uint8_t kWireVersionLegacy = 1;
+/// Bytes of the v2 CRC32C trailer.
+inline constexpr std::size_t kWireCrcBytes = 4;
+/// Largest encoded frame (header + widest payload alternative + trailer).
 inline constexpr std::size_t kWireMax = 64;
 
+/// CRC32C (Castagnoli, reflected 0x82F63B78) — the checksum iSCSI and
+/// ext4 use. Software table implementation; frames are tiny.
+[[nodiscard]] std::uint32_t crc32c(const std::uint8_t* data, std::size_t len);
+
 /// Encode into `buf` (capacity >= kWireMax). Returns the frame size in
-/// bytes, length prefix included.
+/// bytes, length prefix and CRC trailer included. Always emits kWireVersion.
 std::size_t wire_encode(const WireMsg& m, std::uint8_t* buf);
 
-/// Decode one frame. False on truncation, bad version, bad tag, or a length
-/// prefix disagreeing with `len`. `deliver_at` is left at 0.
+/// Decode one frame. False on truncation, bad version, bad tag, a length
+/// prefix disagreeing with `len`, or (v2) a CRC mismatch — the CRC is
+/// checked before any field is interpreted. `deliver_at` is left at 0.
 bool wire_decode(const std::uint8_t* buf, std::size_t len, WireMsg& out);
 
 }  // namespace gcs
